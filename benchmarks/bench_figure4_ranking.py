@@ -1,0 +1,58 @@
+"""Figure 4: evaluation of the four star-net ranking methods.
+
+Runs the 50 Table 3 queries through candidate generation, ranks them
+under all four methods, and prints the top-x satisfaction curves the
+paper plots.  Also replicates the §6.3 AW_RESELLER run.
+
+Shape check vs the paper:
+
+* standard reaches >=80% at Top-1 and ~100% by Top-5 (paper: 94%/100%);
+* no-size-norm lands within a few points of standard ("did surprisingly
+  well", 88% in the paper);
+* no-number-norm and the baseline trail by a wide margin.
+"""
+
+from repro.core import RankingMethod
+from repro.datasets import AW_ONLINE_QUERIES, AW_RESELLER_QUERIES
+from repro.evalkit import ALL_METHODS, evaluate_ranking, render_series
+
+
+def _print_curves(evaluation, title, max_rank=10):
+    ranks = list(range(1, max_rank + 1))
+    series = {
+        method.value: evaluation.curve(method, max_rank)
+        for method in ALL_METHODS
+    }
+    print(f"\n=== {title}: % queries satisfied at top-x ===")
+    print(render_series(ranks, series, x_label="top-x"))
+
+
+def test_figure4_online(benchmark, online_session_full):
+    evaluation = benchmark.pedantic(
+        evaluate_ranking, args=(online_session_full, AW_ONLINE_QUERIES),
+        rounds=1, iterations=1,
+    )
+    _print_curves(evaluation, "Figure 4 (AW_ONLINE, 50 queries)")
+
+    breakdown = evaluation.by_keyword_count(RankingMethod.STANDARD,
+                                            top_x=1)
+    print("\nstandard method, satisfied@1 by query length:")
+    for count, (hits, total) in breakdown.items():
+        print(f"  {count} keyword(s): {hits}/{total}")
+
+    standard1 = evaluation.satisfied_at(RankingMethod.STANDARD, 1)
+    assert standard1 >= 0.80
+    assert evaluation.satisfied_at(RankingMethod.STANDARD, 5) >= 0.95
+    assert standard1 > evaluation.satisfied_at(
+        RankingMethod.NO_GROUP_NUMBER_NORM, 1)
+    assert standard1 > evaluation.satisfied_at(RankingMethod.BASELINE, 1)
+
+
+def test_figure4_reseller_replication(benchmark, reseller_session_full):
+    evaluation = benchmark.pedantic(
+        evaluate_ranking,
+        args=(reseller_session_full, AW_RESELLER_QUERIES),
+        rounds=1, iterations=1,
+    )
+    _print_curves(evaluation, "Figure 4 replication (AW_RESELLER)")
+    assert evaluation.satisfied_at(RankingMethod.STANDARD, 5) >= 0.9

@@ -1,0 +1,45 @@
+"""Figure 5: bucket number vs. group-by attribute scores (AW_ONLINE).
+
+Four lines: {YearlyIncome, DealerPrice} x {StateProvince→Country,
+Subcategory→Category} roll-ups; error is averaged over all roll-up cases
+(the paper averages over e.g. its 81 subcategory→category mappings).
+
+Shape check vs the paper: error decays rapidly with the bucket count,
+is below 5% by 40 basic intervals, and converges by 80.
+"""
+
+from repro.evalkit import (
+    DEFAULT_BUCKET_COUNTS,
+    evaluate_buckets_online,
+    render_series,
+)
+
+
+def test_figure5_bucket_convergence(benchmark, aw_online_full):
+    evaluation = benchmark.pedantic(
+        evaluate_buckets_online, args=(aw_online_full,),
+        kwargs={"bucket_counts": DEFAULT_BUCKET_COUNTS},
+        rounds=1, iterations=1,
+    )
+
+    counts = list(DEFAULT_BUCKET_COUNTS)
+    series = {
+        line.label: [line.errors[b] for b in counts]
+        for line in evaluation.lines
+    }
+    print("\n=== Figure 5: bucket count vs. score error % (AW_ONLINE) ===")
+    print(render_series(counts, series, x_label="buckets"))
+    for line in evaluation.lines:
+        print(f"  ({line.label}: averaged over {line.num_cases} "
+              "roll-up cases)")
+
+    assert len(evaluation.lines) == 4
+    for line in evaluation.lines:
+        assert line.errors[80] <= line.errors[5] + 1e-9
+    # the paper's claim is "MOST error ratio values are reduced to less
+    # than 5 percent with 40 basic intervals": require 3 of the 4 lines
+    under_five_at_40 = sum(line.errors[40] < 5.0
+                           for line in evaluation.lines)
+    assert under_five_at_40 >= 3
+    assert evaluation.converged_by(80, threshold=7.5)
+    assert evaluation.converged_by(160, threshold=5.0)

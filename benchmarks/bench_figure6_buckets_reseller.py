@@ -1,0 +1,39 @@
+"""Figure 6: bucket number vs. group-by attribute scores (AW_RESELLER).
+
+Three lines — AnnualSales, AnnualRevenue, NumberOfEmployees — under the
+product Subcategory→Category roll-up, averaged over all roll-up cases.
+
+Shape check vs the paper: same convergence behaviour as Figure 5
+(<5% error by 40-80 basic intervals).
+"""
+
+from repro.evalkit import (
+    DEFAULT_BUCKET_COUNTS,
+    evaluate_buckets_reseller,
+    render_series,
+)
+
+
+def test_figure6_bucket_convergence(benchmark, aw_reseller_full):
+    evaluation = benchmark.pedantic(
+        evaluate_buckets_reseller, args=(aw_reseller_full,),
+        kwargs={"bucket_counts": DEFAULT_BUCKET_COUNTS},
+        rounds=1, iterations=1,
+    )
+
+    counts = list(DEFAULT_BUCKET_COUNTS)
+    series = {
+        line.label: [line.errors[b] for b in counts]
+        for line in evaluation.lines
+    }
+    print("\n=== Figure 6: bucket count vs. score error % "
+          "(AW_RESELLER) ===")
+    print(render_series(counts, series, x_label="buckets"))
+    for line in evaluation.lines:
+        print(f"  ({line.label}: averaged over {line.num_cases} "
+              "roll-up cases)")
+
+    assert len(evaluation.lines) == 3
+    for line in evaluation.lines:
+        assert line.errors[80] <= line.errors[5] + 1e-9
+    assert evaluation.converged_by(80, threshold=5.0)

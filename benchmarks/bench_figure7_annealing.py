@@ -1,0 +1,55 @@
+"""Figure 7: numerical partitioning quality vs. annealing iterations.
+
+Three sub-figures, exactly the paper's scenarios:
+
+  (a) query "France Clothing",    attribute YearlyIncome       (AW_ONLINE)
+  (b) query "France Accessories", attribute YearlyIncome       (AW_ONLINE)
+  (c) query "British Columbia",   attribute NumberOfEmployees  (AW_RESELLER)
+
+each at target interval counts K in {5, 6, 7}.
+
+Shape check vs the paper: the best-so-far error falls steeply over the
+iterations; by ~100 iterations the merged partition is almost as good as
+the basic-interval partition; smaller K tends to converge more slowly.
+"""
+
+import pytest
+
+from repro.evalkit import evaluate_annealing, render_series
+
+CHECKPOINTS = [1, 10, 25, 50, 100, 200, 500]
+
+
+def _run(benchmark, session, query, table, column):
+    scenario = benchmark.pedantic(
+        evaluate_annealing, args=(session, query, table, column),
+        kwargs={"iterations": 500}, rounds=1, iterations=1,
+    )
+    series = {
+        curve.label: [curve.error_at(i) for i in CHECKPOINTS]
+        for curve in scenario.curves
+    }
+    print(f"\n=== Figure 7: query={query!r}, attribute="
+          f"{scenario.attribute} ({scenario.basic_intervals} basic "
+          "intervals) ===")
+    print(render_series(CHECKPOINTS, series, x_label="iteration"))
+
+    for curve in scenario.curves:
+        assert curve.errors[-1] <= curve.errors[0] + 1e-9
+        assert curve.error_at(100) <= max(curve.errors[0], 10.0)
+    return scenario
+
+
+def test_figure7a_france_clothing(benchmark, online_session_full):
+    _run(benchmark, online_session_full, "France Clothing",
+         "DimCustomer", "YearlyIncome")
+
+
+def test_figure7b_france_accessories(benchmark, online_session_full):
+    _run(benchmark, online_session_full, "France Accessories",
+         "DimCustomer", "YearlyIncome")
+
+
+def test_figure7c_british_columbia(benchmark, reseller_session_full):
+    _run(benchmark, reseller_session_full, "British Columbia",
+         "DimReseller", "NumberOfEmployees")

@@ -1,0 +1,34 @@
+"""Table 1: sample star nets for "California Mountain Bikes".
+
+Regenerates the paper's Table 1 — the ranked candidate interpretations
+with their scores — and benchmarks the differentiate phase (candidate
+generation + ranking) at paper scale.
+
+Shape check vs the paper: the correct interpretation
+(StateProvince=California x Subcategory=Mountain Bikes) is Top-1, the
+street-address reading of "California" appears below it.
+"""
+
+from repro.evalkit import render_star_nets
+
+
+def test_table1_star_nets(benchmark, online_session_full):
+    session = online_session_full
+    query = "California Mountain Bikes"
+
+    ranked = benchmark(session.differentiate, query, limit=10)
+
+    print("\n=== Table 1: star nets for 'California Mountain Bikes' ===")
+    print(render_star_nets(ranked, limit=3))
+
+    top = ranked[0].star_net
+    domains = {r.hit_group.domain for r in top.rays}
+    assert domains == {
+        ("DimGeography", "StateProvinceName"),
+        ("DimProductSubcategory", "ProductSubcategoryName"),
+    }, "the paper's correct answer must rank first"
+    assert any(
+        any(r.hit_group.domain == ("DimCustomer", "AddressLine1")
+            for r in s.star_net.rays)
+        for s in ranked
+    ), "the street-address interpretation must be enumerated"

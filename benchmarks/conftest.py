@@ -1,0 +1,34 @@
+"""Paper-scale fixtures for the benchmark harness.
+
+These mirror the paper's setup: >60,000 fact rows per warehouse, >20
+searchable attribute domains.  Built once per pytest session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KdapSession
+from repro.datasets import build_aw_online, build_aw_reseller
+
+
+@pytest.fixture(scope="session")
+def aw_online_full():
+    """AW_ONLINE at paper scale (60,500 fact rows)."""
+    return build_aw_online()
+
+
+@pytest.fixture(scope="session")
+def aw_reseller_full():
+    """AW_RESELLER at paper scale (61,000 fact rows)."""
+    return build_aw_reseller()
+
+
+@pytest.fixture(scope="session")
+def online_session_full(aw_online_full):
+    return KdapSession(aw_online_full)
+
+
+@pytest.fixture(scope="session")
+def reseller_session_full(aw_reseller_full):
+    return KdapSession(aw_reseller_full)

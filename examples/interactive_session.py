@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Interactive KDAP shell — type keywords, pick an interpretation, explore.
+
+A terminal rendition of the paper's Figure 1 loop:
+
+    kdap> California Mountain Bikes
+      [1] DimGeography/StateProvinceName/{California} & ...
+      [2] ...
+    pick> 1
+      ... facets ...
+
+Commands:
+  <keywords>    run the differentiate phase
+  <number>      explore interpretation N of the last query
+  sql <number>  print the SQL of interpretation N
+  quit          exit
+
+Run:  python examples/interactive_session.py [online|reseller|ebiz]
+"""
+
+import sys
+
+from repro.core import KdapSession
+from repro.datasets import build_aw_online, build_aw_reseller, build_ebiz
+from repro.evalkit import render_facets, render_star_nets
+
+BUILDERS = {
+    "online": lambda: build_aw_online(num_customers=400, num_facts=20000),
+    "reseller": lambda: build_aw_reseller(num_facts=20000),
+    "ebiz": lambda: build_ebiz(num_trans=5000),
+}
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "online"
+    if which not in BUILDERS:
+        print(f"unknown warehouse {which!r}; pick one of "
+              f"{sorted(BUILDERS)}")
+        return
+    print(f"Building the {which} warehouse ...")
+    session = KdapSession(BUILDERS[which]())
+    print("Ready. Type keywords (e.g. 'California Mountain Bikes'), "
+          "a number to explore, or 'quit'.")
+
+    last_ranked = []
+    while True:
+        try:
+            line = input("kdap> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit"):
+            break
+
+        if line.lower().startswith("sql "):
+            choice = line[4:].strip()
+            if choice.isdigit() and 0 < int(choice) <= len(last_ranked):
+                net = last_ranked[int(choice) - 1].star_net
+                print(net.to_sql(session.schema, "revenue"))
+            else:
+                print("sql <number> — run a query first")
+            continue
+
+        if line.isdigit():
+            choice = int(line)
+            if not (0 < choice <= len(last_ranked)):
+                print("no such interpretation — run a query first")
+                continue
+            result = session.explore(last_ranked[choice - 1].star_net)
+            print(f"{len(result.subspace)} facts, revenue = "
+                  f"{result.total_aggregate:,.2f}")
+            print(render_facets(result.interface))
+            continue
+
+        last_ranked = session.differentiate(line, limit=8)
+        if not last_ranked:
+            print("no interpretation found")
+            continue
+        print(render_star_nets(last_ranked, limit=8))
+        print("pick an interpretation by number to explore it")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: keyword search over a data warehouse in ~20 lines.
+
+Builds the synthetic AW_ONLINE warehouse, runs the paper's flagship query
+"California Mountain Bikes" through both KDAP phases, and prints the
+ranked interpretations plus the dynamic facets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import KdapSession
+from repro.datasets import build_aw_online
+from repro.evalkit import render_facets, render_star_nets
+
+
+def main() -> None:
+    print("Building the AW_ONLINE warehouse (~60k fact rows) ...")
+    schema = build_aw_online(num_customers=400, num_facts=20000)
+    session = KdapSession(schema)
+
+    query = "California Mountain Bikes"
+    print(f"\n=== Phase 1: differentiate {query!r} ===")
+    ranked = session.differentiate(query, limit=5)
+    print(render_star_nets(ranked))
+
+    print("\n=== Phase 2: explore the top interpretation ===")
+    result = session.explore(ranked[0].star_net)
+    print(f"subspace: {len(result.subspace)} fact rows, "
+          f"total revenue = {result.total_aggregate:,.2f}\n")
+    print(render_facets(result.interface,
+                        dimensions=["Product", "Customer"]))
+
+    print("\n=== The SQL this star net denotes ===")
+    print(ranked[0].star_net.to_sql(schema, "revenue"))
+
+
+if __name__ == "__main__":
+    main()

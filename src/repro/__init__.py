@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Towards Keyword-Driven Analytical Processing"
+(Wu, Sismanis, Reinwald; SIGMOD 2007).
+
+Layered architecture:
+
+* :mod:`repro.relational` — in-memory columnar relational engine;
+* :mod:`repro.textindex`  — Lucene-equivalent full-text engine;
+* :mod:`repro.warehouse`  — star schemas, join paths, subspaces, roll-ups;
+* :mod:`repro.core`       — KDAP itself: star-net generation & ranking,
+  dynamic facet construction, interestingness measures;
+* :mod:`repro.datasets`   — synthetic AdventureWorks-like warehouses and
+  the paper's EBiz running example;
+* :mod:`repro.evalkit`    — the experiment harness reproducing every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.datasets import build_aw_online
+    from repro.core import KdapSession
+
+    schema = build_aw_online()
+    session = KdapSession(schema)
+    for candidate in session.differentiate("California Mountain Bikes"):
+        print(candidate)
+    result = session.search("California Mountain Bikes")
+    print(result.total_aggregate)
+"""
+
+from .core.session import ExploreResult, KdapSession
+
+__version__ = "1.0.0"
+
+__all__ = ["ExploreResult", "KdapSession", "__version__"]

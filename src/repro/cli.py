@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro query "California Mountain Bikes"
+    python -m repro explore "California Mountain Bikes" --pick 1
+    python -m repro sql "Road Bikes revenue>3000"
+    python -m repro experiment figure4
+
+The warehouse is rebuilt per invocation (deterministic given --seed);
+use --facts to trade startup time for fidelity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import ExploreConfig, KdapSession, RankingMethod
+from .datasets import (
+    AW_ONLINE_QUERIES,
+    AW_RESELLER_QUERIES,
+    build_aw_online,
+    build_aw_reseller,
+    build_ebiz,
+)
+from .evalkit import (
+    ALL_METHODS,
+    DEFAULT_BUCKET_COUNTS,
+    evaluate_annealing,
+    evaluate_buckets_online,
+    evaluate_buckets_reseller,
+    evaluate_ranking,
+    render_facets,
+    render_series,
+    render_star_nets,
+)
+
+_WAREHOUSES = {
+    "online": lambda facts, seed: build_aw_online(num_facts=facts,
+                                                  seed=seed),
+    "reseller": lambda facts, seed: build_aw_reseller(num_facts=facts,
+                                                      seed=seed),
+    "ebiz": lambda facts, seed: build_ebiz(num_trans=max(facts // 2, 100),
+                                           seed=seed),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Keyword-Driven Analytical Processing (SIGMOD 2007 "
+                    "reproduction)",
+    )
+    parser.add_argument("--warehouse", choices=sorted(_WAREHOUSES),
+                        default="online",
+                        help="which synthetic warehouse to build")
+    parser.add_argument("--facts", type=int, default=20000,
+                        help="approximate fact-table size")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="generation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query",
+                           help="differentiate: rank interpretations")
+    query.add_argument("keywords")
+    query.add_argument("--limit", type=int, default=5)
+    query.add_argument("--method", choices=[m.value for m in RankingMethod],
+                       default=RankingMethod.STANDARD.value)
+
+    explore = sub.add_parser("explore",
+                             help="explore one interpretation's facets")
+    explore.add_argument("keywords")
+    explore.add_argument("--pick", type=int, default=1,
+                         help="1-based interpretation rank to explore")
+    explore.add_argument("--measure", choices=["surprise", "bellwether"],
+                         default="surprise")
+
+    sql = sub.add_parser("sql",
+                         help="print the SQL of one interpretation")
+    sql.add_argument("keywords")
+    sql.add_argument("--pick", type=int, default=1)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate one paper artifact")
+    experiment.add_argument(
+        "which",
+        choices=["figure4", "figure5", "figure6", "figure7"],
+    )
+    return parser
+
+
+def _session(args) -> KdapSession:
+    schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
+    return KdapSession(schema)
+
+
+def _cmd_query(args) -> int:
+    session = _session(args)
+    ranked = session.differentiate(args.keywords,
+                                   method=RankingMethod(args.method),
+                                   limit=args.limit)
+    if not ranked:
+        print("no interpretation found")
+        return 1
+    print(render_star_nets(ranked, limit=args.limit))
+    return 0
+
+
+def _pick(session, args):
+    ranked = session.differentiate(args.keywords, limit=max(args.pick, 5))
+    if len(ranked) < args.pick:
+        print(f"only {len(ranked)} interpretations found")
+        return None
+    return ranked[args.pick - 1].star_net
+
+
+def _cmd_explore(args) -> int:
+    from .core import BELLWETHER, SURPRISE
+
+    session = _session(args)
+    net = _pick(session, args)
+    if net is None:
+        return 1
+    measure = SURPRISE if args.measure == "surprise" else BELLWETHER
+    result = session.explore(net, interestingness=measure)
+    print(f"interpretation: {net}")
+    print(f"{len(result.subspace)} fact rows, total = "
+          f"{result.total_aggregate:,.2f}\n")
+    print(render_facets(result.interface))
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    session = _session(args)
+    net = _pick(session, args)
+    if net is None:
+        return 1
+    print(net.to_sql(session.schema, "revenue"))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.which == "figure4":
+        queries = (AW_ONLINE_QUERIES if args.warehouse == "online"
+                   else AW_RESELLER_QUERIES)
+        session = _session(args)
+        evaluation = evaluate_ranking(session, queries)
+        ranks = list(range(1, 11))
+        series = {m.value: evaluation.curve(m, 10) for m in ALL_METHODS}
+        print(render_series(ranks, series, x_label="top-x"))
+        return 0
+    if args.which in ("figure5", "figure6"):
+        if args.which == "figure5":
+            schema = build_aw_online(num_facts=args.facts, seed=args.seed)
+            evaluation = evaluate_buckets_online(schema)
+        else:
+            schema = build_aw_reseller(num_facts=args.facts,
+                                       seed=args.seed)
+            evaluation = evaluate_buckets_reseller(schema)
+        counts = list(DEFAULT_BUCKET_COUNTS)
+        series = {line.label: [line.errors[b] for b in counts]
+                  for line in evaluation.lines}
+        print(render_series(counts, series, x_label="buckets"))
+        return 0
+    # figure7
+    session = KdapSession(build_aw_online(num_facts=args.facts,
+                                          seed=args.seed))
+    scenario = evaluate_annealing(session, "France Clothing",
+                                  "DimCustomer", "YearlyIncome")
+    checkpoints = [1, 10, 50, 100, 200, 500]
+    series = {c.label: [c.error_at(i) for i in checkpoints]
+              for c in scenario.curves}
+    print(f"query='France Clothing', {scenario.basic_intervals} basic "
+          "intervals")
+    print(render_series(checkpoints, series, x_label="iteration"))
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "explore": _cmd_explore,
+    "sql": _cmd_sql,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""KDAP core: the paper's contribution.
+
+Public surface::
+
+    from repro.core import (
+        HitGroup, retrieve_hit_groups,
+        StarSeed, Ray, StarNet,
+        GenerationConfig, generate_candidates, generate_star_seeds,
+        RankingMethod, ScoredStarNet, score_star_net, rank_candidates,
+        SurpriseMeasure, BellwetherMeasure, SURPRISE, BELLWETHER,
+        pearson_correlation,
+        Bucketization, Interval, equal_width, distinct_value_buckets,
+        rank_groupby_attributes, attribute_score,
+        rank_instances, instance_score,
+        AnnealingConfig, AnnealingResult, anneal_splits,
+        ExploreConfig, FacetedInterface, build_facets,
+        rollup_subspace, rollup_subspaces,
+        KdapSession, ExploreResult,
+    )
+"""
+
+from .annealing import (
+    AnnealingConfig,
+    AnnealingResult,
+    anneal_splits,
+    equal_width_splits,
+    is_valid_splitting,
+    merge_series,
+    merged_correlation,
+    segment_lengths,
+)
+from .attribute_ranking import (
+    DEFAULT_NUM_BUCKETS,
+    RankedAttribute,
+    SeriesPair,
+    attribute_score,
+    categorical_series,
+    ground_truth_series,
+    numerical_series,
+    rank_groupby_attributes,
+)
+from .bucketing import (
+    Bucketization,
+    Interval,
+    bucket_series,
+    distinct_value_buckets,
+    equal_width,
+)
+from .facets import (
+    DynamicFacet,
+    expand_interval,
+    ExploreConfig,
+    FacetAttribute,
+    FacetEntry,
+    FacetedInterface,
+    build_facets,
+    rollup_subspace,
+    rollup_subspaces,
+)
+from .generation import (
+    DEFAULT_CONFIG,
+    GenerationConfig,
+    generate_candidates,
+    generate_star_seeds,
+    split_keywords,
+    valid_ray_paths,
+)
+from .hits import HitGroup, group_hits, retrieve_hit_groups, retrieve_hit_set
+from .instance_ranking import RankedInstance, instance_score, rank_instances
+from .interestingness import (
+    BELLWETHER,
+    MAX_SHARE_DEVIATION,
+    MaxShareDeviationMeasure,
+    BellwetherMeasure,
+    InterestingnessMeasure,
+    SURPRISE,
+    SurpriseMeasure,
+    pearson_correlation,
+)
+from .measure_hits import (
+    MeasurePredicate,
+    measure_fact_rows,
+    parse_measure_keyword,
+)
+from .optimal_merge import beam_splits, exhaustive_splits
+from .phrases import merge_seed_groups, try_merge
+from .ranking import (
+    RankingMethod,
+    ScoredStarNet,
+    rank_candidates,
+    score_star_net,
+)
+from .session import ExploreResult, KdapSession
+from .starnet import Ray, StarNet, StarSeed
+
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingResult",
+    "BELLWETHER",
+    "BellwetherMeasure",
+    "Bucketization",
+    "DEFAULT_CONFIG",
+    "DEFAULT_NUM_BUCKETS",
+    "DynamicFacet",
+    "ExploreConfig",
+    "ExploreResult",
+    "FacetAttribute",
+    "FacetEntry",
+    "FacetedInterface",
+    "GenerationConfig",
+    "HitGroup",
+    "InterestingnessMeasure",
+    "Interval",
+    "KdapSession",
+    "MAX_SHARE_DEVIATION",
+    "MaxShareDeviationMeasure",
+    "MeasurePredicate",
+    "RankedAttribute",
+    "RankedInstance",
+    "RankingMethod",
+    "Ray",
+    "SURPRISE",
+    "ScoredStarNet",
+    "SeriesPair",
+    "StarNet",
+    "StarSeed",
+    "SurpriseMeasure",
+    "anneal_splits",
+    "attribute_score",
+    "beam_splits",
+    "bucket_series",
+    "build_facets",
+    "categorical_series",
+    "distinct_value_buckets",
+    "equal_width",
+    "equal_width_splits",
+    "exhaustive_splits",
+    "expand_interval",
+    "generate_candidates",
+    "generate_star_seeds",
+    "ground_truth_series",
+    "group_hits",
+    "instance_score",
+    "is_valid_splitting",
+    "merge_seed_groups",
+    "measure_fact_rows",
+    "merge_series",
+    "merged_correlation",
+    "parse_measure_keyword",
+    "numerical_series",
+    "pearson_correlation",
+    "rank_candidates",
+    "rank_groupby_attributes",
+    "rank_instances",
+    "retrieve_hit_groups",
+    "retrieve_hit_set",
+    "rollup_subspace",
+    "rollup_subspaces",
+    "score_star_net",
+    "segment_lengths",
+    "split_keywords",
+    "try_merge",
+    "valid_ray_paths",
+]

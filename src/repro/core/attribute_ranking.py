@@ -1,0 +1,218 @@
+"""Group-by attribute ranking via roll-up partitioning (paper §5.2).
+
+For each candidate group-by attribute we build two aggregate series over
+the same categories — X from the sub-dataspace DS', Y from a roll-up space
+RUP(DS') — and hand them to an interestingness measure.  With several
+roll-up dimensions, the paper keeps the worst (most interesting) score:
+"We pick the worst score from all scores, so that the most dissimilar case
+can be captured."
+
+Categorical attributes partition by distinct value; numerical attributes
+are first bucketized into basic intervals (:mod:`repro.core.bucketing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..warehouse.schema import AttributeKind, GroupByAttribute, StarSchema
+from ..warehouse.subspace import Subspace
+from .bucketing import (
+    Bucketization,
+    Interval,
+    bucket_series,
+    distinct_value_buckets,
+    equal_width,
+)
+from .interestingness import InterestingnessMeasure
+
+DEFAULT_NUM_BUCKETS = 40
+"""The paper's default basic-interval count (§6.4 sets the system default
+to 40 after the convergence study)."""
+
+
+@dataclass(frozen=True)
+class SeriesPair:
+    """Aligned aggregate series (X over DS', Y over RUP(DS')) plus the
+    category labels they cover."""
+
+    categories: tuple
+    subspace_series: tuple[float, ...]
+    rollup_series: tuple[float, ...]
+
+
+def categorical_series(
+    subspace: Subspace,
+    rollup: Subspace,
+    gb: GroupByAttribute,
+    measure_name: str,
+) -> SeriesPair:
+    """Series over DOM(DS', attr): one point per distinct categorical value.
+
+    RUP(DS') is restricted to the categories that exist in DS' (the paper's
+    PAR(RUP(DS'), attr) convention).
+    """
+    domain = subspace.domain(gb)
+    x = subspace.partition_aggregates(gb, measure_name, domain=domain)
+    y = rollup.partition_aggregates(gb, measure_name, domain=domain)
+    return SeriesPair(
+        categories=tuple(domain),
+        subspace_series=tuple(float(x[c] or 0.0) for c in domain),
+        rollup_series=tuple(float(y[c] or 0.0) for c in domain),
+    )
+
+
+def numerical_series(
+    subspace: Subspace,
+    rollup: Subspace,
+    gb: GroupByAttribute,
+    measure_name: str,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    buckets: Bucketization | None = None,
+) -> tuple[SeriesPair, Bucketization]:
+    """Series over basic intervals of the attribute domain.
+
+    Bucket boundaries default to equal width over the *subspace's* value
+    domain: the paper restricts PAR(RUP(DS'), attr) to the segments that
+    also exist in PAR(DS', attr), so roll-up values outside DS''s range
+    carry no information and would only dilute the bucket resolution.
+    Buckets empty in DS' are additionally dropped from both series.
+
+    Returns the (possibly masked) series pair and the bucketization used.
+    """
+    schema = subspace.schema
+    measure_vector = schema.measure_vector(measure_name)
+    sub_values = subspace.groupby_values(gb)
+    roll_values = rollup.groupby_values(gb)
+    if buckets is None:
+        domain_values = [v for v in sub_values if v is not None]
+        if not domain_values:
+            raise ValueError(
+                f"attribute {gb.ref} has no non-null values in the subspace"
+            )
+        buckets = equal_width(min(domain_values), max(domain_values), num_buckets)
+    sub_weights = [measure_vector[r] for r in subspace.fact_rows]
+    roll_weights = [measure_vector[r] for r in rollup.fact_rows]
+    x = bucket_series(sub_values, sub_weights, buckets)
+    y = bucket_series(roll_values, roll_weights, buckets)
+    # Restrict to segments that exist in DS' by *merging* each DS'-empty
+    # bucket into its left non-empty neighbour (leading empties merge
+    # right).  Dropping them instead would discard roll-up mass that the
+    # distinct-value ground truth keeps, so the correlation would not
+    # converge with the bucket count.
+    sub_counts = bucket_series(sub_values, [1.0] * len(sub_values), buckets)
+    anchors = [i for i, count in enumerate(sub_counts) if count > 0]
+    if not anchors:
+        raise ValueError(
+            f"attribute {gb.ref} has no in-domain values in the subspace"
+        )
+    merged_x = [0.0] * len(anchors)
+    merged_y = [0.0] * len(anchors)
+    spans: list[list[int]] = [[] for _ in anchors]
+    anchor_idx = 0
+    for i in range(len(buckets)):
+        if anchor_idx + 1 < len(anchors) and i >= anchors[anchor_idx + 1]:
+            anchor_idx += 1
+        merged_x[anchor_idx] += x[i]
+        merged_y[anchor_idx] += y[i]
+        spans[anchor_idx].append(i)
+    categories = []
+    for span in spans:
+        first = buckets.intervals[span[0]]
+        last = buckets.intervals[span[-1]]
+        categories.append(Interval(first.low, last.high, last.closed_right))
+    pair = SeriesPair(
+        categories=tuple(categories),
+        subspace_series=tuple(merged_x),
+        rollup_series=tuple(merged_y),
+    )
+    return pair, buckets
+
+
+def ground_truth_series(
+    subspace: Subspace,
+    rollup: Subspace,
+    gb: GroupByAttribute,
+    measure_name: str,
+) -> SeriesPair:
+    """Series with one bucket per distinct value — the §6.4 ground truth:
+    "each distinct value from the subspace has its own bucket"."""
+    sub_values = [v for v in subspace.groupby_values(gb) if v is not None]
+    buckets = distinct_value_buckets(sub_values)
+    pair, _ = numerical_series(
+        subspace, rollup, gb, measure_name, buckets=buckets
+    )
+    return pair
+
+
+def attribute_score(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    gb: GroupByAttribute,
+    measure_name: str,
+    measure: InterestingnessMeasure,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> float:
+    """SCORE(attr, DS') combined over all roll-up spaces (worst-case pick).
+
+    Eq. (1) instantiated through the interestingness measure; with several
+    hitted dimensions the maximum (most interesting) score wins.
+    """
+    if not rollups:
+        raise ValueError("at least one roll-up space is required")
+    scores = []
+    for rollup in rollups:
+        if gb.kind is AttributeKind.NUMERICAL:
+            try:
+                pair, _ = numerical_series(
+                    subspace, rollup, gb, measure_name, num_buckets
+                )
+            except ValueError:
+                continue
+        else:
+            pair = categorical_series(subspace, rollup, gb, measure_name)
+        if not pair.categories:
+            continue  # nothing to partition: degenerate for this roll-up
+        scores.append(
+            measure.score_series(pair.subspace_series, pair.rollup_series)
+        )
+    if not scores:
+        return float("-inf")
+    return max(scores)
+
+
+@dataclass(frozen=True)
+class RankedAttribute:
+    """A group-by candidate with its interestingness score."""
+
+    attribute: GroupByAttribute
+    score: float
+
+
+def rank_groupby_attributes(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    candidates: Sequence[GroupByAttribute],
+    measure_name: str,
+    measure: InterestingnessMeasure,
+    top_k: int | None = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> list[RankedAttribute]:
+    """Rank candidate group-by attributes of one dimension, best first.
+
+    Candidates whose partitions are degenerate (empty domains) sink to the
+    bottom with -inf scores and are dropped when ``top_k`` is set.
+    """
+    ranked = [
+        RankedAttribute(
+            gb,
+            attribute_score(subspace, rollups, gb, measure_name,
+                            measure, num_buckets),
+        )
+        for gb in candidates
+    ]
+    ranked.sort(key=lambda r: (-r.score, str(r.attribute.ref)))
+    if top_k is not None:
+        ranked = [r for r in ranked if r.score != float("-inf")][:top_k]
+    return ranked

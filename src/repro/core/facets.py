@@ -1,0 +1,367 @@
+"""Dynamic facet construction (paper §5).
+
+Given the user-selected star net and its sub-dataspace DS', this module
+assembles the multi-faceted interface:
+
+* one :class:`DynamicFacet` per dimension, in a static dimension order
+  (the paper assumes a fixed order and ranks only attributes/instances);
+* inside each facet, the top-k most interesting group-by attributes,
+  scored by roll-up partitioning — except attributes of *hitted*
+  dimensions that appear in a hit group, which are promoted directly for
+  navigational access;
+* inside each attribute, ranked attribute instances (Eq. 2) for
+  categorical domains, or annealed display intervals for numerical ones.
+
+Roll-up spaces are derived from the star net itself: rolling DS' up along
+a hitted dimension generalises that dimension's hit groups one hierarchy
+level (or drops them when no parent level exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..warehouse.graph import JoinPath
+from ..warehouse.rollup import generalize_values
+from ..warehouse.schema import (
+    AttributeKind,
+    AttributeRef,
+    GroupByAttribute,
+    StarSchema,
+)
+from ..warehouse.subspace import Subspace
+from .annealing import AnnealingConfig, anneal_splits, merge_series
+from .attribute_ranking import (
+    DEFAULT_NUM_BUCKETS,
+    RankedAttribute,
+    numerical_series,
+    rank_groupby_attributes,
+)
+from .bucketing import Interval
+from .hits import HitGroup
+from .instance_ranking import RankedInstance, rank_instances
+from .interestingness import InterestingnessMeasure, SURPRISE
+from .starnet import Ray, StarNet
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Knobs for the explore phase."""
+
+    measure_name: str = "revenue"
+    top_k_attributes: int = 3
+    top_k_instances: int = 6
+    num_buckets: int = DEFAULT_NUM_BUCKETS
+    display_intervals: int = 5
+    skew_limit: float = 4.0
+    annealing_iterations: int = 300
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class FacetEntry:
+    """One attribute instance (or display interval) inside a facet."""
+
+    label: str
+    value: object
+    aggregate: float
+    score: float
+
+
+@dataclass(frozen=True)
+class FacetAttribute:
+    """One selected group-by attribute with its ranked entries."""
+
+    attribute: GroupByAttribute
+    score: float
+    promoted: bool
+    entries: tuple[FacetEntry, ...]
+
+
+@dataclass(frozen=True)
+class DynamicFacet:
+    """All selected attributes of one dimension."""
+
+    dimension: str
+    attributes: tuple[FacetAttribute, ...]
+
+
+@dataclass(frozen=True)
+class FacetedInterface:
+    """The full explore-phase output."""
+
+    subspace: Subspace
+    total_aggregate: float
+    facets: tuple[DynamicFacet, ...]
+
+    def facet(self, dimension: str) -> DynamicFacet:
+        """The facet of one dimension."""
+        for facet in self.facets:
+            if facet.dimension == dimension:
+                return facet
+        raise KeyError(f"no facet for dimension {dimension!r}")
+
+
+# ----------------------------------------------------------------------
+# roll-up space construction
+# ----------------------------------------------------------------------
+def rollup_ray(schema: StarSchema, ray: Ray) -> Ray | None:
+    """Generalise one ray a hierarchy level up; None = roll up to ALL."""
+    ref = AttributeRef(ray.hit_group.table, ray.hit_group.attribute)
+    generalised = generalize_values(schema, ref, ray.hit_group.values)
+    if generalised is None:
+        return None
+    parent_ref, parent_values = generalised
+    from ..textindex.index import SearchHit
+
+    hits = tuple(
+        SearchHit(parent_ref.table, parent_ref.column, value, 0.0)
+        for value in sorted(parent_values)
+    )
+    group = HitGroup(parent_ref.table, parent_ref.column, hits,
+                     ray.hit_group.keywords)
+    if parent_ref.table == ray.hit_group.table:
+        path = ray.path_to_fact
+    else:
+        link = schema._hierarchy_link_path(ray.hit_group.table,
+                                           parent_ref.table)
+        path = JoinPath(link.reversed().steps + ray.path_to_fact.steps)
+    return Ray(group, path, ray.dimension)
+
+
+def rollup_subspace(schema: StarSchema, star_net: StarNet,
+                    dimension: str) -> Subspace:
+    """RUP(DS') along one hitted dimension.
+
+    Every ray of ``dimension`` is generalised one hierarchy level (or
+    dropped at the top — roll-up to ALL); rays of other dimensions keep
+    their selections.
+    """
+    new_rays: list[Ray] = []
+    for ray in star_net.rays:
+        if ray.dimension == dimension:
+            rolled = rollup_ray(schema, ray)
+            if rolled is not None:
+                new_rays.append(rolled)
+        else:
+            new_rays.append(ray)
+    rolled_net = StarNet(star_net.fact_table, tuple(new_rays))
+    subspace = rolled_net.evaluate(schema)
+    return Subspace(subspace.schema, subspace.fact_rows,
+                    label=f"RUP[{dimension}]({star_net})")
+
+
+def rollup_subspaces(schema: StarSchema, star_net: StarNet) -> list[Subspace]:
+    """One roll-up space per hitted dimension; the full dataspace when the
+    star net has no hitted dimensions (e.g. only fact-attribute hits)."""
+    dims = star_net.hitted_dimensions
+    if not dims:
+        return [Subspace.full(schema)]
+    return [rollup_subspace(schema, star_net, d) for d in dims]
+
+
+# ----------------------------------------------------------------------
+# facet assembly
+# ----------------------------------------------------------------------
+def _promoted_attributes(schema: StarSchema, star_net: StarNet,
+                         dimension: str) -> list[GroupByAttribute]:
+    """Hit-group attributes of a hitted dimension, promoted directly
+    (§5.2.1: "the attributes from the hit groups are directly selected")."""
+    promoted: list[GroupByAttribute] = []
+    seen: set[tuple[str, str]] = set()
+    for ray in star_net.rays:
+        if ray.dimension != dimension:
+            continue
+        key = (ray.hit_group.table, ray.hit_group.attribute)
+        if key in seen:
+            continue
+        seen.add(key)
+        ref = AttributeRef(*key)
+        declared = [
+            gb
+            for dim in schema.dimensions
+            for gb in dim.groupbys
+            if gb.ref == ref
+        ]
+        if declared:
+            promoted.append(declared[0])
+        else:
+            promoted.append(
+                GroupByAttribute(
+                    ref, AttributeKind.CATEGORICAL,
+                    ray.path_to_fact.reversed(),
+                )
+            )
+    return promoted
+
+
+def _categorical_entries(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    gb: GroupByAttribute,
+    config: ExploreConfig,
+) -> tuple[FacetEntry, ...]:
+    ranked = rank_instances(subspace, rollups, gb, config.measure_name,
+                            top_k=config.top_k_instances)
+    return tuple(
+        FacetEntry(str(r.value), r.value, r.aggregate, r.score)
+        for r in ranked
+    )
+
+
+def _numerical_entries(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    gb: GroupByAttribute,
+    config: ExploreConfig,
+) -> tuple[FacetEntry, ...]:
+    """Bucketize, anneal to display intervals, and render interval entries.
+
+    The annealing objective compares correlations against the first
+    roll-up space (when several exist, the first hitted dimension's).
+    """
+    rollup = rollups[0]
+    try:
+        pair, buckets = numerical_series(
+            subspace, rollup, gb, config.measure_name, config.num_buckets
+        )
+    except ValueError:
+        return ()
+    x = list(pair.subspace_series)
+    y = list(pair.rollup_series)
+    k = min(config.display_intervals, len(x))
+    if k < 1:
+        return ()
+    if k == len(x):
+        splits: tuple[int, ...] = tuple(range(1, len(x)))
+    else:
+        result = anneal_splits(
+            x, y,
+            AnnealingConfig(
+                num_intervals=k,
+                skew_limit=config.skew_limit,
+                iterations=config.annealing_iterations,
+                seed=config.seed,
+            ),
+        )
+        splits = result.splits
+    merged_x = merge_series(x, splits)
+    merged_y = merge_series(y, splits)
+    total_x = sum(merged_x) or 1.0
+    total_y = sum(merged_y) or 1.0
+    boundaries = [0, *splits, len(x)]
+    entries = []
+    for i in range(len(boundaries) - 1):
+        first = pair.categories[boundaries[i]]
+        last = pair.categories[boundaries[i + 1] - 1]
+        interval = Interval(first.low, last.high, last.closed_right)
+        score = merged_x[i] / total_x - merged_y[i] / total_y
+        entries.append(
+            FacetEntry(
+                label=f"{interval.low:g} - {interval.high:g}",
+                value=interval,
+                aggregate=merged_x[i],
+                score=score,
+            )
+        )
+    return tuple(entries)
+
+
+def expand_interval(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    gb: GroupByAttribute,
+    interval,
+    config: ExploreConfig = ExploreConfig(),
+) -> tuple[FacetEntry, ...]:
+    """Expand one displayed numeric interval into sub-intervals.
+
+    §5.3.2: limiting the display to ~K merged intervals "is acceptable for
+    multi-faceted search sessions, as a user can always choose to expand
+    further into subsequent subintervals."  This re-runs bucketization and
+    annealing *inside* the chosen interval: the sub-dataspace is restricted
+    to rows whose attribute value falls in ``interval``, and fresh display
+    intervals are fitted over that narrower domain.
+    """
+    schema = subspace.schema
+    vector = schema.groupby_vector(gb)
+    rows = [r for r in subspace.fact_rows
+            if vector[r] is not None and interval.contains(vector[r])]
+    inner = Subspace.of(schema, rows,
+                        label=f"{subspace.label} / {gb.ref} in {interval}")
+    if inner.is_empty:
+        return ()
+    inner_rollups = [
+        Subspace.of(
+            schema,
+            [r for r in rollup.fact_rows
+             if vector[r] is not None and interval.contains(vector[r])],
+            label=f"{rollup.label} / {gb.ref} in {interval}",
+        )
+        for rollup in rollups
+    ]
+    inner_rollups = [r for r in inner_rollups if not r.is_empty]
+    if not inner_rollups:
+        inner_rollups = [inner]
+    return _numerical_entries(inner, inner_rollups, gb, config)
+
+
+def build_facets(
+    schema: StarSchema,
+    star_net: StarNet,
+    subspace: Subspace | None = None,
+    interestingness: InterestingnessMeasure = SURPRISE,
+    config: ExploreConfig = ExploreConfig(),
+    rollups: Sequence[Subspace] | None = None,
+) -> FacetedInterface:
+    """Construct the full dynamic multi-faceted interface for a star net.
+
+    ``rollups`` overrides the background spaces; by default one roll-up
+    per hitted dimension is derived from the star net (§5.2.1).  Drill-
+    down navigation passes the previous subspace here so interestingness
+    is measured against the space the user just left.
+    """
+    if subspace is None:
+        subspace = star_net.evaluate(schema)
+    if rollups is None:
+        rollups = rollup_subspaces(schema, star_net)
+    rollups = list(rollups)
+    facets: list[DynamicFacet] = []
+    for dim in sorted(schema.dimensions, key=lambda d: d.name):
+        promoted = _promoted_attributes(schema, star_net, dim.name)
+        promoted_refs = {gb.ref for gb in promoted}
+        others = [gb for gb in dim.groupbys if gb.ref not in promoted_refs]
+        remaining_slots = max(config.top_k_attributes - len(promoted), 0)
+        ranked_others = rank_groupby_attributes(
+            subspace, rollups, others, config.measure_name,
+            interestingness, top_k=remaining_slots,
+            num_buckets=config.num_buckets,
+        ) if remaining_slots and others else []
+
+        selected: list[tuple[GroupByAttribute, float, bool]] = [
+            (gb, float("inf"), True) for gb in promoted
+        ]
+        selected.extend((r.attribute, r.score, False) for r in ranked_others)
+        if not selected:
+            continue
+
+        attributes = []
+        for gb, score, is_promoted in selected:
+            if gb.kind is AttributeKind.NUMERICAL:
+                entries = _numerical_entries(subspace, rollups, gb, config)
+            else:
+                entries = _categorical_entries(subspace, rollups, gb, config)
+            if not entries:
+                continue
+            attributes.append(
+                FacetAttribute(gb, score, is_promoted, entries)
+            )
+        if attributes:
+            facets.append(DynamicFacet(dim.name, tuple(attributes)))
+
+    return FacetedInterface(
+        subspace=subspace,
+        total_aggregate=subspace.aggregate(config.measure_name),
+        facets=tuple(facets),
+    )

@@ -1,0 +1,90 @@
+"""Attribute-instance ranking inside a chosen facet (paper §5.3.1, Eq. 2).
+
+For a categorical attribute value ``cat_p`` the intra-attribute score is
+
+    SCORE(cat_p, DS') =   G(DS'|cat_p)       / G(DS')
+                        - G(RUP(DS')|cat_p)  / G(RUP(DS'))
+
+— the deviation of the category's *share* of the subspace aggregate from
+its share of the roll-up aggregate.  With several hitted dimensions the
+scores of the roll-up partitionings must be combined; we keep the score of
+largest magnitude (the most deviating case), consistent with the
+worst-case combination used for attribute ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..warehouse.schema import GroupByAttribute
+from ..warehouse.subspace import Subspace
+
+
+@dataclass(frozen=True)
+class RankedInstance:
+    """One attribute value with its aggregate and deviation score."""
+
+    value: object
+    aggregate: float
+    score: float
+
+
+def instance_score(
+    subspace: Subspace,
+    rollup: Subspace,
+    gb: GroupByAttribute,
+    value,
+    measure_name: str,
+) -> float:
+    """Eq. (2) for a single category against a single roll-up space."""
+    total_sub = subspace.aggregate(measure_name)
+    total_roll = rollup.aggregate(measure_name)
+    sub_part = subspace.partition_aggregates(gb, measure_name, domain=[value])
+    roll_part = rollup.partition_aggregates(gb, measure_name, domain=[value])
+    share_sub = (sub_part[value] or 0.0) / total_sub if total_sub else 0.0
+    share_roll = (roll_part[value] or 0.0) / total_roll if total_roll else 0.0
+    return share_sub - share_roll
+
+
+def rank_instances(
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    gb: GroupByAttribute,
+    measure_name: str,
+    top_k: int | None = None,
+) -> list[RankedInstance]:
+    """Rank the categories of one attribute, most deviating first.
+
+    The per-category score combines multiple roll-ups by maximum absolute
+    deviation.  Ordering is by |score| descending (both surprisingly high
+    and surprisingly low shares are interesting), ties broken by aggregate
+    then value for determinism.
+    """
+    total_sub = subspace.aggregate(measure_name)
+    domain = subspace.domain(gb)
+    sub_part = subspace.partition_aggregates(gb, measure_name, domain=domain)
+
+    shares_roll: list[dict] = []
+    for rollup in rollups:
+        total_roll = rollup.aggregate(measure_name)
+        roll_part = rollup.partition_aggregates(gb, measure_name, domain=domain)
+        shares_roll.append(
+            {
+                value: ((roll_part[value] or 0.0) / total_roll
+                        if total_roll else 0.0)
+                for value in domain
+            }
+        )
+
+    ranked: list[RankedInstance] = []
+    for value in domain:
+        aggregate = float(sub_part[value] or 0.0)
+        share_sub = aggregate / total_sub if total_sub else 0.0
+        scores = [share_sub - shares[value] for shares in shares_roll]
+        best = max(scores, key=abs) if scores else 0.0
+        ranked.append(RankedInstance(value, aggregate, best))
+    ranked.sort(key=lambda r: (-abs(r.score), -r.aggregate, str(r.value)))
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return ranked

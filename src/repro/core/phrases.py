@@ -1,0 +1,79 @@
+"""Phrase-query handling (paper §4.3).
+
+Within a candidate star seed, two hit groups drawn from *different* hit
+sets merge when (a) they come from the same attribute domain and (b) their
+hit intersection is non-empty.  The merged group is replaced by the
+intersection, and its hits are re-scored against the merged phrase query —
+so ``San Jose`` (the city) ends up with a much higher score than the noise
+hits ``San Antonio`` and ``Jose`` (the first name).
+
+The non-empty-intersection condition deliberately keeps side-by-side
+slices apart: "Software Electronics" stays two independent product-group
+selections.
+"""
+
+from __future__ import annotations
+
+from ..textindex.index import AttributeTextIndex, SearchHit
+from .hits import HitGroup
+
+
+def try_merge(
+    left: HitGroup,
+    right: HitGroup,
+    index: AttributeTextIndex,
+) -> HitGroup | None:
+    """Merge two hit groups per the §4.3 conditions, or return None.
+
+    The merged group keeps only hits present in both groups (the
+    intersection), re-scored with the concatenated keyword phrase.
+    """
+    if left.domain != right.domain:
+        return None
+    shared_values = set(left.values) & set(right.values)
+    if not shared_values:
+        return None
+    keywords = left.keywords + right.keywords
+    phrase = " ".join(keywords)
+    raw_left = {h.value: h.raw_score for h in left.hits}
+    raw_right = {h.value: h.raw_score for h in right.hits}
+    merged_hits = []
+    for value in sorted(shared_values):
+        score = index.score_value(left.table, left.attribute, value, phrase)
+        # the retrieval score stays a per-keyword engine score (mean of the
+        # two constituents) — the Figure 4 baseline must not benefit from
+        # phrase re-scoring, which Hristidis et al. do not perform
+        raw = (raw_left[value] + raw_right[value]) / 2.0
+        merged_hits.append(
+            SearchHit(left.table, left.attribute, value, score,
+                      retrieval_score=raw)
+        )
+    merged_hits.sort(key=lambda h: (-h.score, h.value))
+    return HitGroup(left.table, left.attribute, tuple(merged_hits), keywords)
+
+
+def merge_seed_groups(
+    groups: tuple[HitGroup, ...],
+    index: AttributeTextIndex,
+) -> tuple[HitGroup, ...]:
+    """Apply phrase merging exhaustively across a star seed's hit groups.
+
+    Generalises pairwise merging to phrases of more than two keywords by
+    iterating to a fixed point (the paper: "the above merge process can be
+    easily generalized to cases beyond two hit groups").
+    """
+    current = list(groups)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                merged = try_merge(current[i], current[j], index)
+                if merged is not None:
+                    current[i] = merged
+                    del current[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return tuple(current)

@@ -1,0 +1,199 @@
+"""The end-to-end KDAP session API.
+
+:class:`KdapSession` wires together both phases of Figure 1:
+
+* :meth:`differentiate` — keyword query → ranked candidate star nets;
+* :meth:`explore` — chosen star net → aggregated subspace + dynamic facets.
+
+:meth:`search` runs both with the top-ranked interpretation, which is the
+"I'll know it when I see it" happy path.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from ..textindex.index import AttributeTextIndex
+from ..warehouse.operations import drill_down as _drill_subspace
+from ..warehouse.schema import GroupByAttribute, StarSchema
+from ..warehouse.subspace import Subspace
+from .facets import ExploreConfig, FacetedInterface, build_facets
+from .generation import DEFAULT_CONFIG, GenerationConfig, generate_candidates
+from .interestingness import InterestingnessMeasure, SURPRISE
+from .ranking import RankingMethod, ScoredStarNet, rank_candidates
+from .starnet import StarNet
+
+
+@dataclass(frozen=True)
+class ExploreResult:
+    """Outcome of the explore phase for one chosen star net."""
+
+    star_net: StarNet
+    subspace: Subspace
+    interface: FacetedInterface
+
+    @property
+    def total_aggregate(self) -> float:
+        """The aggregated measure over the whole subspace."""
+        return self.interface.total_aggregate
+
+
+logger = logging.getLogger(__name__)
+
+
+class KdapSession:
+    """A stateful KDAP session over one star schema.
+
+    Parameters
+    ----------
+    schema:
+        The warehouse to search.
+    index:
+        An attribute-level full-text index over the schema; built on the
+        fly from ``schema.searchable`` when omitted.
+    """
+
+    def __init__(self, schema: StarSchema,
+                 index: AttributeTextIndex | None = None):
+        self.schema = schema
+        if index is None:
+            index = AttributeTextIndex()
+            index.index_database(schema.database, schema.searchable)
+        self.index = index
+        # per-ray fact-set cache: the same (hit group, path) ray recurs
+        # across many candidate star nets of one query
+        self._ray_cache: dict[tuple, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # cached subspace sizing
+    # ------------------------------------------------------------------
+    def _ray_facts(self, ray) -> frozenset[int]:
+        key = (ray.hit_group.domain, ray.hit_group.values,
+               ray.path_to_fact.fk_names)
+        if key not in self._ray_cache:
+            from .starnet import StarNet
+
+            probe = StarNet(self.schema.fact_table, (ray,))
+            self._ray_cache[key] = frozenset(
+                probe.ray_facts(self.schema, ray))
+        return self._ray_cache[key]
+
+    def subspace_size(self, star_net) -> int:
+        """Fact-row count of a star net's subspace, with per-ray caching.
+
+        Cheap enough to preview for every candidate: each distinct ray is
+        evaluated once per session, and candidates share most rays.
+        """
+        if not star_net.rays and not star_net.measure_predicates:
+            return self.schema.num_fact_rows
+        rows: frozenset[int] | None = None
+        for ray in star_net.rays:
+            facts = self._ray_facts(ray)
+            rows = facts if rows is None else rows & facts
+            if not rows:
+                return 0
+        if star_net.measure_predicates:
+            from .measure_hits import measure_fact_rows
+
+            if rows is None:
+                rows = frozenset(range(self.schema.num_fact_rows))
+            for predicate in star_net.measure_predicates:
+                rows = rows & frozenset(
+                    measure_fact_rows(self.schema, predicate))
+        return len(rows or ())
+
+    # ------------------------------------------------------------------
+    # phase 1: differentiate
+    # ------------------------------------------------------------------
+    def differentiate(
+        self,
+        query: str,
+        method: RankingMethod = RankingMethod.STANDARD,
+        limit: int | None = 10,
+        config: GenerationConfig = DEFAULT_CONFIG,
+        preview_sizes: bool = False,
+    ) -> list[ScoredStarNet]:
+        """Ranked candidate interpretations of a keyword query.
+
+        With ``preview_sizes`` each returned candidate carries the number
+        of fact rows its subspace would contain (computed with per-ray
+        caching, so the cost is one semi-join chain per distinct ray).
+        """
+        candidates = generate_candidates(self.schema, self.index, query, config)
+        ranked = rank_candidates(candidates, method)
+        logger.info("differentiate %r: %d candidates (%s)", query,
+                    len(candidates), method.value)
+        if limit is not None:
+            ranked = ranked[:limit]
+        if preview_sizes:
+            ranked = [
+                ScoredStarNet(s.star_net, s.score,
+                              self.subspace_size(s.star_net))
+                for s in ranked
+            ]
+        return ranked
+
+    # ------------------------------------------------------------------
+    # phase 2: explore
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        star_net: StarNet,
+        interestingness: InterestingnessMeasure = SURPRISE,
+        config: ExploreConfig = ExploreConfig(),
+    ) -> ExploreResult:
+        """Aggregate a chosen star net's subspace and build its facets."""
+        subspace = star_net.evaluate(self.schema)
+        logger.info("explore %s: %d fact rows", star_net, len(subspace))
+        interface = build_facets(
+            self.schema, star_net, subspace=subspace,
+            interestingness=interestingness, config=config,
+        )
+        return ExploreResult(star_net, subspace, interface)
+
+    def drill_down(
+        self,
+        result: "ExploreResult",
+        gb: GroupByAttribute,
+        value,
+        interestingness: InterestingnessMeasure = SURPRISE,
+        config: ExploreConfig = ExploreConfig(),
+    ) -> "ExploreResult":
+        """Use a facet entry as a drill-down entry point (paper §3).
+
+        The new sub-dataspace fixes ``gb = value`` inside the current
+        result's subspace; facets are rebuilt with the *previous* subspace
+        as the roll-up background, so interestingness now measures
+        deviation from the space the user just left.
+        """
+        finer, _next_level = _drill_subspace(result.subspace, gb, value)
+        interface = build_facets(
+            self.schema, result.star_net, subspace=finer,
+            interestingness=interestingness, config=config,
+            rollups=[result.subspace],
+        )
+        return ExploreResult(result.star_net, finer, interface)
+
+    # ------------------------------------------------------------------
+    # happy path
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        interestingness: InterestingnessMeasure = SURPRISE,
+        method: RankingMethod = RankingMethod.STANDARD,
+        explore_config: ExploreConfig = ExploreConfig(),
+        generation_config: GenerationConfig = DEFAULT_CONFIG,
+    ) -> ExploreResult | None:
+        """Differentiate, pick the top star net, and explore it.
+
+        Returns None when the query has no interpretation.
+        """
+        ranked = self.differentiate(query, method=method, limit=1,
+                                    config=generation_config)
+        if not ranked:
+            return None
+        return self.explore(ranked[0].star_net,
+                            interestingness=interestingness,
+                            config=explore_config)

@@ -1,0 +1,218 @@
+"""Star seeds, rays, and star nets (paper §4.2).
+
+A *star seed* picks one hit group per keyword; a *star net* additionally
+fixes a join path from every hit group's table to the fact table.  The
+star net is the unit the user disambiguates among — it fully determines a
+sub-dataspace.
+
+The OLAP-specific join semantics of §4.2 are implemented here:
+
+* every star net contains the fact table and all rays join *through* it
+  (no DISCOVER-style dimension-to-dimension joins);
+* rays whose paths lie in the same dimension share table aliases when the
+  path prefixes agree (intersection semantics, e.g. two hierarchies of the
+  Product dimension both meeting at the Product table);
+* the same physical table reached through different dimensions gets
+  distinct aliases (Location as customer-city vs store-city).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+
+from ..relational.expressions import isin
+from ..relational.sql import AliasFilter, JoinEdge, JoinQuery
+from ..warehouse.graph import JoinPath
+from ..warehouse.rollup import select_rows_by_values, slice_facts
+from ..warehouse.schema import StarSchema
+from ..warehouse.subspace import Subspace
+from .hits import HitGroup
+
+
+@dataclass(frozen=True)
+class StarSeed:
+    """One hit group chosen from each keyword's hit set."""
+
+    hit_groups: tuple[HitGroup, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(g) for g in self.hit_groups) + "}"
+
+
+@dataclass(frozen=True)
+class Ray:
+    """One hit group plus its join path to the fact table.
+
+    ``path_to_fact`` is oriented hit-table → fact; an empty path means the
+    hit group matched a fact-table attribute (selecting fact points
+    directly, per the paper's "hit groups from the fact table further
+    select a subset of data points").
+
+    ``dimension`` is the dimension the path runs through (None for
+    fact-table hits); it drives alias merging.
+    """
+
+    hit_group: HitGroup
+    path_to_fact: JoinPath
+    dimension: str | None
+
+    def __str__(self) -> str:
+        if not self.path_to_fact.steps:
+            return f"{self.hit_group} (fact attribute)"
+        return f"{self.hit_group} via {self.path_to_fact}"
+
+
+@dataclass(frozen=True)
+class StarNet:
+    """A candidate interpretation: rays joined through the fact table.
+
+    ``measure_predicates`` (the §7 extension) are deterministic fact-level
+    filters parsed from keywords like ``revenue>5000``; they constrain the
+    subspace but carry no textual ambiguity and do not affect ranking.
+    """
+
+    fact_table: str
+    rays: tuple[Ray, ...]
+    measure_predicates: tuple = ()
+
+    @property
+    def size(self) -> int:
+        """|SN|: the number of hit groups in the star net."""
+        return len(self.rays)
+
+    @property
+    def hit_groups(self) -> tuple[HitGroup, ...]:
+        """The hit groups, in ray order."""
+        return tuple(r.hit_group for r in self.rays)
+
+    @property
+    def hitted_dimensions(self) -> tuple[str, ...]:
+        """Names of dimensions touched by some ray (deduplicated, ordered)."""
+        seen: list[str] = []
+        for ray in self.rays:
+            if ray.dimension is not None and ray.dimension not in seen:
+                seen.append(ray.dimension)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [f"StarNet through {self.fact_table}:"]
+        for ray in self.rays:
+            lines.append(f"  - {ray}")
+        for predicate in self.measure_predicates:
+            lines.append(f"  - measure filter: {predicate}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        parts = [str(r.hit_group) for r in self.rays]
+        parts.extend(f"[{p}]" for p in self.measure_predicates)
+        return " & ".join(parts)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def ray_facts(self, schema: StarSchema, ray: Ray) -> set[int]:
+        """Fact rows selected by one ray (OR across the hit group's values)."""
+        from ..warehouse.schema import AttributeRef
+
+        ref = AttributeRef(ray.hit_group.table, ray.hit_group.attribute)
+        rows = select_rows_by_values(schema, ref, ray.hit_group.values)
+        return slice_facts(schema, ray.hit_group.table, rows, ray.path_to_fact)
+
+    def evaluate(self, schema: StarSchema) -> Subspace:
+        """The sub-dataspace DS': intersection of all rays' fact rows
+        (further constrained by any measure predicates)."""
+        if self.rays:
+            row_sets = [self.ray_facts(schema, ray) for ray in self.rays]
+            rows = reduce(set.intersection, row_sets)
+        else:
+            rows = set(range(schema.num_fact_rows))
+        if self.measure_predicates:
+            from .measure_hits import measure_fact_rows
+
+            for predicate in self.measure_predicates:
+                rows &= measure_fact_rows(schema, predicate)
+        return Subspace.of(schema, rows, label=str(self))
+
+    # ------------------------------------------------------------------
+    # SQL rendering
+    # ------------------------------------------------------------------
+    def to_join_query(self, schema: StarSchema, measure_name: str,
+                      group_by: list[tuple[str, str]] | None = None) -> JoinQuery:
+        """Compile this star net into a fact-rooted :class:`JoinQuery`.
+
+        Alias assignment implements the merge semantics: walking each ray's
+        path fact → hit table, a step reuses an existing alias when a ray of
+        the *same dimension* already took the identical step from the same
+        alias; otherwise it mints a fresh alias.
+        """
+        measure = schema.measures[measure_name]
+        query = JoinQuery(
+            fact_table=self.fact_table,
+            fact_alias="f",
+            aggregate=measure.aggregate,
+            measure_sql=_qualified_measure_sql(str(measure.expression), "f"),
+            measure_expr=measure.expression,
+            group_by=list(group_by or []),
+        )
+        # (dimension, alias_of_source, fk_name, towards_parent) -> alias
+        step_alias: dict[tuple, str] = {}
+        alias_count = 0
+        for ray in self.rays:
+            alias = "f"
+            for step in ray.path_to_fact.reversed().steps:
+                key = (ray.dimension, alias, step.fk.name, step.towards_parent)
+                if key in step_alias:
+                    alias = step_alias[key]
+                    continue
+                alias_count += 1
+                new_alias = f"t{alias_count}"
+                query.edges.append(
+                    JoinEdge(
+                        left_alias=alias,
+                        left_column=step.source_column,
+                        right_table=step.target,
+                        right_alias=new_alias,
+                        right_column=step.target_column,
+                    )
+                )
+                step_alias[key] = new_alias
+                alias = new_alias
+            predicate = isin(ray.hit_group.attribute, ray.hit_group.values)
+            query.filters.append(AliasFilter(alias, predicate))
+        if self.measure_predicates:
+            from ..relational.expressions import Col, Compare, Const
+
+            for mp in self.measure_predicates:
+                if mp.is_measure:
+                    expr = schema.measures[mp.target].expression
+                else:
+                    expr = Col(mp.target)
+                query.filters.append(
+                    AliasFilter("f", Compare(mp.op, expr, Const(mp.value)))
+                )
+        return query
+
+    def to_sql(self, schema: StarSchema, measure_name: str) -> str:
+        """The SQL text this star net denotes (aggregate over the subspace)."""
+        return self.to_join_query(schema, measure_name).to_sql()
+
+
+def _qualified_measure_sql(measure_sql: str, fact_alias: str) -> str:
+    """Qualify bare identifiers in a rendered measure with the fact alias."""
+    out: list[str] = []
+    i = 0
+    n = len(measure_sql)
+    while i < n:
+        ch = measure_sql[i]
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (measure_sql[j].isalnum() or measure_sql[j] == "_"):
+                j += 1
+            out.append(f"{fact_alias}.{measure_sql[i:j]}")
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)

@@ -1,0 +1,38 @@
+"""Synthetic datasets: AdventureWorks-like warehouses, the EBiz running
+example, and the Table 3 query workload.
+
+Public surface::
+
+    from repro.datasets import (
+        build_aw_online, build_aw_reseller, build_ebiz,
+        AW_ONLINE_QUERIES, AW_RESELLER_QUERIES,
+        BenchmarkQuery, Spec, is_relevant, relevant_rank,
+        REVENUE,
+    )
+"""
+
+from .adventureworks import REVENUE, build_aw_online, build_aw_reseller
+from .ebiz import build_ebiz
+from .trends import build_trends
+from .queries import (
+    AW_ONLINE_QUERIES,
+    AW_RESELLER_QUERIES,
+    BenchmarkQuery,
+    Spec,
+    is_relevant,
+    relevant_rank,
+)
+
+__all__ = [
+    "AW_ONLINE_QUERIES",
+    "AW_RESELLER_QUERIES",
+    "BenchmarkQuery",
+    "REVENUE",
+    "Spec",
+    "build_aw_online",
+    "build_aw_reseller",
+    "build_ebiz",
+    "build_trends",
+    "is_relevant",
+    "relevant_rank",
+]

@@ -1,0 +1,456 @@
+"""The EBiz e-commerce warehouse — the paper's Figure 2 running example.
+
+Four conceptual dimensions over a transaction fact:
+
+* **Time** — TIMEDAY → TIMEMONTH (Month → Quarter → Year hierarchy), plus
+  HOLIDAY events ("Columbus Day" lives here);
+* **Store** — STORE → LOCATION;
+* **Customer** — CUSTOMER ← ACCOUNT → LOCATION, where ACCOUNT joins the
+  transaction header on *both* BuyerKey and SellerKey (the same customer
+  can be seller and buyer) — the paper's canonical parallel-edge case;
+* **Product** — PRODUCT with two hierarchies: the UNSPSC family/segment
+  hierarchy and the Product Group / Product Line hierarchy.
+
+The fact side is a header/detail pair: TRANS (transaction) above TRANSITEM
+(line items); TRANSITEM is the fact table and TRANS is fact-complex.
+LOCATION is shared between the Store and Customer dimensions, giving the
+keyword "Columbus" its three join paths to the fact table (store city,
+buyer city, seller city) on top of the "Columbus Day" holiday reading —
+exactly the ambiguity Example 3.1 of the paper walks through.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..relational.catalog import Database
+from ..relational.expressions import Arith, Col
+from ..relational.table import Table
+from ..relational.types import date, float_, integer, text
+from ..warehouse.graph import path_from_fk_names
+from ..warehouse.schema import (
+    AttributeKind,
+    AttributeRef,
+    Dimension,
+    GroupByAttribute,
+    Hierarchy,
+    Measure,
+    StarSchema,
+)
+from .rng import make_rng, zipf_weights
+
+# (group name, line name)
+PRODUCT_GROUPS: list[tuple[str, str]] = [
+    ("LCD Projectors", "Projectors"),
+    ("DLP Projectors", "Projectors"),
+    ("Flat Panel(LCD)", "Monitors"),
+    ("CRT Monitors", "Monitors"),
+    ("LCD TVs", "Televisions"),
+    ("Plasma TVs", "Televisions"),
+    ("CRT TVs", "Televisions"),
+    ("VCR", "Video"),
+    ("DVD Players", "Video"),
+    ("Home Theater", "Audio"),
+    ("MP3 Players", "Audio"),
+    ("Laptops", "Computers"),
+    ("Desktops", "Computers"),
+    ("Digital Cameras", "Cameras"),
+]
+
+# (family title, segment title)
+UNSPSC_FAMILIES: list[tuple[str, str]] = [
+    ("Home Electronics", "Electronics"),
+    ("Office Electronics", "Electronics"),
+    ("Computer Equipment", "Information Technology"),
+    ("Imaging Equipment", "Information Technology"),
+]
+
+# (product name, group, unspsc family, msrp)
+EBIZ_PRODUCTS: list[tuple[str, str, str, float]] = [
+    ("UltraBright LCD Projector X200", "LCD Projectors",
+     "Office Electronics", 899.0),
+    ("PocketBeam LCD Projector Mini", "LCD Projectors",
+     "Office Electronics", 499.0),
+    ("CineMax DLP Projector", "DLP Projectors", "Office Electronics",
+     1099.0),
+    ("ViewCrisp 19in Flat Panel(LCD) Monitor", "Flat Panel(LCD)",
+     "Computer Equipment", 329.0),
+    ("ViewCrisp 24in Flat Panel(LCD) Monitor", "Flat Panel(LCD)",
+     "Computer Equipment", 479.0),
+    ("TubeView 17in CRT Monitor", "CRT Monitors", "Computer Equipment",
+     149.0),
+    ("CrystalVision 32in LCD TV", "LCD TVs", "Home Electronics", 1299.0),
+    ("CrystalVision 40in LCD TV", "LCD TVs", "Home Electronics", 1999.0),
+    ("PlasmaMax 42in Plasma TV", "Plasma TVs", "Home Electronics", 2399.0),
+    ("RetroTube 27in CRT TV", "CRT TVs", "Home Electronics", 299.0),
+    ("RecordPlus VCR Deluxe", "VCR", "Home Electronics", 89.0),
+    ("DiscSpin DVD Player", "DVD Players", "Home Electronics", 79.0),
+    ("SurroundPro Home Theater System", "Home Theater",
+     "Home Electronics", 649.0),
+    ("TuneGo MP3 Player 4GB", "MP3 Players", "Home Electronics", 129.0),
+    ("WorkBook 14in Laptop", "Laptops", "Computer Equipment", 1199.0),
+    ("PowerTower Desktop PC", "Desktops", "Computer Equipment", 899.0),
+    ("SnapShot Digital Camera Z5", "Digital Cameras", "Imaging Equipment",
+     349.0),
+]
+
+EBIZ_LOCATIONS: list[tuple[str, str, str]] = [
+    ("Columbus", "Ohio", "United States"),
+    ("Seattle", "Washington", "United States"),
+    ("San Jose", "California", "United States"),
+    ("San Francisco", "California", "United States"),
+    ("Portland", "Oregon", "United States"),
+    ("Denver", "Colorado", "United States"),
+    ("Austin", "Texas", "United States"),
+    ("New York", "New York", "United States"),
+    ("Toronto", "Ontario", "Canada"),
+    ("Vancouver", "British Columbia", "Canada"),
+]
+
+HOLIDAYS: list[tuple[str, int, int]] = [
+    # (event, month, day) — observed every generated year
+    ("New Year's Day", 1, 1),
+    ("Independence Day", 7, 4),
+    ("Columbus Day", 10, 12),
+    ("Thanksgiving", 11, 25),
+    ("Christmas", 12, 25),
+]
+
+STORE_NAMES: list[str] = [
+    "EBiz Downtown", "EBiz Mall", "EBiz Outlet", "EBiz Plaza",
+    "EBiz Center", "EBiz Express",
+]
+
+CUSTOMER_NAMES: list[str] = [
+    "Alice Columbus", "Bob Rivera", "Carol Nguyen", "David Kim",
+    "Erin O'Neill", "Frank Castle", "Grace Park", "Henry Ford",
+    "Irene Adler", "Jack Sparrow", "Karen Page", "Louis Cole",
+    "Maria Silva", "Nina Patel", "Oscar Diaz", "Paula Chen",
+]
+
+
+def build_ebiz(num_customers: int = 120, num_stores: int = 12,
+               num_trans: int = 4000, max_items_per_trans: int = 4,
+               seed: int = 7) -> StarSchema:
+    """Build the EBiz warehouse with synthetic transactions."""
+    rng = make_rng(seed)
+    db = Database("EBiz")
+
+    # Time ---------------------------------------------------------------
+    months = db.add_table(Table("TIMEMONTH", [
+        integer("MonthKey", nullable=False),
+        text("MonthName"),
+        text("Quarter"),
+        integer("Year"),
+        text("YearName"),
+    ], primary_key="MonthKey"))
+    month_names = ["January", "February", "March", "April", "May", "June",
+                   "July", "August", "September", "October", "November",
+                   "December"]
+    for year in (2005, 2006):
+        for month in range(1, 13):
+            months.insert({
+                "MonthKey": year * 100 + month,
+                "MonthName": month_names[month - 1],
+                "Quarter": f"Q{(month - 1) // 3 + 1}",
+                "Year": year,
+                "YearName": str(year),
+            })
+
+    holidays = db.add_table(Table("HOLIDAY", [
+        integer("HolidayKey", nullable=False),
+        text("Event"),
+    ], primary_key="HolidayKey"))
+    for key, (event, _m, _d) in enumerate(HOLIDAYS, start=1):
+        holidays.insert({"HolidayKey": key, "Event": event})
+    holiday_by_date = {(m, d): key for key, (_e, m, d) in
+                       enumerate(HOLIDAYS, start=1)}
+
+    days = db.add_table(Table("TIMEDAY", [
+        integer("DateKey", nullable=False),
+        date("FullDate"),
+        text("WeekName"),
+        integer("MonthKey"),
+        integer("HolidayKey"),
+    ], primary_key="DateKey"))
+    day = _dt.date(2005, 1, 1)
+    while day <= _dt.date(2006, 12, 31):
+        days.insert({
+            "DateKey": day.year * 10000 + day.month * 100 + day.day,
+            "FullDate": day,
+            "WeekName": f"{day.year}-W{day.isocalendar().week:02d}",
+            "MonthKey": day.year * 100 + day.month,
+            "HolidayKey": holiday_by_date.get((day.month, day.day)),
+        })
+        day += _dt.timedelta(days=1)
+
+    # Location / Store / Customer / Account ------------------------------
+    locations = db.add_table(Table("LOCATION", [
+        integer("LocationKey", nullable=False),
+        text("City"),
+        text("State"),
+        text("Country"),
+    ], primary_key="LocationKey"))
+    for key, (city, state, country) in enumerate(EBIZ_LOCATIONS, start=1):
+        locations.insert({"LocationKey": key, "City": city, "State": state,
+                          "Country": country})
+
+    stores = db.add_table(Table("STORE", [
+        integer("StoreKey", nullable=False),
+        text("StoreName"),
+        integer("LocationKey"),
+    ], primary_key="StoreKey"))
+    for key in range(1, num_stores + 1):
+        base = STORE_NAMES[(key - 1) % len(STORE_NAMES)]
+        loc = rng.randrange(1, len(EBIZ_LOCATIONS) + 1)
+        city = EBIZ_LOCATIONS[loc - 1][0]
+        stores.insert({"StoreKey": key, "StoreName": f"{base} {city}",
+                       "LocationKey": loc})
+
+    customers = db.add_table(Table("CUSTOMER", [
+        integer("CustomerKey", nullable=False),
+        text("CustomerName"),
+        integer("Age"),
+        float_("Income"),
+    ], primary_key="CustomerKey"))
+    accounts = db.add_table(Table("ACCOUNT", [
+        integer("AccountKey", nullable=False),
+        integer("CustomerKey"),
+        integer("LocationKey"),
+    ], primary_key="AccountKey"))
+    for key in range(1, num_customers + 1):
+        name = CUSTOMER_NAMES[(key - 1) % len(CUSTOMER_NAMES)]
+        if key > len(CUSTOMER_NAMES):
+            name = f"{name} {key}"
+        customers.insert({
+            "CustomerKey": key, "CustomerName": name,
+            "Age": rng.randrange(18, 75),
+            "Income": round(rng.uniform(20000, 160000), -3),
+        })
+        accounts.insert({
+            "AccountKey": key, "CustomerKey": key,
+            "LocationKey": rng.randrange(1, len(EBIZ_LOCATIONS) + 1),
+        })
+
+    # Product -------------------------------------------------------------
+    pgroups = db.add_table(Table("PGROUP", [
+        integer("PGroupKey", nullable=False),
+        text("GroupName"),
+        text("LineName"),
+    ], primary_key="PGroupKey"))
+    group_keys = {}
+    for key, (group, line) in enumerate(PRODUCT_GROUPS, start=1):
+        pgroups.insert({"PGroupKey": key, "GroupName": group,
+                        "LineName": line})
+        group_keys[group] = key
+
+    unspsc = db.add_table(Table("UNSPSC", [
+        integer("UnspscKey", nullable=False),
+        text("FamilyTitle"),
+        text("SegmentTitle"),
+    ], primary_key="UnspscKey"))
+    family_keys = {}
+    for key, (family, segment) in enumerate(UNSPSC_FAMILIES, start=1):
+        unspsc.insert({"UnspscKey": key, "FamilyTitle": family,
+                       "SegmentTitle": segment})
+        family_keys[family] = key
+
+    products = db.add_table(Table("PRODUCT", [
+        integer("ProductKey", nullable=False),
+        text("ProductName"),
+        float_("Msrp"),
+        integer("PGroupKey"),
+        integer("UnspscKey"),
+    ], primary_key="ProductKey"))
+    for key, (name, group, family, msrp) in enumerate(EBIZ_PRODUCTS,
+                                                      start=1):
+        products.insert({
+            "ProductKey": key, "ProductName": name, "Msrp": msrp,
+            "PGroupKey": group_keys[group],
+            "UnspscKey": family_keys[family],
+        })
+
+    # fact side: TRANS header + TRANSITEM detail --------------------------
+    trans = db.add_table(Table("TRANS", [
+        integer("TransKey", nullable=False),
+        integer("DateKey"),
+        integer("StoreKey"),
+        integer("BuyerKey"),
+        integer("SellerKey"),
+    ], primary_key="TransKey"))
+    items = db.add_table(Table("TRANSITEM", [
+        integer("ItemKey", nullable=False),
+        integer("TransKey"),
+        integer("ProductKey"),
+        float_("UnitPrice"),
+        integer("Quantity"),
+    ], primary_key="ItemKey"))
+
+    db.add_foreign_key("fk_day_month", "TIMEDAY", "MonthKey", "TIMEMONTH",
+                       "MonthKey")
+    db.add_foreign_key("fk_day_holiday", "TIMEDAY", "HolidayKey", "HOLIDAY",
+                       "HolidayKey")
+    db.add_foreign_key("fk_store_loc", "STORE", "LocationKey", "LOCATION",
+                       "LocationKey")
+    db.add_foreign_key("fk_account_customer", "ACCOUNT", "CustomerKey",
+                       "CUSTOMER", "CustomerKey")
+    db.add_foreign_key("fk_account_loc", "ACCOUNT", "LocationKey",
+                       "LOCATION", "LocationKey")
+    db.add_foreign_key("fk_product_group", "PRODUCT", "PGroupKey", "PGROUP",
+                       "PGroupKey")
+    db.add_foreign_key("fk_product_unspsc", "PRODUCT", "UnspscKey",
+                       "UNSPSC", "UnspscKey")
+    db.add_foreign_key("fk_trans_date", "TRANS", "DateKey", "TIMEDAY",
+                       "DateKey")
+    db.add_foreign_key("fk_trans_store", "TRANS", "StoreKey", "STORE",
+                       "StoreKey")
+    db.add_foreign_key("fk_trans_buyer", "TRANS", "BuyerKey", "ACCOUNT",
+                       "AccountKey")
+    db.add_foreign_key("fk_trans_seller", "TRANS", "SellerKey", "ACCOUNT",
+                       "AccountKey")
+    db.add_foreign_key("fk_item_trans", "TRANSITEM", "TransKey", "TRANS",
+                       "TransKey")
+    db.add_foreign_key("fk_item_product", "TRANSITEM", "ProductKey",
+                       "PRODUCT", "ProductKey")
+
+    # transactions ---------------------------------------------------------
+    date_keys = days.column_values("DateKey")
+    product_weights = zipf_weights(len(EBIZ_PRODUCTS), skew=0.4)
+    product_indices = list(range(len(EBIZ_PRODUCTS)))
+    item_key = 0
+    for trans_key in range(1, num_trans + 1):
+        buyer = rng.randrange(1, num_customers + 1)
+        seller = rng.randrange(1, num_customers + 1)
+        trans.insert({
+            "TransKey": trans_key,
+            "DateKey": rng.choice(date_keys),
+            "StoreKey": rng.randrange(1, num_stores + 1),
+            "BuyerKey": buyer,
+            "SellerKey": seller,
+        })
+        for _ in range(rng.randrange(1, max_items_per_trans + 1)):
+            item_key += 1
+            p_idx = rng.choices(product_indices,
+                                weights=product_weights)[0]
+            _name, _group, _family, msrp = EBIZ_PRODUCTS[p_idx]
+            items.insert({
+                "ItemKey": item_key,
+                "TransKey": trans_key,
+                "ProductKey": p_idx + 1,
+                "UnitPrice": round(msrp * rng.uniform(0.85, 1.0), 2),
+                "Quantity": rng.choices([1, 2, 3], weights=[8, 3, 1])[0],
+            })
+
+    return _ebiz_schema(db)
+
+
+def _ebiz_schema(db: Database) -> StarSchema:
+    fact = "TRANSITEM"
+
+    def gb(table: str, column: str, kind: AttributeKind,
+           fk_chain: list[str]) -> GroupByAttribute:
+        return GroupByAttribute(
+            AttributeRef(table, column), kind,
+            path_from_fk_names(db, fact, fk_chain),
+        )
+
+    time_dim = Dimension(
+        name="Time",
+        tables=("TIMEDAY", "TIMEMONTH", "HOLIDAY"),
+        hierarchies=(
+            Hierarchy("Calendar", (
+                AttributeRef("TIMEMONTH", "MonthName"),
+                AttributeRef("TIMEMONTH", "Quarter"),
+            )),
+        ),
+        groupbys=(
+            gb("TIMEMONTH", "MonthName", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_date", "fk_day_month"]),
+            gb("TIMEMONTH", "Quarter", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_date", "fk_day_month"]),
+            gb("TIMEMONTH", "YearName", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_date", "fk_day_month"]),
+        ),
+    )
+    store_dim = Dimension(
+        name="Store",
+        tables=("STORE", "LOCATION"),
+        hierarchies=(
+            Hierarchy("StoreGeography", (
+                AttributeRef("LOCATION", "City"),
+                AttributeRef("LOCATION", "State"),
+                AttributeRef("LOCATION", "Country"),
+            )),
+        ),
+        groupbys=(
+            gb("STORE", "StoreName", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_store"]),
+            gb("LOCATION", "City", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_store", "fk_store_loc"]),
+            gb("LOCATION", "State", AttributeKind.CATEGORICAL,
+               ["fk_item_trans", "fk_trans_store", "fk_store_loc"]),
+        ),
+    )
+    customer_dim = Dimension(
+        name="Customer",
+        tables=("CUSTOMER", "ACCOUNT", "LOCATION"),
+        hierarchies=(
+            Hierarchy("CustomerGeography", (
+                AttributeRef("LOCATION", "City"),
+                AttributeRef("LOCATION", "State"),
+                AttributeRef("LOCATION", "Country"),
+            )),
+        ),
+        groupbys=(
+            gb("CUSTOMER", "Age", AttributeKind.NUMERICAL,
+               ["fk_item_trans", "fk_trans_buyer", "fk_account_customer"]),
+            gb("CUSTOMER", "Income", AttributeKind.NUMERICAL,
+               ["fk_item_trans", "fk_trans_buyer", "fk_account_customer"]),
+        ),
+    )
+    product_dim = Dimension(
+        name="Product",
+        tables=("PRODUCT", "PGROUP", "UNSPSC"),
+        hierarchies=(
+            Hierarchy("ProductLine", (
+                AttributeRef("PGROUP", "GroupName"),
+                AttributeRef("PGROUP", "LineName"),
+            )),
+            Hierarchy("Unspsc", (
+                AttributeRef("UNSPSC", "FamilyTitle"),
+                AttributeRef("UNSPSC", "SegmentTitle"),
+            )),
+        ),
+        groupbys=(
+            gb("PGROUP", "GroupName", AttributeKind.CATEGORICAL,
+               ["fk_item_product", "fk_product_group"]),
+            gb("PGROUP", "LineName", AttributeKind.CATEGORICAL,
+               ["fk_item_product", "fk_product_group"]),
+            gb("UNSPSC", "FamilyTitle", AttributeKind.CATEGORICAL,
+               ["fk_item_product", "fk_product_unspsc"]),
+            gb("PRODUCT", "Msrp", AttributeKind.NUMERICAL,
+               ["fk_item_product"]),
+        ),
+    )
+
+    searchable = {
+        "TIMEMONTH": ["MonthName", "Quarter", "YearName"],
+        "HOLIDAY": ["Event"],
+        "LOCATION": ["City", "State", "Country"],
+        "STORE": ["StoreName"],
+        "CUSTOMER": ["CustomerName"],
+        "PGROUP": ["GroupName", "LineName"],
+        "UNSPSC": ["FamilyTitle", "SegmentTitle"],
+        "PRODUCT": ["ProductName"],
+    }
+
+    return StarSchema(
+        database=db,
+        fact_table=fact,
+        dimensions=[time_dim, store_dim, customer_dim, product_dim],
+        measures=[Measure("revenue",
+                          Arith("*", Col("UnitPrice"), Col("Quantity")),
+                          "sum")],
+        searchable=searchable,
+        fact_complex=("TRANS",),
+    )

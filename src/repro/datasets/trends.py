@@ -1,0 +1,238 @@
+"""A Google-Trends-style query-log warehouse.
+
+The paper's related work (§2) singles out Google Trends as "the only
+system that provides some rudimentary KDAP functionality to end users":
+a faceted view of aggregated search-query volume over time and location.
+This builder synthesises exactly that data model — a query-log fact with
+search-term, region, and time dimensions — to demonstrate that the KDAP
+framework generalises beyond retail warehouses.
+
+Structure is injected so the two OLAP applications have something to
+find: term volumes carry seasonality (e.g. "olympics" spikes in August
+of even years) and regional affinities (e.g. "cricket world cup" skews
+to Commonwealth regions).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..relational.catalog import Database
+from ..relational.expressions import Col
+from ..relational.table import Table
+from ..relational.types import date, float_, integer, text
+from ..warehouse.graph import path_from_fk_names
+from ..warehouse.schema import (
+    AttributeKind,
+    AttributeRef,
+    Dimension,
+    GroupByAttribute,
+    Hierarchy,
+    Measure,
+    StarSchema,
+)
+from .rng import make_rng, zipf_weights
+
+# (term, topic, seasonal month peaks, region-affinity country set)
+SEARCH_TERMS: list[tuple[str, str, tuple[int, ...], frozenset[str]]] = [
+    ("ipod nano", "Consumer Electronics", (11, 12), frozenset()),
+    ("lcd television", "Consumer Electronics", (11, 12), frozenset()),
+    ("digital camera", "Consumer Electronics", (6, 7, 12), frozenset()),
+    ("laptop deals", "Consumer Electronics", (8, 11), frozenset()),
+    ("olympics schedule", "Sports", (8,), frozenset()),
+    ("world cup", "Sports", (6, 7), frozenset()),
+    ("cricket world cup", "Sports", (3, 4),
+     frozenset({"Australia", "United Kingdom"})),
+    ("super bowl", "Sports", (1, 2), frozenset({"United States"})),
+    ("tax filing", "Finance", (3, 4), frozenset({"United States"})),
+    ("mortgage rates", "Finance", (), frozenset()),
+    ("stock market", "Finance", (), frozenset()),
+    ("flu symptoms", "Health", (1, 2, 12), frozenset()),
+    ("allergy season", "Health", (4, 5), frozenset()),
+    ("sunscreen", "Health", (6, 7, 8), frozenset({"Australia"})),
+    ("ski resorts", "Travel", (1, 2, 12), frozenset()),
+    ("beach vacation", "Travel", (6, 7), frozenset()),
+    ("flight tickets", "Travel", (5, 6, 7), frozenset()),
+    ("halloween costumes", "Shopping", (10,),
+     frozenset({"United States", "Canada"})),
+    ("christmas gifts", "Shopping", (11, 12), frozenset()),
+    ("back to school", "Shopping", (8, 9), frozenset()),
+]
+
+TREND_REGIONS: list[tuple[str, str]] = [
+    ("Seattle", "United States"),
+    ("San Francisco", "United States"),
+    ("New York", "United States"),
+    ("Chicago", "United States"),
+    ("Toronto", "Canada"),
+    ("Vancouver", "Canada"),
+    ("London", "United Kingdom"),
+    ("Manchester", "United Kingdom"),
+    ("Sydney", "Australia"),
+    ("Melbourne", "Australia"),
+    ("Berlin", "Germany"),
+    ("Paris", "France"),
+]
+
+
+def build_trends(num_facts: int = 30000, seed: int = 11,
+                 start_year: int = 2004, end_year: int = 2006) -> StarSchema:
+    """Build the query-log warehouse."""
+    rng = make_rng(seed)
+    db = Database("TRENDS")
+
+    terms = db.add_table(Table("DimSearchTerm", [
+        integer("TermKey", nullable=False),
+        text("TermText"),
+        text("Topic"),
+    ], primary_key="TermKey"))
+    for key, (term, topic, _peaks, _aff) in enumerate(SEARCH_TERMS,
+                                                      start=1):
+        terms.insert({"TermKey": key, "TermText": term, "Topic": topic})
+
+    regions = db.add_table(Table("DimRegion", [
+        integer("RegionKey", nullable=False),
+        text("City"),
+        text("Country"),
+    ], primary_key="RegionKey"))
+    for key, (city, country) in enumerate(TREND_REGIONS, start=1):
+        regions.insert({"RegionKey": key, "City": city,
+                        "Country": country})
+
+    months = ["January", "February", "March", "April", "May", "June",
+              "July", "August", "September", "October", "November",
+              "December"]
+    dates = db.add_table(Table("DimDate", [
+        integer("DateKey", nullable=False),
+        date("FullDate"),
+        text("MonthName"),
+        text("CalendarQuarter"),
+        integer("CalendarYear"),
+        text("CalendarYearName"),
+    ], primary_key="DateKey"))
+    day = _dt.date(start_year, 1, 1)
+    while day <= _dt.date(end_year, 12, 31):
+        dates.insert({
+            "DateKey": day.year * 10000 + day.month * 100 + day.day,
+            "FullDate": day,
+            "MonthName": months[day.month - 1],
+            "CalendarQuarter": f"Q{(day.month - 1) // 3 + 1}",
+            "CalendarYear": day.year,
+            "CalendarYearName": str(day.year),
+        })
+        day += _dt.timedelta(days=1)
+
+    fact = db.add_table(Table("FactQueryVolume", [
+        integer("EntryKey", nullable=False),
+        integer("TermKey"),
+        integer("RegionKey"),
+        integer("DateKey"),
+        integer("Volume"),
+    ], primary_key="EntryKey"))
+
+    db.add_foreign_key("fk_fact_term", "FactQueryVolume", "TermKey",
+                       "DimSearchTerm", "TermKey")
+    db.add_foreign_key("fk_fact_region", "FactQueryVolume", "RegionKey",
+                       "DimRegion", "RegionKey")
+    db.add_foreign_key("fk_fact_date", "FactQueryVolume", "DateKey",
+                       "DimDate", "DateKey")
+
+    date_keys = dates.column_values("DateKey")
+    term_weights = zipf_weights(len(SEARCH_TERMS), skew=0.5)
+    term_indices = list(range(len(SEARCH_TERMS)))
+    region_weights = zipf_weights(len(TREND_REGIONS), skew=0.4)
+    region_indices = list(range(len(TREND_REGIONS)))
+    for entry in range(1, num_facts + 1):
+        t_idx = rng.choices(term_indices, weights=term_weights)[0]
+        r_idx = rng.choices(region_indices, weights=region_weights)[0]
+        date_key = rng.choice(date_keys)
+        month = (date_key // 100) % 100
+        _term, _topic, peaks, affinity = SEARCH_TERMS[t_idx]
+        volume = rng.randrange(5, 120)
+        if month in peaks:
+            volume = int(volume * rng.uniform(2.5, 4.0))
+        country = TREND_REGIONS[r_idx][1]
+        if affinity and country in affinity:
+            volume = int(volume * rng.uniform(1.8, 2.6))
+        fact.insert({
+            "EntryKey": entry, "TermKey": t_idx + 1,
+            "RegionKey": r_idx + 1, "DateKey": date_key,
+            "Volume": volume,
+        })
+
+    return _trends_schema(db)
+
+
+def _trends_schema(db: Database) -> StarSchema:
+    fact = "FactQueryVolume"
+
+    def gb(table: str, column: str, kind: AttributeKind,
+           fk_chain: list[str]) -> GroupByAttribute:
+        return GroupByAttribute(
+            AttributeRef(table, column), kind,
+            path_from_fk_names(db, fact, fk_chain),
+        )
+
+    term_dim = Dimension(
+        name="SearchTerm",
+        tables=("DimSearchTerm",),
+        hierarchies=(
+            Hierarchy("Topic", (
+                AttributeRef("DimSearchTerm", "TermText"),
+                AttributeRef("DimSearchTerm", "Topic"),
+            )),
+        ),
+        groupbys=(
+            gb("DimSearchTerm", "TermText", AttributeKind.CATEGORICAL,
+               ["fk_fact_term"]),
+            gb("DimSearchTerm", "Topic", AttributeKind.CATEGORICAL,
+               ["fk_fact_term"]),
+        ),
+    )
+    region_dim = Dimension(
+        name="Region",
+        tables=("DimRegion",),
+        hierarchies=(
+            Hierarchy("Geography", (
+                AttributeRef("DimRegion", "City"),
+                AttributeRef("DimRegion", "Country"),
+            )),
+        ),
+        groupbys=(
+            gb("DimRegion", "City", AttributeKind.CATEGORICAL,
+               ["fk_fact_region"]),
+            gb("DimRegion", "Country", AttributeKind.CATEGORICAL,
+               ["fk_fact_region"]),
+        ),
+    )
+    time_dim = Dimension(
+        name="Time",
+        tables=("DimDate",),
+        hierarchies=(
+            Hierarchy("Calendar", (
+                AttributeRef("DimDate", "MonthName"),
+                AttributeRef("DimDate", "CalendarQuarter"),
+            )),
+        ),
+        groupbys=(
+            gb("DimDate", "MonthName", AttributeKind.CATEGORICAL,
+               ["fk_fact_date"]),
+            gb("DimDate", "CalendarQuarter", AttributeKind.CATEGORICAL,
+               ["fk_fact_date"]),
+            gb("DimDate", "CalendarYearName", AttributeKind.CATEGORICAL,
+               ["fk_fact_date"]),
+        ),
+    )
+
+    return StarSchema(
+        database=db,
+        fact_table=fact,
+        dimensions=[term_dim, region_dim, time_dim],
+        measures=[Measure("volume", Col("Volume"), "sum")],
+        searchable={
+            "DimSearchTerm": ["TermText", "Topic"],
+            "DimRegion": ["City", "Country"],
+            "DimDate": ["MonthName", "CalendarQuarter",
+                        "CalendarYearName"],
+        },
+    )

@@ -1,0 +1,416 @@
+"""Vocabulary pools for the synthetic AdventureWorks-like warehouses.
+
+The pools are hand-curated so that every keyword appearing in the paper's
+Tables 1-3 resolves against the generated data the way the paper's
+narrative expects: "California" is a state province *and* part of two
+street addresses, "Sydney" is a city *and* a customer first name (the
+paper's worst-case query), "Mountain Bikes" is a product subcategory,
+"fernando35@adventure-works.com" is a concrete customer email, and so on.
+
+Products are (name, subcategory, model, color, dealer price, list price,
+description) tuples; the hierarchy is
+EnglishProductName → ProductSubcategoryName → ProductCategoryName.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# product hierarchy
+# ----------------------------------------------------------------------
+SUBCATEGORY_TO_CATEGORY: dict[str, str] = {
+    # Bikes
+    "Mountain Bikes": "Bikes",
+    "Road Bikes": "Bikes",
+    "Touring Bikes": "Bikes",
+    # Components
+    "Handlebars": "Components",
+    "Brakes": "Components",
+    "Chains": "Components",
+    "Cranksets": "Components",
+    "Forks": "Components",
+    "Headsets": "Components",
+    "Wheels": "Components",
+    "Road Frames": "Components",
+    "Mountain Frames": "Components",
+    "Pedals": "Components",
+    "Saddles": "Components",
+    "Fasteners": "Components",
+    # Clothing
+    "Caps": "Clothing",
+    "Gloves": "Clothing",
+    "Jerseys": "Clothing",
+    "Socks": "Clothing",
+    "Tights": "Clothing",
+    "Vests": "Clothing",
+    "Bib-Shorts": "Clothing",
+    # Accessories
+    "Helmets": "Accessories",
+    "Tires and Tubes": "Accessories",
+    "Bottles and Cages": "Accessories",
+    "Fenders": "Accessories",
+    "Pumps": "Accessories",
+    "Hydration Packs": "Accessories",
+    "Lights": "Accessories",
+    "Locks": "Accessories",
+    "Bike Racks": "Accessories",
+}
+
+# (name, subcategory, model, color, dealer_price, list_price, description)
+PRODUCTS: list[tuple[str, str, str, str, float, float, str]] = [
+    # Bikes -----------------------------------------------------------
+    ("Mountain-100 Silver, 38", "Mountain Bikes", "Mountain-100", "Silver",
+     1912.15, 3399.99,
+     "Top-of-the-line competition mountain bike; handcrafted aluminum "
+     "frame absorbs bumps on or off-road"),
+    ("Mountain-100 Black, 42", "Mountain Bikes", "Mountain-100", "Black",
+     1898.09, 3374.99,
+     "Top-of-the-line competition mountain bike; handcrafted aluminum "
+     "frame absorbs bumps on or off-road"),
+    ("Mountain-200 Silver, 42", "Mountain Bikes", "Mountain-200", "Silver",
+     1391.99, 2319.99,
+     "Serious back-country riding with a durable yellow-tinted frame"),
+    ("Mountain-200 Black, 38", "Mountain Bikes", "Mountain-200", "Black",
+     1370.98, 2294.99,
+     "Serious back-country riding with a durable frame"),
+    ("Mountain-400-W Silver, 26", "Mountain Bikes", "Mountain-400-W",
+     "Silver", 419.78, 769.49,
+     "A true multi-sport bike for women that offers streamlined riding"),
+    ("Mountain-500 Silver, 40", "Mountain Bikes", "Mountain-500", "Silver",
+     308.22, 564.99,
+     "Suitable for any type of riding, on or off-road"),
+    ("Mountain-500 Black, 44", "Mountain Bikes", "Mountain-500", "Black",
+     294.58, 539.99,
+     "Suitable for any type of riding, on or off-road"),
+    ("Road-150 Red, 62", "Road Bikes", "Road-150", "Red",
+     2171.29, 3578.27,
+     "This bike is ridden by race winners; lightest and most flexible"),
+    ("Road-250 Black, 48", "Road Bikes", "Road-250", "Black",
+     1554.95, 2443.35,
+     "Alluminum-alloy frame provides a light stiff ride"),
+    ("Road-650 Red, 58", "Road Bikes", "Road-650", "Red",
+     486.71, 782.99,
+     "Value-priced bike with many features of our top-of-the-line models"),
+    ("Touring-1000 Blue, 46", "Touring Bikes", "Touring-1000", "Blue",
+     1481.94, 2384.07,
+     "Travel in style and comfort; carry your camping gear"),
+    ("Touring-2000 Blue, 50", "Touring Bikes", "Touring-2000", "Blue",
+     755.15, 1214.85,
+     "The plush custom saddle keeps you riding all day"),
+    ("Touring-3000 Yellow, 54", "Touring Bikes", "Touring-3000", "Yellow",
+     461.44, 742.35,
+     "All-around bike for on or off-road touring promotion favorite"),
+    # Accessories ------------------------------------------------------
+    ("Sport-100 Helmet, Red", "Helmets", "Sport-100", "Red",
+     20.99, 34.99, "Universal fit, well-vented, lightweight"),
+    ("Sport-100 Helmet, Black", "Helmets", "Sport-100", "Black",
+     20.99, 34.99, "Universal fit, well-vented, lightweight"),
+    ("HL Mountain Tire", "Tires and Tubes", "HL Mountain Tire", "Black",
+     21.18, 35.00, "Incredible traction, lightweight carbon reinforced"),
+    ("LL Mountain Tire", "Tires and Tubes", "LL Mountain Tire", "Black",
+     14.93, 24.99, "Comparable traction, less expensive wear"),
+    ("Mountain Tire Tube", "Tires and Tubes", "Mountain Tire Tube", "NA",
+     2.99, 4.99, "Self-sealing tube for mountain tires"),
+    ("Road Tire Tube", "Tires and Tubes", "Road Tire Tube", "NA",
+     2.39, 3.99, "Self-sealing tube for road tires"),
+    ("Touring Tire", "Tires and Tubes", "Touring Tire", "Black",
+     17.19, 28.99, "Designed for touring bikes with all-weather tread"),
+    ("Water Bottle - 30 oz.", "Bottles and Cages", "Water Bottle", "NA",
+     3.09, 4.99, "AWC logo water bottle, holds 30 oz"),
+    ("Mountain Bottle Cage", "Bottles and Cages", "Mountain Bottle Cage",
+     "NA", 6.18, 9.99, "Tough aluminum cage holds bottle securely"),
+    ("Fender Set - Mountain", "Fenders", "Fender Set - Mountain", "NA",
+     13.59, 21.98, "Clip-on fender set for mountain bikes"),
+    ("Mountain Pump", "Pumps", "Mountain Pump", "NA",
+     15.31, 24.99, "Simple and light mini mountain pump with gauge"),
+    ("Hydration Pack - 70 oz.", "Hydration Packs", "Hydration Pack", "Silver",
+     34.02, 54.99, "Versatile pack with hydration reservoir"),
+    ("Headlights - Dual-Beam", "Lights", "Headlights - Dual-Beam", "NA",
+     21.49, 34.99, "Dual-beam weatherproof headlight with halogen bulbs"),
+    ("Headlights - Weatherproof", "Lights", "Headlights - Weatherproof",
+     "NA", 27.89, 44.99, "Rugged weatherproof headlight"),
+    ("Taillights - Battery-Powered", "Lights", "Taillights", "NA",
+     8.59, 13.99, "Battery-powered taillight with flashing mode"),
+    ("Cable Lock", "Locks", "Cable Lock", "NA",
+     15.36, 25.00, "Wraps to fit front and rear tires with internal lock"),
+    ("Hitch Rack - 4-Bike", "Bike Racks", "Hitch Rack", "NA",
+     73.78, 120.00, "Carries 4 bikes securely; fits any hitch"),
+    # Clothing ---------------------------------------------------------
+    ("Mountain Bike Socks, M", "Socks", "Mountain Bike Socks", "White",
+     5.70, 9.50, "Combination of natural and synthetic fibers"),
+    ("Mountain Bike Socks, L", "Socks", "Mountain Bike Socks", "White",
+     5.70, 9.50, "Combination of natural and synthetic fibers"),
+    ("Cycling Cap", "Caps", "Cycling Cap", "Red",
+     5.39, 8.99, "Traditional style with a flip-up brim"),
+    ("AWC Logo Cap", "Caps", "AWC Logo Cap", "Multi",
+     5.39, 8.99, "Traditional style with the AWC logo"),
+    ("Long-Sleeve Logo Jersey, M", "Jerseys", "Long-Sleeve Logo Jersey",
+     "Multi", 29.99, 49.99, "Unisex long-sleeve AWC logo microfiber jersey"),
+    ("Short-Sleeve Classic Jersey, L", "Jerseys",
+     "Short-Sleeve Classic Jersey", "Yellow", 32.39, 53.99,
+     "Short sleeve classic breathable jersey"),
+    ("Half-Finger Gloves, M", "Gloves", "Half-Finger Gloves", "Black",
+     14.72, 24.49, "Synthetic palm, flexible spandex back"),
+    ("Full-Finger Gloves, L", "Gloves", "Full-Finger Gloves", "Black",
+     22.63, 37.99, "Full padding, improved finger flex"),
+    ("Classic Vest, S", "Vests", "Classic Vest", "Blue",
+     38.41, 63.50, "Light-weight, wind-resistant classic vest"),
+    ("Women's Tights, M", "Tights", "Women's Tights", "Black",
+     44.88, 74.99, "Warm spandex tights with reflective accents"),
+    ("Men's Bib-Shorts, M", "Bib-Shorts", "Men's Bib-Shorts", "Multi",
+     53.64, 89.99, "Stitched shorts with anatomic chamois"),
+    # Components -------------------------------------------------------
+    ("HL Road Frame - Black, 58", "Road Frames", "HL Road Frame", "Black",
+     868.63, 1431.50, "Our lightest and best quality aluminum road frame"),
+    ("ML Road Frame - Red, 52", "Road Frames", "ML Road Frame", "Red",
+     360.94, 594.83, "Lightweight butted aluminum road frame"),
+    ("HL Mountain Frame - Silver, 42", "Mountain Frames",
+     "HL Mountain Frame", "Silver", 818.96, 1364.50,
+     "Each frame is handcrafted in our Bothell facility"),
+    ("LL Mountain Frame - Black, 44", "Mountain Frames",
+     "LL Mountain Frame", "Black", 144.59, 249.79,
+     "Our best value mountain frame"),
+    ("LL Mountain Front Wheel", "Wheels", "LL Mountain Front Wheel",
+     "Black", 36.45, 60.75, "Replacement mountain front wheel for entry-level rider"),
+    ("ML Mountain Front Wheel", "Wheels", "ML Mountain Front Wheel",
+     "Black", 125.39, 209.03, "Replacement mountain front wheel"),
+    ("HL Fork", "Forks", "HL Fork", "NA",
+     137.92, 229.49, "High-performance carbon road fork with curved legs"),
+    ("ML Fork", "Forks", "ML Fork", "NA",
+     105.19, 175.49, "Sealed cartridge bearings; Horquilla GM compatible"),
+    ("Blade", "Forks", "Blade", "NA",
+     0.53, 0.88, "Fork blade replacement part"),
+    ("LL Headset", "Headsets", "LL Headset", "NA",
+     20.85, 34.74, "Threadless headset replacement"),
+    ("HL Headset", "Headsets", "HL Headset", "NA",
+     74.80, 124.73, "Sealed cartridge threadless headset"),
+    ("HL Mountain Handlebars", "Handlebars", "HL Mountain Handlebars", "NA",
+     72.80, 120.27, "All-purpose bar for on or off-road; fully adjustable"),
+    ("LL Road Handlebars", "Handlebars", "LL Road Handlebars", "NA",
+     26.70, 44.54, "All-purpose bar for on or off-road"),
+    ("Chain", "Chains", "Chain", "Silver",
+     12.14, 20.24, "Superior shifting performance chain"),
+    ("Front Brakes", "Brakes", "Front Brakes", "Silver",
+     63.90, 106.50, "All-weather brake pads, dual-pivot front brakes"),
+    ("Rear Brakes", "Brakes", "Rear Brakes", "Silver",
+     63.90, 106.50, "All-weather brake pads, dual-pivot rear brakes"),
+    ("HL Crankset", "Cranksets", "HL Crankset", "Black",
+     242.99, 404.99, "Triple crankset, stiff and efficient"),
+    ("Chainring", "Cranksets", "Chainring", "Black",
+     0.94, 1.56, "Steel chainring replacement"),
+    ("Chainring Bolts", "Cranksets", "Chainring Bolts", "Silver",
+     0.53, 0.88, "Hardened steel chainring bolts"),
+    ("LL Mountain Pedal", "Pedals", "LL Mountain Pedal", "Silver",
+     24.30, 40.49, "Expanded platform for all-around pedaling"),
+    ("HL Road Pedal", "Pedals", "HL Road Pedal", "Silver",
+     48.59, 80.99, "Lightweight performance road pedal"),
+    ("HL Mountain Saddle", "Saddles", "HL Mountain Saddle", "NA",
+     31.72, 52.64, "Anatomic design for a full-suspension mountain saddle"),
+    ("LL Road Saddle", "Saddles", "LL Road Saddle", "NA",
+     16.52, 27.12, "Lightweight road saddle with synthetic leather"),
+    ("Flat Washer 1", "Fasteners", "Flat Washer", "NA",
+     0.16, 0.27, "Flat washer hardened steel"),
+    ("Flat Washer 4", "Fasteners", "Flat Washer", "NA",
+     0.18, 0.31, "Flat washer hardened steel"),
+    ("Keyed Washer", "Fasteners", "Keyed Washer", "NA",
+     0.17, 0.28, "Keyed washer for locking assemblies"),
+    ("Internal Lock Washer 1", "Fasteners", "Internal Lock Washer", "NA",
+     0.19, 0.32, "Internal lock washer for hub assemblies"),
+    ("External Lock Washer 2", "Fasteners", "External Lock Washer", "NA",
+     0.19, 0.32, "External lock washer for hub assemblies"),
+    ("Hex Bolt 1", "Fasteners", "Hex Bolt", "NA",
+     0.32, 0.53, "Hex head bolts in metric sizes"),
+    ("Hex Bolt 2", "Fasteners", "Hex Bolt", "NA",
+     0.35, 0.58, "Hex head bolts in metric sizes"),
+    ("Metal Plate 2", "Fasteners", "Metal Plate", "NA",
+     4.28, 7.13, "Stamped metal plate reinforcement"),
+    ("Metal Sheet 1", "Fasteners", "Metal Sheet", "NA",
+     5.10, 8.49, "Aluminum metal sheet stock"),
+    ("Silver Hub", "Wheels", "Silver Hub", "Silver",
+     30.12, 50.20, "Polished silver hub with sealed bearings"),
+]
+
+# ----------------------------------------------------------------------
+# geography: (city, state_province, country, country_code, postal)
+# ----------------------------------------------------------------------
+GEOGRAPHIES: list[tuple[str, str, str, str, str]] = [
+    ("Seattle", "Washington", "United States", "US", "98104"),
+    ("Spokane", "Washington", "United States", "US", "99202"),
+    ("Portland", "Oregon", "United States", "US", "97205"),
+    ("San Francisco", "California", "United States", "US", "94109"),
+    ("Palo Alto", "California", "United States", "US", "94303"),
+    ("Santa Cruz", "California", "United States", "US", "95062"),
+    ("San Jose", "California", "United States", "US", "95112"),
+    ("Los Angeles", "California", "United States", "US", "90012"),
+    ("Torrance", "California", "United States", "US", "90505"),
+    ("Central Valley", "California", "United States", "US", "96019"),
+    ("Denver", "Colorado", "United States", "US", "80202"),
+    ("Columbus", "Ohio", "United States", "US", "43215"),
+    ("Ithaca", "New York", "United States", "US", "14850"),
+    ("New York", "New York", "United States", "US", "10001"),
+    ("San Antonio", "Texas", "United States", "US", "78205"),
+    ("Austin", "Texas", "United States", "US", "78701"),
+    ("Sydney", "New South Wales", "Australia", "AU", "2000"),
+    ("Alexandria", "New South Wales", "Australia", "AU", "2015"),
+    ("Newcastle", "New South Wales", "Australia", "AU", "2300"),
+    ("Melbourne", "Victoria", "Australia", "AU", "3000"),
+    ("Berlin", "Brandenburg", "Germany", "DE", "10115"),
+    ("Frankfurt", "Hessen", "Germany", "DE", "60311"),
+    ("Paris", "Seine (Paris)", "France", "FR", "75002"),
+    ("Versailles", "Yveline", "France", "FR", "78000"),
+    ("Lyon", "Loiret", "France", "FR", "45000"),
+    ("London", "England", "United Kingdom", "GB", "SW19"),
+    ("Oxford", "England", "United Kingdom", "GB", "OX1"),
+    ("Vancouver", "British Columbia", "Canada", "CA", "V7L"),
+    ("Victoria", "British Columbia", "Canada", "CA", "V8V"),
+    ("Toronto", "Ontario", "Canada", "CA", "M4B"),
+]
+
+# ----------------------------------------------------------------------
+# sales territories: (region, country, group)
+# ----------------------------------------------------------------------
+TERRITORIES: list[tuple[str, str, str]] = [
+    ("Northwest", "United States", "North America"),
+    ("Northeast", "United States", "North America"),
+    ("Central", "United States", "North America"),
+    ("Southwest", "United States", "North America"),
+    ("Southeast", "United States", "North America"),
+    ("Canada", "Canada", "North America"),
+    ("France", "France", "Europe"),
+    ("Germany", "Germany", "Europe"),
+    ("United Kingdom", "United Kingdom", "Europe"),
+    ("Australia", "Australia", "Pacific"),
+]
+
+COUNTRY_TO_TERRITORIES: dict[str, list[str]] = {
+    "United States": ["Northwest", "Northeast", "Central",
+                      "Southwest", "Southeast"],
+    "Canada": ["Canada"],
+    "France": ["France"],
+    "Germany": ["Germany"],
+    "United Kingdom": ["United Kingdom"],
+    "Australia": ["Australia"],
+}
+
+STATE_TO_TERRITORY: dict[str, str] = {
+    "Washington": "Northwest",
+    "Oregon": "Northwest",
+    "California": "Southwest",
+    "Texas": "Southwest",
+    "Colorado": "Central",
+    "Ohio": "Central",
+    "New York": "Northeast",
+}
+
+# ----------------------------------------------------------------------
+# promotions: (name, type, discount_pct)
+# ----------------------------------------------------------------------
+PROMOTIONS: list[tuple[str, str, float]] = [
+    ("No Discount", "No Discount", 0.0),
+    ("Volume Discount 11 to 14", "Volume Discount", 0.02),
+    ("Volume Discount 15 to 24", "Volume Discount", 0.05),
+    ("Mountain Tire Sale", "Excess Inventory", 0.50),
+    ("Road-650 Overstock", "Excess Inventory", 0.30),
+    ("Touring-3000 Promotion", "New Product", 0.15),
+    ("Half-Price Pedal Sale", "Seasonal Discount", 0.50),
+    ("Sport Helmet Discount", "Seasonal Discount", 0.10),
+    ("Mountain-100 Clearance Sale", "Discontinued Product", 0.35),
+    ("LL Road Frame Sale", "Excess Inventory", 0.35),
+]
+
+CURRENCIES: list[str] = [
+    "US Dollar", "Canadian Dollar", "Australian Dollar",
+    "EURO", "Deutsche Mark", "United Kingdom Pound", "French Franc",
+]
+
+COUNTRY_TO_CURRENCY: dict[str, str] = {
+    "United States": "US Dollar",
+    "Canada": "Canadian Dollar",
+    "Australia": "Australian Dollar",
+    "Germany": "Deutsche Mark",
+    "France": "French Franc",
+    "United Kingdom": "United Kingdom Pound",
+}
+
+# ----------------------------------------------------------------------
+# people
+# ----------------------------------------------------------------------
+FIRST_NAMES: list[str] = [
+    "Jon", "Eugene", "Ruben", "Christy", "Elizabeth", "Julio", "Janet",
+    "Marco", "Rob", "Shannon", "Jacquelyn", "Curtis", "Lauren", "Ian",
+    "Sydney", "Chloe", "Wyatt", "Shannon", "Clarence", "Luke", "Jordan",
+    "Destiny", "Ethan", "Seth", "Russell", "Alejandro", "Harold", "Jessie",
+    "Jill", "Jimmy", "Fernando", "Cesar", "Jose", "Mason", "Blake",
+    "Gabriella", "Katherine", "Johnny", "Isabella", "Marcus",
+]
+
+LAST_NAMES: list[str] = [
+    "Yang", "Huang", "Torres", "Zhu", "Johnson", "Ruiz", "Alvarez",
+    "Mehta", "Verhoff", "Carlson", "Suarez", "Lu", "Walker", "Jenkins",
+    "Rogers", "Young", "Hill", "Carter", "Turner", "Diaz", "King",
+    "Wilson", "Martinez", "Sanchez", "Perry", "Coleman", "Powell",
+    "Long", "Patterson", "Hughes", "Flores", "Washington", "Butler",
+    "Simmons", "Foster", "Gonzales", "Bryant", "Alexander", "Russell",
+    "Griffin",
+]
+
+STREETS: list[str] = [
+    "California Street", "Corrinne Court", "Main Street", "Oak Avenue",
+    "Pine Road", "Cedar Lane", "Maple Drive", "Birch Boulevard",
+    "Lakeview Terrace", "Hillcrest Avenue", "Sunset Boulevard",
+    "Riverside Drive", "Parkway North", "Elm Street", "Willow Way",
+]
+
+EDUCATIONS: list[str] = [
+    "Bachelors", "Graduate Degree", "High School",
+    "Partial College", "Partial High School",
+]
+
+OCCUPATIONS: list[str] = [
+    "Professional", "Management", "Skilled Manual", "Clerical", "Manual",
+]
+
+COMMUTE_DISTANCES: list[str] = [
+    "0-1 Miles", "1-2 Miles", "2-5 Miles", "5-10 Miles", "10+ Miles",
+]
+
+MONTHS: list[str] = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+DAY_NAMES: list[str] = [
+    "Monday", "Tuesday", "Wednesday", "Thursday",
+    "Friday", "Saturday", "Sunday",
+]
+
+# ----------------------------------------------------------------------
+# reseller-side pools (AW_RESELLER)
+# ----------------------------------------------------------------------
+RESELLER_NAME_PARTS: tuple[list[str], list[str]] = (
+    ["Valley", "Metro", "Riverside", "Coastal", "Summit", "Urban",
+     "Rustic", "Premier", "Golden", "Pacific", "Evergreen", "Pioneer",
+     "Cascade", "Liberty", "Granite", "Harbor", "Sunrise", "Redwood"],
+    ["Bicycle Specialists", "Bike Store", "Cycle Shop", "Sports Equipment",
+     "Bike Works", "Cycling Supplies", "Outdoor Outfitters",
+     "Bicycle Company", "Wheel Emporium", "Sport Cycles"],
+)
+
+BUSINESS_TYPES: list[tuple[str, str]] = [
+    # (business type, market segment) — a two-level reseller hierarchy
+    ("Value Added Reseller", "Wholesale"),
+    ("Specialty Bike Shop", "Retail"),
+    ("Warehouse", "Wholesale"),
+]
+
+EMPLOYEE_TITLES: list[str] = [
+    "Sales Representative", "Sales Manager", "Account Executive",
+    "Regional Director", "Sales Associate",
+]
+
+DEPARTMENTS: list[tuple[str, str]] = [
+    ("North American Sales", "Sales and Marketing"),
+    ("European Sales", "Sales and Marketing"),
+    ("Pacific Sales", "Sales and Marketing"),
+    ("Marketing", "Sales and Marketing"),
+    ("Customer Service", "Sales and Marketing"),
+]

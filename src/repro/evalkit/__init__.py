@@ -1,0 +1,71 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+Public surface::
+
+    from repro.evalkit import (
+        evaluate_ranking, RankingEvaluation, ALL_METHODS,
+        evaluate_buckets_online, evaluate_buckets_reseller,
+        BucketEvaluation, DEFAULT_BUCKET_COUNTS,
+        evaluate_annealing, AnnealingScenario,
+        render_table, render_star_nets, render_facets, render_series,
+    )
+"""
+
+from .annealing_eval import (
+    AnnealingCurve,
+    AnnealingScenario,
+    basic_series_for_query,
+    evaluate_annealing,
+)
+from .bucket_eval import (
+    BucketEvaluation,
+    BucketLine,
+    DEFAULT_BUCKET_COUNTS,
+    RollupCase,
+    bucket_error_line,
+    case_error,
+    evaluate_buckets_online,
+    evaluate_buckets_reseller,
+    rollup_cases,
+)
+from .ranking_eval import (
+    ALL_METHODS,
+    QueryOutcome,
+    RankingEvaluation,
+    evaluate_ranking,
+)
+from .report import render_facets, render_series, render_star_nets, render_table
+from .robustness_eval import (
+    RobustnessResult,
+    corrupt_query,
+    evaluate_robustness,
+    misspell_keyword,
+)
+
+__all__ = [
+    "ALL_METHODS",
+    "AnnealingCurve",
+    "AnnealingScenario",
+    "BucketEvaluation",
+    "BucketLine",
+    "DEFAULT_BUCKET_COUNTS",
+    "QueryOutcome",
+    "RankingEvaluation",
+    "RobustnessResult",
+    "RollupCase",
+    "basic_series_for_query",
+    "bucket_error_line",
+    "case_error",
+    "corrupt_query",
+    "evaluate_annealing",
+    "evaluate_buckets_online",
+    "evaluate_buckets_reseller",
+    "evaluate_ranking",
+    "evaluate_robustness",
+    "misspell_keyword",
+    "render_facets",
+    "render_series",
+    "render_star_nets",
+    "render_table",
+    "rollup_cases",
+]

@@ -1,0 +1,70 @@
+"""ASCII renderers for the experiment harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.facets import FacetedInterface
+from ..core.ranking import ScoredStarNet
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A minimal fixed-width table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] \
+        if rows else [[str(h)] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(map(str, headers),
+                                                        widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_star_nets(ranked: Sequence[ScoredStarNet],
+                     limit: int = 5) -> str:
+    """Table 1 style: hit groups per star net plus the ranking score."""
+    rows = []
+    for scored in ranked[:limit]:
+        groups = "  &  ".join(str(g) for g in scored.star_net.hit_groups)
+        rows.append((groups, f"{scored.score:.6f}"))
+    return render_table(("star net (hit groups)", "score"), rows)
+
+
+def render_facets(interface: FacetedInterface,
+                  dimensions: Sequence[str] | None = None,
+                  max_instances: int = 6) -> str:
+    """Table 2 style: selected attributes and instances per dimension."""
+    lines = []
+    for facet in interface.facets:
+        if dimensions is not None and facet.dimension not in dimensions:
+            continue
+        lines.append(f"{facet.dimension} Dimension")
+        for attr in facet.attributes:
+            marker = " (promoted)" if attr.promoted else ""
+            lines.append(f"  {attr.attribute.ref}{marker}")
+            for entry in attr.entries[:max_instances]:
+                lines.append(
+                    f"    {entry.label:<32s} agg={entry.aggregate:>14.2f} "
+                    f"score={entry.score:+.4f}"
+                )
+    return "\n".join(lines)
+
+
+def render_series(x_values: Sequence[object],
+                  series: Mapping[str, Sequence[float]],
+                  x_label: str = "x") -> str:
+    """Figure-style output: one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append((x, *(f"{values[i]:.3f}" for values in series.values())))
+    return render_table(headers, rows)

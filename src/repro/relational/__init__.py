@@ -1,0 +1,126 @@
+"""In-memory columnar relational engine (substrate for the KDAP warehouse).
+
+Public surface::
+
+    from repro.relational import (
+        Database, Table, Column, ColumnType, ForeignKey,
+        integer, float_, text, date, boolean,
+        Col, Const, Compare, In, Between, And, Or, Not, eq, isin,
+        select, semi_join, hash_join, group_by_column,
+        JoinQuery, JoinEdge, AliasFilter, SqliteBackend,
+    )
+"""
+
+from .catalog import Database, ForeignKey
+from .errors import (
+    DuplicateTableError,
+    ExpressionError,
+    IntegrityError,
+    RelationalError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .expressions import (
+    And,
+    Arith,
+    Between,
+    Col,
+    Compare,
+    Const,
+    Expression,
+    In,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+    eq,
+    isin,
+)
+from .executor import execute_join_query
+from .persistence import dump_database, load_database
+from .operators import (
+    AGGREGATES,
+    aggregate_avg,
+    aggregate_count,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    group_by,
+    group_by_column,
+    hash_join,
+    project,
+    select,
+    semi_join,
+)
+from .sql import AliasFilter, JoinEdge, JoinQuery
+from .sqlite_backend import SqliteBackend
+from .table import Table
+from .types import (
+    Column,
+    ColumnType,
+    boolean,
+    coerce_value,
+    date,
+    float_,
+    integer,
+    text,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AliasFilter",
+    "And",
+    "Arith",
+    "Between",
+    "Col",
+    "Column",
+    "ColumnType",
+    "Compare",
+    "Const",
+    "Database",
+    "DuplicateTableError",
+    "Expression",
+    "ExpressionError",
+    "ForeignKey",
+    "In",
+    "IntegrityError",
+    "IsNull",
+    "JoinEdge",
+    "JoinQuery",
+    "Not",
+    "Or",
+    "Predicate",
+    "RelationalError",
+    "SchemaError",
+    "SqliteBackend",
+    "TRUE",
+    "Table",
+    "TypeMismatchError",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "aggregate_avg",
+    "aggregate_count",
+    "aggregate_max",
+    "aggregate_min",
+    "aggregate_sum",
+    "boolean",
+    "coerce_value",
+    "date",
+    "dump_database",
+    "eq",
+    "execute_join_query",
+    "float_",
+    "group_by",
+    "group_by_column",
+    "hash_join",
+    "integer",
+    "isin",
+    "load_database",
+    "project",
+    "select",
+    "semi_join",
+    "text",
+]

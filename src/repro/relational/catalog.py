@@ -1,0 +1,148 @@
+"""The database catalog: named tables plus foreign-key metadata.
+
+A :class:`Database` is the unit the warehouse layer builds on: it owns the
+tables and the foreign keys between them.  Foreign keys are *directed*
+(child → parent) and *named*, because OLAP schemas routinely contain
+parallel edges between the same pair of tables — e.g. the paper's EBiz
+schema joins ``Account`` to ``Trans`` on both ``BuyerKey`` and
+``SellerKey`` — and path enumeration must treat those as distinct edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .errors import (
+    DuplicateTableError,
+    IntegrityError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .table import Table
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed foreign-key edge ``child.child_column → parent.parent_column``.
+
+    ``name`` disambiguates parallel edges between the same table pair and is
+    used in join-path displays (e.g. ``TRANS --BuyerKey--> ACCOUNT``).
+    """
+
+    name: str
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child_table}.{self.child_column} -> "
+            f"{self.parent_table}.{self.parent_column}"
+        )
+
+
+class Database:
+    """A named collection of tables and the foreign keys linking them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+        self._fk_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        """Register a table; names must be unique."""
+        if table.name in self._tables:
+            raise DuplicateTableError(table.name)
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """True when ``name`` is a registered table."""
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names in insertion order."""
+        return list(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate all registered tables."""
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # foreign keys
+    # ------------------------------------------------------------------
+    def add_foreign_key(
+        self,
+        name: str,
+        child_table: str,
+        child_column: str,
+        parent_table: str,
+        parent_column: str,
+    ) -> ForeignKey:
+        """Register a foreign key after validating both endpoints exist."""
+        if name in self._fk_names:
+            raise IntegrityError(f"duplicate foreign key name {name!r}")
+        child = self.table(child_table)
+        parent = self.table(parent_table)
+        if not child.has_column(child_column):
+            raise UnknownColumnError(child_table, child_column)
+        if not parent.has_column(parent_column):
+            raise UnknownColumnError(parent_table, parent_column)
+        fk = ForeignKey(name, child_table, child_column, parent_table, parent_column)
+        self._foreign_keys.append(fk)
+        self._fk_names.add(name)
+        return fk
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        """All registered foreign keys."""
+        return tuple(self._foreign_keys)
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        """Foreign keys where ``table`` is the child (outgoing edges)."""
+        return [fk for fk in self._foreign_keys if fk.child_table == table]
+
+    def foreign_keys_into(self, table: str) -> list[ForeignKey]:
+        """Foreign keys where ``table`` is the parent (incoming edges)."""
+        return [fk for fk in self._foreign_keys if fk.parent_table == table]
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def check_referential_integrity(self) -> list[str]:
+        """Verify every FK value resolves to a parent row.
+
+        Returns a list of human-readable violation messages (empty when the
+        database is consistent).  NULL child values are allowed.
+        """
+        violations: list[str] = []
+        for fk in self._foreign_keys:
+            parent = self.table(fk.parent_table)
+            parent_keys = set(parent.column_values(fk.parent_column))
+            child = self.table(fk.child_table)
+            for rid, value in enumerate(child.column_values(fk.child_column)):
+                if value is not None and value not in parent_keys:
+                    violations.append(
+                        f"{fk}: child row {rid} has dangling key {value!r}"
+                    )
+        return violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database({self.name!r}, {len(self._tables)} tables, "
+            f"{len(self._foreign_keys)} FKs)"
+        )

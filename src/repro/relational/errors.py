@@ -1,0 +1,53 @@
+"""Exception hierarchy for the in-memory relational engine.
+
+Every error raised by :mod:`repro.relational` derives from
+:class:`RelationalError`, so callers can catch engine failures without
+accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """A table, column, or foreign key definition is invalid."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the catalog."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in its table."""
+
+    def __init__(self, table: str, column: str):
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class DuplicateTableError(SchemaError):
+    """A table with the same name already exists in the catalog."""
+
+    def __init__(self, name: str):
+        super().__init__(f"duplicate table: {name!r}")
+        self.name = name
+
+
+class TypeMismatchError(RelationalError):
+    """A value does not conform to its column's declared type."""
+
+
+class IntegrityError(RelationalError):
+    """A foreign key or row-shape constraint was violated."""
+
+
+class ExpressionError(RelationalError):
+    """An expression tree references unknown columns or is malformed."""

@@ -1,0 +1,314 @@
+"""Predicate and scalar expression trees.
+
+Expressions are evaluated per row against a :class:`~repro.relational.table.Table`.
+They are intentionally tiny — comparisons, boolean combinators, ``IN`` sets,
+ranges, and arithmetic over columns — which covers everything KDAP's star
+joins and measures need, while staying printable as SQL for the
+:mod:`repro.relational.sql` generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .errors import ExpressionError
+from .table import Table
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def evaluate(self, table: Table, row_id: int):
+        """Value of this expression on one row."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns this expression reads."""
+        raise NotImplementedError
+
+    def validate(self, table: Table) -> None:
+        """Raise :class:`ExpressionError` when a referenced column is absent."""
+        for name in self.columns():
+            if not table.has_column(name):
+                raise ExpressionError(
+                    f"expression references unknown column {name!r} "
+                    f"of table {table.name!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# scalar expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Col(Expression):
+    """A column reference."""
+
+    name: str
+
+    def evaluate(self, table: Table, row_id: int):
+        return table.value(row_id, self.name)
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A literal constant."""
+
+    value: object
+
+    def evaluate(self, table: Table, row_id: int):
+        return self.value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expression):
+    """Binary arithmetic over two scalar expressions (``None`` propagates)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, table: Table, row_id: int):
+        lhs = self.left.evaluate(table, row_id)
+        rhs = self.right.evaluate(table, row_id)
+        if lhs is None or rhs is None:
+            return None
+        return _ARITH_OPS[self.op](lhs, rhs)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+class Predicate(Expression):
+    """An expression evaluating to bool (SQL three-valued logic collapsed:
+    NULL comparisons evaluate to False)."""
+
+
+_CMP_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """Comparison of two scalar expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        lhs = self.left.evaluate(table, row_id)
+        rhs = self.right.evaluate(table, row_id)
+        if lhs is None or rhs is None:
+            return False
+        return _CMP_OPS[self.op](lhs, rhs)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """Membership of a column in a fixed value set (the workhorse of hit
+    groups: ``GroupName IN ('LCD Projectors', 'Flat Panel(LCD)')``)."""
+
+    expr: Expression
+    values: frozenset
+
+    @staticmethod
+    def of(expr: Expression, values: Iterable) -> "In":
+        """Build an ``IN`` predicate from any iterable of values."""
+        return In(expr, frozenset(values))
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        value = self.expr.evaluate(table, row_id)
+        return value is not None and value in self.values
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(sorted(str(Const(v)) for v in self.values))
+        return f"{self.expr} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """Closed-open range test ``low <= expr < high`` used by numerical
+    bucketization (the last bucket of a domain uses ``inclusive_high``)."""
+
+    expr: Expression
+    low: float
+    high: float
+    inclusive_high: bool = False
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        value = self.expr.evaluate(table, row_id)
+        if value is None:
+            return False
+        if self.inclusive_high:
+            return self.low <= value <= self.high
+        return self.low <= value < self.high
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def __str__(self) -> str:
+        op = "<=" if self.inclusive_high else "<"
+        return f"({self.low!r} <= {self.expr} AND {self.expr} {op} {self.high!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    @staticmethod
+    def of(*parts: Predicate) -> "Predicate":
+        """Conjunction, flattening nested Ands; one part returns itself."""
+        flat: list[Predicate] = []
+        for part in parts:
+            if isinstance(part, And):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        return all(p.evaluate(table, row_id) for p in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    @staticmethod
+    def of(*parts: Predicate) -> "Predicate":
+        """Disjunction, flattening nested Ors; one part returns itself."""
+        flat: list[Predicate] = []
+        for part in parts:
+            if isinstance(part, Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        return any(p.evaluate(table, row_id) for p in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    inner: Predicate
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        return not self.inner.evaluate(table, row_id)
+
+    def columns(self) -> set[str]:
+        return self.inner.columns()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """NULL test."""
+
+    expr: Expression
+
+    def evaluate(self, table: Table, row_id: int) -> bool:
+        return self.expr.evaluate(table, row_id) is None
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def __str__(self) -> str:
+        return f"{self.expr} IS NULL"
+
+
+TRUE = Compare("=", Const(1), Const(1))
+"""A predicate that is always true (useful as a neutral filter)."""
+
+
+def eq(column: str, value) -> Compare:
+    """Shorthand for ``Col(column) = Const(value)``."""
+    return Compare("=", Col(column), Const(value))
+
+
+def isin(column: str, values: Iterable) -> In:
+    """Shorthand for ``Col(column) IN values``."""
+    return In.of(Col(column), values)

@@ -1,0 +1,176 @@
+"""Relational operators over columnar tables.
+
+These are *set-of-row-ids* operators: rather than materialising intermediate
+tables, most functions take and return row-id collections against named base
+tables.  That is precisely the shape KDAP needs — a subspace is a set of fact
+rows, and star joins are chains of semi-joins from dimension selections down
+to the fact table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Sequence
+
+from .expressions import Predicate
+from .table import Table
+
+
+def select(table: Table, predicate: Predicate,
+           row_ids: Iterable[int] | None = None) -> list[int]:
+    """Row ids of ``table`` satisfying ``predicate``.
+
+    When ``row_ids`` is given, only those rows are tested (filter refinement).
+    """
+    predicate.validate(table)
+    candidates = range(len(table)) if row_ids is None else row_ids
+    return [rid for rid in candidates if predicate.evaluate(table, rid)]
+
+
+def semi_join(
+    child: Table,
+    child_key: str,
+    parent_row_ids: Iterable[int],
+    parent: Table,
+    parent_key: str,
+    child_row_ids: Iterable[int] | None = None,
+) -> list[int]:
+    """Rows of ``child`` whose ``child_key`` matches ``parent_key`` of any
+    row in ``parent_row_ids`` — i.e. ``child SEMIJOIN parent``.
+
+    This is the primitive used to push a dimension selection towards the
+    fact table along one foreign-key edge.
+    """
+    parent_values = parent.column_values(parent_key)
+    keys = {parent_values[rid] for rid in parent_row_ids}
+    keys.discard(None)
+    child_values = child.column_values(child_key)
+    candidates = range(len(child)) if child_row_ids is None else child_row_ids
+    return [rid for rid in candidates if child_values[rid] in keys]
+
+
+def hash_join(
+    left: Table,
+    left_key: str,
+    right: Table,
+    right_key: str,
+    left_row_ids: Iterable[int] | None = None,
+    right_row_ids: Iterable[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Equi-join returning ``(left_row_id, right_row_id)`` pairs."""
+    right_index: dict[Hashable, list[int]] = defaultdict(list)
+    right_values = right.column_values(right_key)
+    right_candidates = range(len(right)) if right_row_ids is None else right_row_ids
+    for rid in right_candidates:
+        value = right_values[rid]
+        if value is not None:
+            right_index[value].append(rid)
+    out: list[tuple[int, int]] = []
+    left_values = left.column_values(left_key)
+    left_candidates = range(len(left)) if left_row_ids is None else left_row_ids
+    for lid in left_candidates:
+        value = left_values[lid]
+        if value is None:
+            continue
+        for rid in right_index.get(value, ()):
+            out.append((lid, rid))
+    return out
+
+
+def project(table: Table, columns: Sequence[str],
+            row_ids: Iterable[int] | None = None,
+            distinct: bool = False) -> list[tuple]:
+    """Tuples of the selected columns over the given rows."""
+    stores = [table.column_values(c) for c in columns]
+    ids = range(len(table)) if row_ids is None else row_ids
+    rows = [tuple(store[rid] for store in stores) for rid in ids]
+    if distinct:
+        seen: set[tuple] = set()
+        unique: list[tuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return unique
+    return rows
+
+
+def group_by(
+    table: Table,
+    key_of: Callable[[int], Hashable],
+    row_ids: Iterable[int] | None = None,
+) -> dict[Hashable, list[int]]:
+    """Partition rows by an arbitrary key function; drops ``None`` keys.
+
+    ``key_of`` receives a row id and returns the group key.  KDAP uses this
+    with plain column getters (categorical partitioning) and with bucket
+    assignment functions (numerical partitioning).
+    """
+    groups: dict[Hashable, list[int]] = defaultdict(list)
+    ids = range(len(table)) if row_ids is None else row_ids
+    for rid in ids:
+        key = key_of(rid)
+        if key is not None:
+            groups[key].append(rid)
+    return dict(groups)
+
+
+def group_by_column(
+    table: Table,
+    column: str,
+    row_ids: Iterable[int] | None = None,
+) -> dict[Hashable, list[int]]:
+    """Partition rows by the value of one column (NULLs dropped)."""
+    values = table.column_values(column)
+    return group_by(table, lambda rid: values[rid], row_ids)
+
+
+def aggregate_sum(values: Iterable[float]) -> float:
+    """SUM over an iterable, ignoring ``None``."""
+    return sum(v for v in values if v is not None)
+
+
+def aggregate_count(values: Iterable) -> int:
+    """COUNT of non-null values."""
+    return sum(1 for v in values if v is not None)
+
+
+def aggregate_avg(values: Iterable[float]) -> float | None:
+    """AVG over non-null values; None on empty input."""
+    total = 0.0
+    count = 0
+    for value in values:
+        if value is not None:
+            total += value
+            count += 1
+    if count == 0:
+        return None
+    return total / count
+
+
+def aggregate_min(values: Iterable) -> object | None:
+    """MIN over non-null values; None on empty input."""
+    best = None
+    for value in values:
+        if value is not None and (best is None or value < best):
+            best = value
+    return best
+
+
+def aggregate_max(values: Iterable) -> object | None:
+    """MAX over non-null values; None on empty input."""
+    best = None
+    for value in values:
+        if value is not None and (best is None or value > best):
+            best = value
+    return best
+
+
+AGGREGATES: dict[str, Callable] = {
+    "sum": aggregate_sum,
+    "count": aggregate_count,
+    "avg": aggregate_avg,
+    "min": aggregate_min,
+    "max": aggregate_max,
+}
+"""Aggregate functions addressable by name (used by measures and SQL gen)."""

@@ -1,0 +1,147 @@
+"""SQL text generation.
+
+Higher layers (star nets, facet queries) compile down to a :class:`JoinQuery`
+— a fact-rooted join tree with per-alias filters, optional group-by, and an
+aggregate over a measure expression.  This module renders that structure as
+standard SQL so that (a) users can inspect the exact query a star net means,
+and (b) the sqlite backend can execute it to cross-check the in-memory
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .expressions import Expression, Predicate
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One join step: ``left_alias.left_column = right_alias.right_column``.
+
+    ``right_table`` is the base-table name behind ``right_alias``; the fact
+    table anchors the FROM clause, and each edge adds one JOIN.
+    """
+
+    left_alias: str
+    left_column: str
+    right_table: str
+    right_alias: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class AliasFilter:
+    """A predicate applied to one aliased table."""
+
+    alias: str
+    predicate: Predicate
+
+
+@dataclass
+class JoinQuery:
+    """A fact-rooted join query.
+
+    Attributes
+    ----------
+    fact_table / fact_alias:
+        The anchor of the FROM clause.
+    edges:
+        Join steps, in an order where every edge's ``left_alias`` has already
+        been introduced (the fact alias is introduced first).
+    filters:
+        Per-alias predicates ANDed into the WHERE clause.
+    group_by:
+        Optional ``(alias, column)`` pairs.
+    aggregate:
+        Aggregate function name (``sum``/``count``/...), applied to
+        ``measure_sql`` (a rendered scalar expression over fact columns).
+    """
+
+    fact_table: str
+    fact_alias: str
+    edges: list[JoinEdge] = field(default_factory=list)
+    filters: list[AliasFilter] = field(default_factory=list)
+    group_by: list[tuple[str, str]] = field(default_factory=list)
+    aggregate: str = "sum"
+    measure_sql: str = "1"
+    measure_expr: Expression | None = None
+    """The measure as an evaluable expression over fact columns — used by
+    the in-memory executor; ``measure_sql`` is its rendered form for SQL."""
+
+    def to_sql(self) -> str:
+        """Render this query as SQL text."""
+        select_parts: list[str] = []
+        for alias, column in self.group_by:
+            select_parts.append(f"{alias}.{column}")
+        select_parts.append(f"{self.aggregate.upper()}({self.measure_sql}) AS agg")
+        lines = [
+            "SELECT " + ", ".join(select_parts),
+            f"FROM {self.fact_table} AS {self.fact_alias}",
+        ]
+        for edge in self.edges:
+            lines.append(
+                f"JOIN {edge.right_table} AS {edge.right_alias} "
+                f"ON {edge.left_alias}.{edge.left_column} = "
+                f"{edge.right_alias}.{edge.right_column}"
+            )
+        if self.filters:
+            rendered = [
+                "(" + _qualify(str(f.predicate), f.alias) + ")"
+                for f in self.filters
+            ]
+            lines.append("WHERE " + " AND ".join(rendered))
+        if self.group_by:
+            keys = ", ".join(f"{alias}.{column}" for alias, column in self.group_by)
+            lines.append(f"GROUP BY {keys}")
+        return "\n".join(lines)
+
+
+def _qualify(predicate_sql: str, alias: str) -> str:
+    """Qualify bare column names in a rendered predicate with ``alias``.
+
+    Predicates render column references as bare identifiers; inside a join
+    query every identifier must be alias-qualified.  We do a conservative
+    token rewrite: identifiers that are not SQL keywords, not quoted strings,
+    and not numbers get the alias prefix.
+    """
+    keywords = {"AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "LIKE"}
+    out: list[str] = []
+    i = 0
+    n = len(predicate_sql)
+    while i < n:
+        ch = predicate_sql[i]
+        if ch == "'":
+            # copy the quoted string verbatim (handles '' escapes)
+            j = i + 1
+            while j < n:
+                if predicate_sql[j] == "'":
+                    if j + 1 < n and predicate_sql[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append(predicate_sql[i : j + 1])
+            i = j + 1
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (predicate_sql[j].isalnum() or predicate_sql[j] == "_"):
+                j += 1
+            token = predicate_sql[i:j]
+            if token.upper() in keywords:
+                out.append(token)
+            else:
+                out.append(f"{alias}.{token}")
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def render_measure(expr: Expression) -> str:
+    """Render a measure expression for SQL (columns assumed fact-qualified
+    later via :func:`_qualify` convention: measures only read fact columns,
+    so we qualify with the fact alias at call sites)."""
+    return str(expr)

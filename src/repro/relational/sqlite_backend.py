@@ -1,0 +1,89 @@
+"""Execute catalogs and generated SQL against sqlite3.
+
+The in-memory engine is the primary execution path; this backend exists to
+*cross-check* it: tests load the same :class:`~repro.relational.catalog.Database`
+into an in-memory sqlite database, run the SQL produced by
+:mod:`repro.relational.sql`, and compare results with the columnar engine.
+It doubles as an escape hatch for users who want to point real SQL tooling
+at a generated warehouse.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from .catalog import Database
+from .table import Table
+from .types import ColumnType
+
+_SQLITE_TYPES = {
+    ColumnType.INTEGER: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.DATE: "TEXT",
+    ColumnType.BOOLEAN: "INTEGER",
+}
+
+
+def _create_sql(table: Table) -> str:
+    """CREATE TABLE statement for one columnar table."""
+    parts = []
+    for col in table.columns:
+        decl = f'"{col.name}" {_SQLITE_TYPES[col.type]}'
+        if not col.nullable:
+            decl += " NOT NULL"
+        if table.primary_key == col.name:
+            decl += " PRIMARY KEY"
+        parts.append(decl)
+    return f'CREATE TABLE "{table.name}" (' + ", ".join(parts) + ")"
+
+
+class SqliteBackend:
+    """A sqlite3 mirror of a :class:`Database`.
+
+    Usage::
+
+        backend = SqliteBackend(db)
+        rows = backend.execute("SELECT COUNT(*) FROM DimProduct")
+    """
+
+    def __init__(self, database: Database, path: str = ":memory:"):
+        self.connection = sqlite3.connect(path)
+        self._load(database)
+
+    def _load(self, database: Database) -> None:
+        cursor = self.connection.cursor()
+        for table in database.tables():
+            cursor.execute(_create_sql(table))
+            if len(table) == 0:
+                continue
+            placeholders = ", ".join("?" for _ in table.columns)
+            names = ", ".join(f'"{c.name}"' for c in table.columns)
+            stmt = f'INSERT INTO "{table.name}" ({names}) VALUES ({placeholders})'
+            stores = [table.column_values(c.name) for c in table.columns]
+            rows = zip(*stores)
+            cursor.executemany(stmt, (tuple(_to_sqlite(v) for v in row) for row in rows))
+        self.connection.commit()
+
+    def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Run a query and fetch all rows."""
+        cursor = self.connection.execute(sql, params)
+        return cursor.fetchall()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _to_sqlite(value):
+    """Map engine values to sqlite storage values (bools become 0/1)."""
+    if isinstance(value, bool):
+        return int(value)
+    return value

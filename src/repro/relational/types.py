@@ -1,0 +1,144 @@
+"""Column types and schema metadata for the in-memory relational engine.
+
+The engine stores data column-wise: each :class:`Column` declares a name
+and a :class:`ColumnType`; the actual values live in plain Python lists held
+by :class:`~repro.relational.table.Table`.  Types are deliberately minimal —
+KDAP only needs integers, floats, text, and dates — but every value that
+enters a table is validated and coerced through :func:`coerce_value`, so the
+rest of the engine can trust the data it reads.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass
+
+from .errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """The value domain of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types on which arithmetic and bucketization make sense."""
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: a name plus a declared type.
+
+    ``nullable`` defaults to True; primary-key columns should pass
+    ``nullable=False`` so that :meth:`Table.insert` rejects missing keys.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid column name: {self.name!r}")
+
+
+def coerce_value(value, column: Column):
+    """Validate and coerce ``value`` for storage in ``column``.
+
+    Returns the stored representation (dates are stored as ISO strings so
+    that sorting and sqlite round-trips are trivial).  Raises
+    :class:`TypeMismatchError` when the value cannot represent the declared
+    type.
+    """
+    if value is None:
+        if column.nullable:
+            return None
+        raise TypeMismatchError(
+            f"column {column.name!r} is NOT NULL but got None"
+        )
+
+    kind = column.type
+    if kind is ColumnType.INTEGER:
+        if isinstance(value, bool):
+            raise TypeMismatchError(
+                f"column {column.name!r}: bool is not an INTEGER"
+            )
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(
+            f"column {column.name!r}: {value!r} is not an INTEGER"
+        )
+    if kind is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(
+                f"column {column.name!r}: bool is not a FLOAT"
+            )
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(
+            f"column {column.name!r}: {value!r} is not a FLOAT"
+        )
+    if kind is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(
+            f"column {column.name!r}: {value!r} is not TEXT"
+        )
+    if kind is ColumnType.DATE:
+        if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+            return value.isoformat()
+        if isinstance(value, str):
+            try:
+                _dt.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"column {column.name!r}: {value!r} is not an ISO date"
+                ) from exc
+            return value
+        raise TypeMismatchError(
+            f"column {column.name!r}: {value!r} is not a DATE"
+        )
+    if kind is ColumnType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(
+            f"column {column.name!r}: {value!r} is not a BOOLEAN"
+        )
+    raise TypeMismatchError(f"unsupported column type: {kind}")
+
+
+# Convenience constructors, so schema definitions read naturally:
+#   integer("CustomerKey"), text("City"), ...
+
+def integer(name: str, nullable: bool = True) -> Column:
+    """An INTEGER column."""
+    return Column(name, ColumnType.INTEGER, nullable)
+
+
+def float_(name: str, nullable: bool = True) -> Column:
+    """A FLOAT column."""
+    return Column(name, ColumnType.FLOAT, nullable)
+
+
+def text(name: str, nullable: bool = True) -> Column:
+    """A TEXT column."""
+    return Column(name, ColumnType.TEXT, nullable)
+
+
+def date(name: str, nullable: bool = True) -> Column:
+    """A DATE column (stored as ISO-8601 text)."""
+    return Column(name, ColumnType.DATE, nullable)
+
+
+def boolean(name: str, nullable: bool = True) -> Column:
+    """A BOOLEAN column."""
+    return Column(name, ColumnType.BOOLEAN, nullable)

@@ -1,0 +1,31 @@
+"""Full-text engine substrate (Lucene equivalent for KDAP).
+
+Public surface::
+
+    from repro.textindex import (
+        Analyzer, DEFAULT_ANALYZER, STOPWORDS, stem,
+        InvertedIndex, Posting,
+        Similarity, DEFAULT_SIMILARITY,
+        AttributeTextIndex, TupleTextIndex, SearchHit,
+    )
+"""
+
+from .analysis import Analyzer, DEFAULT_ANALYZER, STOPWORDS
+from .index import AttributeTextIndex, SearchHit, TupleTextIndex
+from .inverted import InvertedIndex, Posting
+from .similarity import DEFAULT_SIMILARITY, Similarity
+from .stemmer import stem
+
+__all__ = [
+    "Analyzer",
+    "AttributeTextIndex",
+    "DEFAULT_ANALYZER",
+    "DEFAULT_SIMILARITY",
+    "InvertedIndex",
+    "Posting",
+    "STOPWORDS",
+    "SearchHit",
+    "Similarity",
+    "TupleTextIndex",
+    "stem",
+]

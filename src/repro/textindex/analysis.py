@@ -1,0 +1,60 @@
+"""Text analysis pipeline: tokenize → lowercase → stopword filter → stem.
+
+Mirrors Lucene's ``StandardAnalyzer`` + ``PorterStemFilter`` combination the
+KDAP prototype used.  The analyzer is deliberately deterministic and
+side-effect free so the same pipeline can run at index time and query time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .stemmer import stem
+
+# Tokens are runs of alphanumerics, keeping intra-word hyphens/apostrophes
+# joined content separate (Mountain-100 -> ["mountain", "100"]), plus
+# embedded digits as their own tokens; this matches what StandardAnalyzer
+# does to product codes like "Sport-100" and emails.
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+STOPWORDS: frozenset[str] = frozenset(
+    """a an and are as at be but by for if in into is it no not of on or
+    such that the their then there these they this to was will with""".split()
+)
+"""Lucene's classic English stopword list."""
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """A configurable analysis pipeline.
+
+    Parameters
+    ----------
+    use_stemming:
+        Apply the Porter stemmer to each token (default True).
+    use_stopwords:
+        Drop stopwords before stemming (default True).
+    """
+
+    use_stemming: bool = True
+    use_stopwords: bool = True
+
+    def tokenize(self, content: str) -> list[str]:
+        """Raw lowercase tokens without stopword removal or stemming."""
+        return [m.group(0).lower() for m in _TOKEN_RE.finditer(content)]
+
+    def analyze(self, content: str) -> list[str]:
+        """Full pipeline: index/query terms for ``content``."""
+        terms = []
+        for token in self.tokenize(content):
+            if self.use_stopwords and token in STOPWORDS:
+                continue
+            if self.use_stemming:
+                token = stem(token)
+            terms.append(token)
+        return terms
+
+
+DEFAULT_ANALYZER = Analyzer()
+"""Shared analyzer with stemming and stopwords enabled."""

@@ -1,0 +1,133 @@
+"""Aggregate caching for the explore phase (the paper's §7 performance
+direction).
+
+"Our current implementation requires aggregation over the sub-dataspace
+associated with a given keyword query.  This can be quite expensive on
+sizable data warehouses.  We plan to leverage the optimization power of
+existing OLAP engines and to develop new specialized techniques optimized
+for KDAP."
+
+:class:`AggregateCache` is such a specialised technique for this engine:
+
+* **full-space materialisation** — per (group-by attribute, measure), the
+  whole dataspace's per-value aggregates are computed once and reused by
+  every query whose roll-up degenerates to ALL;
+* **subspace memoisation** — partition aggregates are memoised by a
+  content key of (fact-row set, attribute, measure, domain restriction),
+  so re-exploring the same interpretation (or comparing measures on it)
+  never recomputes;
+* **statistics** — hit/miss counters so benchmarks can show the effect.
+
+The cache is layered *around* :class:`~repro.warehouse.subspace.Subspace`
+(wrap calls in :meth:`partition_aggregates`); nothing else changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .schema import GroupByAttribute, StarSchema
+from .subspace import Subspace
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.total if self.total else 0.0
+
+
+class AggregateCache:
+    """Memoised partition aggregation over one star schema."""
+
+    def __init__(self, schema: StarSchema, max_entries: int = 4096):
+        self.schema = schema
+        self.max_entries = max_entries
+        self._memo: dict[tuple, dict] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _subspace_key(subspace: Subspace) -> tuple:
+        rows = subspace.fact_rows
+        # content key: cheap but collision-safe enough — length plus a
+        # structural hash of the row tuple
+        return (len(rows), hash(rows))
+
+    def _key(self, subspace: Subspace, gb: GroupByAttribute,
+             measure_name: str, domain) -> tuple:
+        domain_key = None if domain is None else tuple(domain)
+        return (
+            self._subspace_key(subspace),
+            gb.ref.table, gb.ref.column, gb.path_from_fact.fk_names,
+            measure_name, domain_key,
+        )
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def partition_aggregates(
+        self,
+        subspace: Subspace,
+        gb: GroupByAttribute,
+        measure_name: str,
+        domain: Iterable | None = None,
+    ) -> dict:
+        """Memoised :meth:`Subspace.partition_aggregates`."""
+        domain = None if domain is None else list(domain)
+        key = self._key(subspace, gb, measure_name, domain)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return dict(cached)
+        self.stats.misses += 1
+        result = subspace.partition_aggregates(gb, measure_name,
+                                               domain=domain)
+        if len(self._memo) >= self.max_entries:
+            # simple clear-on-full policy: explore sessions are bursty and
+            # a fresh burst rarely reuses a stale warehouse-wide history
+            self._memo.clear()
+        self._memo[key] = dict(result)
+        return result
+
+    def precompute_full_space(self, measure_name: str,
+                              attributes: Iterable[GroupByAttribute]
+                              | None = None) -> int:
+        """Materialise the whole dataspace's aggregates for the given
+        attributes (default: every declared categorical candidate).
+
+        Returns the number of partitions materialised.  Roll-ups that
+        degenerate to ALL — common for top-level hit groups — then hit
+        the cache directly.
+        """
+        full = Subspace.full(self.schema)
+        if attributes is None:
+            attributes = [
+                gb for dim in self.schema.dimensions
+                for gb in dim.groupbys if not gb.is_numerical
+            ]
+        count = 0
+        for gb in attributes:
+            self.partition_aggregates(full, gb, measure_name)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop every memoised partition (stats are kept)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._memo)

@@ -1,0 +1,72 @@
+"""Textual schema description — a Figure-2-style rendering.
+
+``describe_schema`` prints, per dimension, its tables (with searchable /
+total attribute counts like the paper's parenthesised annotations), its
+aggregation hierarchies, and its group-by candidates; then the fact side
+with measures and FK fan-out.  Useful for README output and for sanity-
+checking generated warehouses.
+"""
+
+from __future__ import annotations
+
+from .schema import StarSchema
+
+
+def describe_schema(schema: StarSchema) -> str:
+    """A multi-line human-readable description of a star schema."""
+    db = schema.database
+    lines: list[str] = [f"StarSchema {db.name!r}"]
+
+    fact = db.table(schema.fact_table)
+    lines.append(
+        f"  fact table {fact.name} ({len(fact)} rows, "
+        f"{len(fact.columns)} attributes)"
+    )
+    extra_fact = sorted(schema.fact_complex - {schema.fact_table})
+    if extra_fact:
+        lines.append(f"  fact complex: {', '.join(extra_fact)}")
+    for name, measure in schema.measures.items():
+        lines.append(
+            f"  measure {name} = {measure.aggregate}({measure.expression})"
+        )
+
+    for dim in schema.dimensions:
+        lines.append(f"  dimension {dim.name}"
+                     + (" [hierarchical]" if dim.is_hierarchical else ""))
+        for table_name in dim.tables:
+            table = db.table(table_name)
+            searchable = len(schema.searchable.get(table_name, ()))
+            lines.append(
+                f"    table {table_name} ({searchable}/"
+                f"{len(table.columns)} searchable, {len(table)} rows)"
+            )
+        for hierarchy in dim.hierarchies:
+            chain = " -> ".join(str(level) for level in hierarchy.levels)
+            lines.append(f"    hierarchy {hierarchy.name}: {chain}")
+        for gb in dim.groupbys:
+            lines.append(f"    group-by {gb}")
+
+    lines.append(f"  foreign keys ({len(db.foreign_keys)}):")
+    for fk in db.foreign_keys:
+        lines.append(f"    {fk.name}: {fk}")
+    return "\n".join(lines)
+
+
+def schema_statistics(schema: StarSchema) -> dict:
+    """The headline shape numbers (the paper's §6.1 statistics)."""
+    searchable_domains = sum(
+        len(cols) for cols in schema.searchable.values()
+    )
+    return {
+        "fact_rows": schema.num_fact_rows,
+        "tables": len(schema.database.table_names),
+        "dimensions": len(schema.dimensions),
+        "hierarchical_dimensions": sum(
+            d.is_hierarchical for d in schema.dimensions
+        ),
+        "searchable_domains": searchable_domains,
+        "foreign_keys": len(schema.database.foreign_keys),
+        "groupby_candidates": sum(
+            len(d.groupbys) for d in schema.dimensions
+        ),
+    }

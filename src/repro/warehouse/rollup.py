@@ -1,0 +1,97 @@
+"""Roll-up primitives and star-join evaluation.
+
+Two pieces live here:
+
+* :func:`slice_facts` — push a selection on a dimension table down a join
+  path to the fact table (a chain of semi-joins).  This is how a star net
+  ray turns keywords into fact rows.
+* :func:`generalize_values` — map attribute values one level up their
+  aggregation hierarchy.  This is the data half of the paper's RUP
+  operator (§5.2.1): enlarging DS' by generalising a hit group's selection
+  to the parent level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational.operators import semi_join
+from .graph import JoinPath
+from .schema import AttributeRef, Hierarchy, StarSchema
+
+
+def slice_facts(
+    schema: StarSchema,
+    source_table: str,
+    source_rows: Iterable[int],
+    path_to_fact: JoinPath,
+) -> set[int]:
+    """Fact rows reachable from ``source_rows`` along ``path_to_fact``.
+
+    ``path_to_fact`` must start at ``source_table`` and end at the fact
+    table.  Each step is evaluated as a semi-join, so complexity is linear
+    in the visited tables.
+    """
+    if path_to_fact.steps:
+        if path_to_fact.source != source_table:
+            raise ValueError(
+                f"path starts at {path_to_fact.source!r}, "
+                f"expected {source_table!r}"
+            )
+        if path_to_fact.target != schema.fact_table:
+            raise ValueError(
+                f"path ends at {path_to_fact.target!r}, "
+                f"expected fact table {schema.fact_table!r}"
+            )
+    elif source_table != schema.fact_table:
+        raise ValueError("empty path is only valid from the fact table")
+
+    current_rows = list(source_rows)
+    current_table = schema.database.table(source_table)
+    for step in path_to_fact.steps:
+        next_table = schema.database.table(step.target)
+        current_rows = semi_join(
+            child=next_table,
+            child_key=step.target_column,
+            parent_row_ids=current_rows,
+            parent=current_table,
+            parent_key=step.source_column,
+        )
+        current_table = next_table
+        if not current_rows:
+            break
+    return set(current_rows)
+
+
+def select_rows_by_values(
+    schema: StarSchema, ref: AttributeRef, values: Iterable
+) -> list[int]:
+    """Row ids of ``ref.table`` whose ``ref.column`` is in ``values``."""
+    table = schema.database.table(ref.table)
+    wanted = set(values)
+    column = table.column_values(ref.column)
+    return [rid for rid, v in enumerate(column) if v in wanted]
+
+
+def generalize_values(
+    schema: StarSchema,
+    ref: AttributeRef,
+    values: Iterable,
+) -> tuple[AttributeRef, set] | None:
+    """Map ``values`` of hierarchy level ``ref`` to the parent level.
+
+    Returns ``(parent_ref, parent_values)``, or None when ``ref`` is not a
+    hierarchy level or is already the top level — in which case the roll-up
+    degenerates to "all" (drop the selection entirely).
+    """
+    position = schema.hierarchy_position(ref)
+    if position is None:
+        return None
+    _dim, hierarchy, level_idx = position
+    if level_idx + 1 >= len(hierarchy.levels):
+        return None
+    mapping = schema.parent_map(hierarchy, level_idx)
+    parents = {mapping[v] for v in values if v in mapping}
+    if not parents:
+        return None
+    return hierarchy.levels[level_idx + 1], parents

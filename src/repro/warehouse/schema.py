@@ -1,0 +1,367 @@
+"""Star/snowflake schema metadata: dimensions, hierarchies, measures.
+
+A :class:`StarSchema` wraps a :class:`~repro.relational.catalog.Database`
+with the OLAP knowledge KDAP needs:
+
+* which table is the fact table and what the measures are;
+* how tables group into *dimensions* (a dimension may span several tables,
+  and one table — e.g. a shared ``Location`` — may belong to several
+  dimensions);
+* the *aggregation hierarchies* inside each dimension (used by roll-up
+  partitioning, §5.2.1 of the paper);
+* the manually declared candidate group-by attributes (§5.2.1: "In our
+  current implementation, we manually specify the candidate group-by
+  attributes within each dimension");
+* which text attributes are full-text searchable.
+
+The schema also owns the *fact-aligned column cache*: resolving a dimension
+attribute down to one value per fact row is the hot operation behind every
+partitioning, so resolved vectors are memoised per (join path, column).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..relational.catalog import Database
+from ..relational.errors import SchemaError, UnknownColumnError
+from ..relational.expressions import Expression
+from .graph import EMPTY_PATH, JoinPath, PathStep, SchemaGraph
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """A (table, column) pair naming one attribute domain."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute partitions categorically or numerically."""
+
+    CATEGORICAL = "categorical"
+    NUMERICAL = "numerical"
+
+
+@dataclass(frozen=True)
+class GroupByAttribute:
+    """A candidate group-by attribute of a dimension.
+
+    ``path_from_fact`` is the canonical join path from the fact table to the
+    attribute's table; it pins down *which role* of a shared table is meant
+    (Customer-geography vs Store-geography).
+    """
+
+    ref: AttributeRef
+    kind: AttributeKind
+    path_from_fact: JoinPath
+
+    @property
+    def is_numerical(self) -> bool:
+        """True for numerical attributes (bucketized before partitioning)."""
+        return self.kind is AttributeKind.NUMERICAL
+
+    def __str__(self) -> str:
+        return f"{self.ref} ({self.kind.value})"
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """An aggregation hierarchy: attribute levels from finest to coarsest.
+
+    e.g. ``EnglishProductName → SubcategoryName → CategoryName``.
+    """
+
+    name: str
+    levels: tuple[AttributeRef, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 1:
+            raise SchemaError(f"hierarchy {self.name!r} needs at least one level")
+
+    def level_index(self, ref: AttributeRef) -> int | None:
+        """Position of ``ref`` in this hierarchy, or None."""
+        for i, level in enumerate(self.levels):
+            if level == ref:
+                return i
+        return None
+
+    def parent_level(self, ref: AttributeRef) -> AttributeRef | None:
+        """The next-coarser level above ``ref``, or None at the top."""
+        idx = self.level_index(ref)
+        if idx is None or idx + 1 >= len(self.levels):
+            return None
+        return self.levels[idx + 1]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named group of tables, hierarchies, and group-by candidates."""
+
+    name: str
+    tables: tuple[str, ...]
+    hierarchies: tuple[Hierarchy, ...] = ()
+    groupbys: tuple[GroupByAttribute, ...] = ()
+
+    @property
+    def is_hierarchical(self) -> bool:
+        """True when the dimension declares at least one multi-level hierarchy."""
+        return any(len(h.levels) > 1 for h in self.hierarchies)
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named aggregate over fact columns.
+
+    ``expression`` is evaluated per fact row (e.g. UnitPrice * Quantity);
+    ``aggregate`` names the fold applied over a group (sum/count/avg/...).
+    """
+
+    name: str
+    expression: Expression
+    aggregate: str = "sum"
+
+
+class StarSchema:
+    """A database plus its OLAP interpretation."""
+
+    def __init__(
+        self,
+        database: Database,
+        fact_table: str,
+        dimensions: Sequence[Dimension],
+        measures: Sequence[Measure],
+        searchable: Mapping[str, Sequence[str]],
+        fact_complex: Sequence[str] = (),
+    ):
+        """``fact_complex`` names additional header tables that belong to
+        the fact side of the schema (e.g. the EBiz ``TRANS`` header above
+        the ``TRANSITEM`` fact): join paths may traverse them without
+        assigning them to any dimension."""
+        if not database.has_table(fact_table):
+            raise SchemaError(f"fact table {fact_table!r} not in database")
+        self.database = database
+        self.fact_table = fact_table
+        self.fact_complex: frozenset[str] = frozenset(fact_complex) | {
+            fact_table
+        }
+        self.dimensions: tuple[Dimension, ...] = tuple(dimensions)
+        self.measures: dict[str, Measure] = {m.name: m for m in measures}
+        self.searchable: dict[str, tuple[str, ...]] = {
+            t: tuple(cols) for t, cols in searchable.items()
+        }
+        self.graph = SchemaGraph(database)
+        self._validate()
+        # caches -------------------------------------------------------
+        self._fact_vectors: dict[tuple, list] = {}
+        self._measure_vectors: dict[str, list] = {}
+        self._parent_maps: dict[tuple, dict] = {}
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for table, cols in self.searchable.items():
+            t = self.database.table(table)
+            for col in cols:
+                if not t.has_column(col):
+                    raise UnknownColumnError(table, col)
+        for dim in self.dimensions:
+            for name in dim.tables:
+                self.database.table(name)  # raises if missing
+            for hierarchy in dim.hierarchies:
+                for ref in hierarchy.levels:
+                    t = self.database.table(ref.table)
+                    if not t.has_column(ref.column):
+                        raise UnknownColumnError(ref.table, ref.column)
+            for gb in dim.groupbys:
+                t = self.database.table(gb.ref.table)
+                if not t.has_column(gb.ref.column):
+                    raise UnknownColumnError(gb.ref.table, gb.ref.column)
+                if gb.path_from_fact.steps:
+                    if gb.path_from_fact.source != self.fact_table:
+                        raise SchemaError(
+                            f"group-by path for {gb.ref} must start at the "
+                            f"fact table, got {gb.path_from_fact.source!r}"
+                        )
+                    if gb.path_from_fact.target != gb.ref.table:
+                        raise SchemaError(
+                            f"group-by path for {gb.ref} must end at "
+                            f"{gb.ref.table!r}, got "
+                            f"{gb.path_from_fact.target!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    # dimension / hierarchy lookups
+    # ------------------------------------------------------------------
+    def dimension(self, name: str) -> Dimension:
+        """Look up a dimension by name."""
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise SchemaError(f"unknown dimension {name!r}")
+
+    def dimensions_of_table(self, table: str) -> list[Dimension]:
+        """Every dimension containing ``table`` (shared tables → several)."""
+        return [d for d in self.dimensions if table in d.tables]
+
+    def hierarchy_position(
+        self, ref: AttributeRef
+    ) -> tuple[Dimension, Hierarchy, int] | None:
+        """Locate ``ref`` inside some dimension hierarchy.
+
+        Returns (dimension, hierarchy, level index), or None when the
+        attribute is not a hierarchy level.
+        """
+        for dim in self.dimensions:
+            for hierarchy in dim.hierarchies:
+                idx = hierarchy.level_index(ref)
+                if idx is not None:
+                    return (dim, hierarchy, idx)
+        return None
+
+    def path_via_dimension(self, dimension: Dimension, table: str,
+                           max_length: int = 6) -> JoinPath:
+        """The canonical fact → ``table`` path whose intermediate tables all
+        belong to ``dimension`` (resolves shared-table role ambiguity)."""
+        candidates = [
+            p for p in self.graph.join_paths(self.fact_table, table, max_length)
+            if all(t in self.fact_complex or t in dimension.tables
+                   for t in p.tables)
+        ]
+        if not candidates:
+            raise SchemaError(
+                f"no path from {self.fact_table!r} to {table!r} inside "
+                f"dimension {dimension.name!r}"
+            )
+        return candidates[0]  # join_paths sorts by length, then FK names
+
+    # ------------------------------------------------------------------
+    # row-level resolution (fact-aligned vectors)
+    # ------------------------------------------------------------------
+    def resolve_column(self, base_table: str, path: JoinPath,
+                       column: str) -> list:
+        """One value of ``column`` per row of ``base_table``, resolved by
+        walking ``path`` (every step must move towards an FK parent, i.e.
+        many-to-one, so each base row maps to at most one value).
+
+        Rows whose FK chain dangles resolve to None.
+        """
+        table = self.database.table(base_table)
+        current: list = list(range(len(table)))
+        current_table = table
+        for step in path.steps:
+            if not step.towards_parent:
+                raise SchemaError(
+                    f"cannot resolve row-level values across a one-to-many "
+                    f"step: {step}"
+                )
+            parent = self.database.table(step.target)
+            parent_index: dict[object, int] = {}
+            for rid, value in enumerate(parent.column_values(step.target_column)):
+                if value is not None and value not in parent_index:
+                    parent_index[value] = rid
+            child_values = current_table.column_values(step.source_column)
+            current = [
+                parent_index.get(child_values[rid]) if rid is not None else None
+                for rid in current
+            ]
+            current_table = parent
+        values = current_table.column_values(column)
+        return [values[rid] if rid is not None else None for rid in current]
+
+    def fact_vector(self, path: JoinPath, column: str) -> list:
+        """Cached fact-aligned vector of ``column`` reached via ``path``."""
+        key = (path.fk_names, column)
+        if key not in self._fact_vectors:
+            self._fact_vectors[key] = self.resolve_column(
+                self.fact_table, path, column
+            )
+        return self._fact_vectors[key]
+
+    def groupby_vector(self, gb: GroupByAttribute) -> list:
+        """Fact-aligned values of a group-by attribute."""
+        return self.fact_vector(gb.path_from_fact, gb.ref.column)
+
+    def measure_vector(self, measure_name: str) -> list:
+        """Cached per-fact-row measure values."""
+        if measure_name not in self._measure_vectors:
+            measure = self.measures[measure_name]
+            fact = self.database.table(self.fact_table)
+            measure.expression.validate(fact)
+            self._measure_vectors[measure_name] = [
+                measure.expression.evaluate(fact, rid)
+                for rid in range(len(fact))
+            ]
+        return self._measure_vectors[measure_name]
+
+    # ------------------------------------------------------------------
+    # hierarchy value mappings (for roll-up)
+    # ------------------------------------------------------------------
+    def parent_map(self, hierarchy: Hierarchy, level_index: int) -> dict:
+        """child value → parent value map between adjacent hierarchy levels.
+
+        Derived from the data: project (child, parent) pairs, joining across
+        tables when the levels live in different tables.
+        """
+        if level_index + 1 >= len(hierarchy.levels):
+            raise SchemaError(
+                f"level {level_index} of hierarchy {hierarchy.name!r} "
+                "has no parent level"
+            )
+        key = (hierarchy.name, level_index)
+        if key in self._parent_maps:
+            return self._parent_maps[key]
+        child_ref = hierarchy.levels[level_index]
+        parent_ref = hierarchy.levels[level_index + 1]
+        child_table = self.database.table(child_ref.table)
+        if child_ref.table == parent_ref.table:
+            parent_values = child_table.column_values(parent_ref.column)
+        else:
+            path = self._hierarchy_link_path(child_ref.table, parent_ref.table)
+            parent_values = self.resolve_column(
+                child_ref.table, path, parent_ref.column
+            )
+        child_values = child_table.column_values(child_ref.column)
+        mapping: dict = {}
+        for child, parent in zip(child_values, parent_values):
+            if child is not None and parent is not None:
+                mapping.setdefault(child, parent)
+        self._parent_maps[key] = mapping
+        return mapping
+
+    def _hierarchy_link_path(self, child_table: str,
+                             parent_table: str) -> JoinPath:
+        """Shortest child → parent path that avoids the fact table."""
+        candidates = [
+            p for p in self.graph.join_paths(child_table, parent_table)
+            if not (set(p.tables) & self.fact_complex)
+            and all(s.towards_parent for s in p.steps)
+        ]
+        if not candidates:
+            raise SchemaError(
+                f"no FK chain from {child_table!r} up to {parent_table!r}"
+            )
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def num_fact_rows(self) -> int:
+        """Number of rows in the fact table."""
+        return len(self.database.table(self.fact_table))
+
+    def groupby_attribute(self, table: str, column: str) -> GroupByAttribute:
+        """Find a declared group-by candidate by its attribute ref."""
+        for dim in self.dimensions:
+            for gb in dim.groupbys:
+                if gb.ref.table == table and gb.ref.column == column:
+                    return gb
+        raise SchemaError(f"no group-by candidate {table}.{column}")

@@ -1,0 +1,129 @@
+"""Subspaces: sets of fact rows with aggregation and partitioning.
+
+The paper's DS' ("sub-dataspace") is exactly a subset of the fact table.
+A :class:`Subspace` is therefore a sorted tuple of fact row ids bound to a
+:class:`~repro.warehouse.schema.StarSchema`; partitioning and aggregation
+are thin loops over the schema's cached fact-aligned vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..relational.operators import AGGREGATES
+from .schema import GroupByAttribute, StarSchema
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """A subset DS' of the fact table.
+
+    ``label`` is a human-readable description (typically the star net that
+    produced it).
+    """
+
+    schema: StarSchema
+    fact_rows: tuple[int, ...]
+    label: str = ""
+
+    @staticmethod
+    def of(schema: StarSchema, rows: Iterable[int], label: str = "") -> "Subspace":
+        """Normalise any row collection into a subspace."""
+        return Subspace(schema, tuple(sorted(set(rows))), label)
+
+    @staticmethod
+    def full(schema: StarSchema, label: str = "ALL") -> "Subspace":
+        """The whole dataspace DS (every fact row)."""
+        return Subspace(schema, tuple(range(schema.num_fact_rows)), label)
+
+    def __len__(self) -> int:
+        return len(self.fact_rows)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no fact row qualifies."""
+        return not self.fact_rows
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Subspace") -> "Subspace":
+        """Rows in both subspaces."""
+        rows = set(self.fact_rows) & set(other.fact_rows)
+        return Subspace.of(self.schema, rows,
+                           label=f"({self.label}) AND ({other.label})")
+
+    def union(self, other: "Subspace") -> "Subspace":
+        """Rows in either subspace."""
+        rows = set(self.fact_rows) | set(other.fact_rows)
+        return Subspace.of(self.schema, rows,
+                           label=f"({self.label}) OR ({other.label})")
+
+    def contains(self, other: "Subspace") -> bool:
+        """True when ``other`` is a subset of this subspace."""
+        return set(other.fact_rows) <= set(self.fact_rows)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self, measure_name: str) -> float:
+        """G(DS'): the measure aggregated over the whole subspace."""
+        measure = self.schema.measures[measure_name]
+        vector = self.schema.measure_vector(measure_name)
+        fn = AGGREGATES[measure.aggregate]
+        return fn(vector[r] for r in self.fact_rows)
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def groupby_values(self, gb: GroupByAttribute) -> list:
+        """The group-by attribute's value for each row of the subspace,
+        aligned with ``fact_rows``."""
+        vector = self.schema.groupby_vector(gb)
+        return [vector[r] for r in self.fact_rows]
+
+    def domain(self, gb: GroupByAttribute) -> list:
+        """DOM(DS', attr): distinct non-null attribute values present,
+        sorted for determinism."""
+        return sorted(
+            {v for v in self.groupby_values(gb) if v is not None},
+            key=lambda v: (str(type(v)), v),
+        )
+
+    def partition(self, gb: GroupByAttribute) -> dict:
+        """PAR(DS', attr): value → list of subspace rows (NULLs dropped)."""
+        vector = self.schema.groupby_vector(gb)
+        groups: dict = {}
+        for row in self.fact_rows:
+            value = vector[row]
+            if value is not None:
+                groups.setdefault(value, []).append(row)
+        return groups
+
+    def partition_aggregates(
+        self,
+        gb: GroupByAttribute,
+        measure_name: str,
+        domain: Iterable | None = None,
+    ) -> dict:
+        """value → aggregated measure for each group.
+
+        When ``domain`` is given, only those categories are computed and
+        missing categories aggregate to 0 — this implements the paper's
+        restriction of PAR(RUP(DS'), attr) to the segments that also exist
+        in PAR(DS', attr).
+        """
+        measure = self.schema.measures[measure_name]
+        vector = self.schema.measure_vector(measure_name)
+        fn = AGGREGATES[measure.aggregate]
+        groups = self.partition(gb)
+        if domain is None:
+            return {
+                value: fn(vector[r] for r in rows)
+                for value, rows in groups.items()
+            }
+        return {
+            value: fn(vector[r] for r in groups.get(value, ()))
+            for value in domain
+        }

@@ -1,0 +1,136 @@
+"""Algorithm 2: splitting-point assignment by simulated annealing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AnnealingConfig,
+    anneal_splits,
+    equal_width_splits,
+    is_valid_splitting,
+    merge_series,
+    merged_correlation,
+    pearson_correlation,
+    segment_lengths,
+)
+
+
+class TestMergeSeries:
+    def test_basic(self):
+        assert merge_series([1, 2, 3, 4], [2]) == [3, 7]
+
+    def test_no_splits(self):
+        assert merge_series([1, 2, 3], []) == [6]
+
+    def test_mass_preserved(self):
+        series = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert sum(merge_series(series, [1, 3])) == pytest.approx(
+            sum(series))
+
+
+class TestValidity:
+    def test_equal_width_splits(self):
+        assert equal_width_splits(10, 5) == (2, 4, 6, 8)
+
+    def test_equal_width_invalid(self):
+        with pytest.raises(ValueError):
+            equal_width_splits(3, 5)
+
+    def test_monotonic_required(self):
+        assert not is_valid_splitting([3, 2], 10, 100.0)
+        assert not is_valid_splitting([0, 2], 10, 100.0)
+        assert not is_valid_splitting([2, 10], 10, 100.0)
+
+    def test_skew_constraint(self):
+        # segments of lengths 1 and 9: skew 9 exceeds L=4
+        assert not is_valid_splitting([1], 10, 4.0)
+        assert is_valid_splitting([5], 10, 4.0)
+
+    def test_segment_lengths(self):
+        assert segment_lengths([2, 6], 10) == [2, 4, 4]
+
+
+class TestAnneal:
+    def series(self, m=30, seed=3):
+        rng = random.Random(seed)
+        x = [rng.uniform(0, 100) for _ in range(m)]
+        y = [xi * 0.5 + rng.uniform(0, 30) for xi in x]
+        return x, y
+
+    def test_error_history_monotone_nonincreasing(self):
+        x, y = self.series()
+        result = anneal_splits(x, y, AnnealingConfig(num_intervals=6,
+                                                     iterations=200))
+        history = result.error_history
+        assert all(a >= b - 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_final_splits_valid(self):
+        x, y = self.series()
+        config = AnnealingConfig(num_intervals=6, iterations=200)
+        result = anneal_splits(x, y, config)
+        assert is_valid_splitting(result.splits, len(x), config.skew_limit)
+
+    def test_improves_over_equal_width(self):
+        x, y = self.series()
+        config = AnnealingConfig(num_intervals=5, iterations=500)
+        result = anneal_splits(x, y, config)
+        basic = pearson_correlation(x, y)
+        start = abs(merged_correlation(x, y, equal_width_splits(len(x), 5))
+                    - basic)
+        assert result.error <= start + 1e-12
+
+    def test_deterministic_given_seed(self):
+        x, y = self.series()
+        config = AnnealingConfig(num_intervals=6, iterations=300, seed=11)
+        assert anneal_splits(x, y, config).splits == \
+            anneal_splits(x, y, config).splits
+
+    def test_k_equals_m_is_exact(self):
+        x, y = self.series(m=6)
+        result = anneal_splits(x, y, AnnealingConfig(num_intervals=6,
+                                                     iterations=50))
+        assert result.error == pytest.approx(0.0)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            anneal_splits([1.0, 2.0], [1.0], AnnealingConfig())
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            anneal_splits([1.0, 2.0], [2.0, 3.0],
+                          AnnealingConfig(num_intervals=5))
+
+    def test_correlations_recorded(self):
+        x, y = self.series()
+        result = anneal_splits(x, y, AnnealingConfig(num_intervals=6,
+                                                     iterations=100))
+        assert result.basic_correlation == pytest.approx(
+            pearson_correlation(x, y))
+        assert result.merged_correlation == pytest.approx(
+            merged_correlation(x, y, result.splits))
+
+
+positive_series = st.lists(st.floats(0.1, 1000), min_size=8, max_size=40)
+
+
+class TestProperties:
+    @given(x=positive_series, k=st.integers(2, 6),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_result_always_valid_and_bounded(self, x, k, seed):
+        y = list(reversed(x))
+        config = AnnealingConfig(num_intervals=min(k, len(x)),
+                                 iterations=60, seed=seed)
+        result = anneal_splits(x, y, config)
+        assert is_valid_splitting(result.splits, len(x), config.skew_limit)
+        assert 0.0 <= result.error <= 2.0 + 1e-9
+
+    @given(x=positive_series, splits_seed=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_total_mass(self, x, splits_seed):
+        rng = random.Random(splits_seed)
+        k = rng.randrange(1, min(5, len(x)) + 1)
+        splits = equal_width_splits(len(x), k)
+        assert sum(merge_series(x, splits)) == pytest.approx(sum(x))

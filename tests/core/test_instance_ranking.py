@@ -1,0 +1,78 @@
+"""Intra-attribute instance ranking (Eq. 2)."""
+
+import pytest
+
+from repro.core import instance_score, rank_instances, rollup_subspace
+
+
+@pytest.fixture(scope="module")
+def context(online_session):
+    ranked = online_session.differentiate("California Mountain Bikes",
+                                          limit=1)
+    net = ranked[0].star_net
+    schema = online_session.schema
+    subspace = net.evaluate(schema)
+    rollups = [rollup_subspace(schema, net, d)
+               for d in net.hitted_dimensions]
+    return schema, subspace, rollups
+
+
+class TestInstanceScore:
+    def test_shares_difference(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimProduct", "Color")
+        value = subspace.domain(gb)[0]
+        score = instance_score(subspace, rollups[0], gb, value, "revenue")
+        # Eq. 2 is a difference of two shares, each in [0, 1]
+        assert -1.0 <= score <= 1.0
+
+    def test_identity_rollup_scores_zero(self, context):
+        schema, subspace, _rollups = context
+        gb = schema.groupby_attribute("DimProduct", "Color")
+        value = subspace.domain(gb)[0]
+        score = instance_score(subspace, subspace, gb, value, "revenue")
+        assert score == pytest.approx(0.0)
+
+
+class TestRankInstances:
+    def test_sorted_by_abs_score(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        ranked = rank_instances(subspace, rollups, gb, "revenue")
+        magnitudes = [abs(r.score) for r in ranked]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_top_k(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        ranked = rank_instances(subspace, rollups, gb, "revenue", top_k=3)
+        assert len(ranked) == 3
+
+    def test_aggregates_sum_to_subspace_total(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        ranked = rank_instances(subspace, rollups, gb, "revenue")
+        assert sum(r.aggregate for r in ranked) == pytest.approx(
+            subspace.aggregate("revenue"))
+
+    def test_combines_rollups_by_max_abs(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        combined = {r.value: r.score
+                    for r in rank_instances(subspace, rollups, gb,
+                                            "revenue")}
+        singles = [
+            {r.value: r.score
+             for r in rank_instances(subspace, [rollup], gb, "revenue")}
+            for rollup in rollups
+        ]
+        for value, score in combined.items():
+            candidates = [s[value] for s in singles]
+            assert score == pytest.approx(max(candidates, key=abs))
+
+    def test_deterministic(self, context):
+        schema, subspace, rollups = context
+        gb = schema.groupby_attribute("DimProduct", "ModelName")
+        a = rank_instances(subspace, rollups, gb, "revenue")
+        b = rank_instances(subspace, rollups, gb, "revenue")
+        assert a == b

@@ -1,0 +1,95 @@
+"""Exact and beam-search interval merging (the §7 algorithms extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnnealingConfig, anneal_splits, is_valid_splitting
+from repro.core.optimal_merge import beam_splits, exhaustive_splits
+
+
+def series(m=14, seed=3):
+    rng = random.Random(seed)
+    x = [rng.uniform(0, 100) for _ in range(m)]
+    y = [xi * 0.4 + rng.uniform(0, 40) for xi in x]
+    return x, y
+
+
+class TestExhaustive:
+    def test_valid_result(self):
+        x, y = series()
+        result = exhaustive_splits(x, y, 5)
+        assert is_valid_splitting(result.splits, len(x), 4.0)
+
+    def test_k_one_no_splits(self):
+        x, y = series()
+        assert exhaustive_splits(x, y, 1).splits == ()
+
+    def test_k_equals_m_zero_error(self):
+        x, y = series(m=6)
+        result = exhaustive_splits(x, y, 6)
+        assert result.error == pytest.approx(0.0)
+
+    def test_optimal_beats_or_ties_annealing(self):
+        x, y = series()
+        exact = exhaustive_splits(x, y, 5)
+        annealed = anneal_splits(
+            x, y, AnnealingConfig(num_intervals=5, iterations=500))
+        assert exact.error <= annealed.error + 1e-12
+
+    def test_state_space_guard(self):
+        x, y = series(m=60, seed=1)
+        with pytest.raises(ValueError):
+            exhaustive_splits(x, y, 8, max_states=100)
+
+    def test_mismatched_series(self):
+        with pytest.raises(ValueError):
+            exhaustive_splits([1.0, 2.0], [1.0], 2)
+
+    def test_infeasible_constraint(self):
+        x, y = series(m=10)
+        # splitting 10 intervals into 2 with skew limit < 1 is impossible
+        with pytest.raises(ValueError):
+            exhaustive_splits(x, y, 2, skew_limit=0.5)
+
+
+class TestBeam:
+    def test_valid_result(self):
+        x, y = series()
+        result = beam_splits(x, y, 5)
+        assert is_valid_splitting(result.splits, len(x), 4.0)
+
+    def test_near_exact(self):
+        x, y = series()
+        exact = exhaustive_splits(x, y, 5)
+        beam = beam_splits(x, y, 5, beam_width=64)
+        assert beam.error <= exact.error + 0.05
+
+    def test_wide_beam_matches_exact(self):
+        x, y = series(m=10)
+        exact = exhaustive_splits(x, y, 4)
+        beam = beam_splits(x, y, 4, beam_width=10_000)
+        assert beam.error == pytest.approx(exact.error, abs=1e-12)
+
+    def test_deterministic(self):
+        x, y = series()
+        assert beam_splits(x, y, 5).splits == beam_splits(x, y, 5).splits
+
+    def test_k_one(self):
+        x, y = series()
+        assert beam_splits(x, y, 1).splits == ()
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 500), k=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_never_worse_than_heuristics(self, seed, k):
+        x, y = series(m=12, seed=seed)
+        exact = exhaustive_splits(x, y, k)
+        beam = beam_splits(x, y, k)
+        annealed = anneal_splits(
+            x, y, AnnealingConfig(num_intervals=k, iterations=200,
+                                  seed=seed))
+        assert exact.error <= beam.error + 1e-12
+        assert exact.error <= annealed.error + 1e-12

@@ -1,0 +1,108 @@
+"""Synthetic AdventureWorks warehouses: shape, determinism, integrity."""
+
+import pytest
+
+from repro.datasets import build_aw_online
+
+
+class TestShape:
+    def test_fact_row_count(self, aw_online):
+        assert aw_online.num_fact_rows == 8000
+
+    def test_referential_integrity(self, aw_online, aw_reseller):
+        assert aw_online.database.check_referential_integrity() == []
+        assert aw_reseller.database.check_referential_integrity() == []
+
+    def test_table_counts(self, aw_online, aw_reseller):
+        assert len(aw_online.database.table_names) == 10
+        assert len(aw_reseller.database.table_names) == 13
+
+    def test_measure_defined(self, aw_online, aw_reseller):
+        assert "revenue" in aw_online.measures
+        assert "revenue" in aw_reseller.measures
+
+    def test_revenue_positive(self, aw_online):
+        assert all(v > 0 for v in aw_online.measure_vector("revenue"))
+
+
+class TestSpecialRows:
+    """Fixed rows the paper's Table 3 queries rely on."""
+
+    def test_fernando_email(self, aw_online):
+        emails = aw_online.database.table("DimCustomer") \
+            .distinct("EmailAddress")
+        assert "fernando35@adventure-works.com" in emails
+
+    def test_sydney_first_name(self, aw_online):
+        names = aw_online.database.table("DimCustomer").distinct("FirstName")
+        assert "Sydney" in names
+
+    def test_california_street_addresses(self, aw_online):
+        addresses = aw_online.database.table("DimCustomer") \
+            .distinct("AddressLine1")
+        assert "345 California Street" in addresses
+        assert "392 California Street" in addresses
+
+    def test_phone_number(self, aw_online):
+        phones = aw_online.database.table("DimCustomer").distinct("Phone")
+        assert "1245550139" in phones
+
+    def test_mountain_bikes_subcategory(self, aw_online):
+        subs = aw_online.database.table("DimProductSubcategory") \
+            .distinct("ProductSubcategoryName")
+        assert "Mountain Bikes" in subs
+
+    def test_british_columbia(self, aw_reseller):
+        states = aw_reseller.database.table("DimGeography") \
+            .distinct("StateProvinceName")
+        assert "British Columbia" in states
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = build_aw_online(num_customers=50, num_facts=300, seed=5)
+        b = build_aw_online(num_customers=50, num_facts=300, seed=5)
+        fact_a = a.database.table("FactInternetSales")
+        fact_b = b.database.table("FactInternetSales")
+        assert fact_a.column_values("ProductKey") == \
+            fact_b.column_values("ProductKey")
+        assert fact_a.column_values("UnitPrice") == \
+            fact_b.column_values("UnitPrice")
+
+    def test_different_seed_different_data(self):
+        a = build_aw_online(num_customers=50, num_facts=300, seed=5)
+        b = build_aw_online(num_customers=50, num_facts=300, seed=6)
+        assert a.database.table("FactInternetSales") \
+            .column_values("ProductKey") != \
+            b.database.table("FactInternetSales") \
+            .column_values("ProductKey")
+
+
+class TestInjectedStructure:
+    def test_california_mountain_bike_affinity(self, aw_online):
+        """The injected surprise: Californians over-buy mountain bikes."""
+        schema = aw_online
+        state_gb = schema.groupby_attribute("DimGeography",
+                                            "StateProvinceName")
+        sub_gb = schema.groupby_attribute("DimProductSubcategory",
+                                          "ProductSubcategoryName")
+        states = schema.groupby_vector(state_gb)
+        subs = schema.groupby_vector(sub_gb)
+
+        def share(state):
+            rows = [i for i, s in enumerate(states) if s == state]
+            mb = sum(1 for i in rows if subs[i] == "Mountain Bikes")
+            return mb / len(rows)
+
+        assert share("California") > share("Washington")
+
+    def test_price_affinity(self, aw_online):
+        """Richer customers buy more expensive products on average."""
+        schema = aw_online
+        income_gb = schema.groupby_attribute("DimCustomer", "YearlyIncome")
+        price_gb = schema.groupby_attribute("DimProduct", "DealerPrice")
+        incomes = schema.groupby_vector(income_gb)
+        prices = schema.groupby_vector(price_gb)
+        rich = [p for i, p in zip(incomes, prices) if i >= 100000]
+        poor = [p for i, p in zip(incomes, prices) if i <= 30000]
+        assert sum(rich) / len(rich) > sum(poor) / len(poor)

@@ -1,0 +1,54 @@
+"""The EBiz running example (Figure 2)."""
+
+import pytest
+
+from repro.datasets import build_ebiz
+
+
+class TestShape:
+    def test_integrity(self, ebiz):
+        assert ebiz.database.check_referential_integrity() == []
+
+    def test_fact_complex(self, ebiz):
+        assert ebiz.fact_table == "TRANSITEM"
+        assert "TRANS" in ebiz.fact_complex
+
+    def test_four_dimensions(self, ebiz):
+        assert [d.name for d in ebiz.dimensions] == \
+            ["Time", "Store", "Customer", "Product"]
+
+    def test_product_has_two_hierarchies(self, ebiz):
+        product = ebiz.dimension("Product")
+        assert len(product.hierarchies) == 2
+
+
+class TestAmbiguityMaterial:
+    """The data behind Example 3.1."""
+
+    def test_columbus_city_and_holiday(self, ebiz):
+        cities = ebiz.database.table("LOCATION").distinct("City")
+        events = ebiz.database.table("HOLIDAY").distinct("Event")
+        assert "Columbus" in cities
+        assert "Columbus Day" in events
+
+    def test_lcd_at_multiple_levels(self, ebiz):
+        groups = ebiz.database.table("PGROUP").distinct("GroupName")
+        lcd_groups = {g for g in groups if "LCD" in g}
+        assert lcd_groups == {"LCD Projectors", "Flat Panel(LCD)",
+                              "LCD TVs"}
+
+    def test_location_shared(self, ebiz):
+        dims = {d.name for d in ebiz.dimensions_of_table("LOCATION")}
+        assert dims == {"Store", "Customer"}
+
+    def test_parallel_buyer_seller_edges(self, ebiz):
+        fks = {fk.name for fk in ebiz.database.foreign_keys_of("TRANS")}
+        assert {"fk_trans_buyer", "fk_trans_seller"} <= fks
+
+
+class TestDeterminism:
+    def test_same_seed_same_facts(self):
+        a = build_ebiz(num_trans=100, seed=1)
+        b = build_ebiz(num_trans=100, seed=1)
+        assert a.database.table("TRANSITEM").column_values("ProductKey") \
+            == b.database.table("TRANSITEM").column_values("ProductKey")

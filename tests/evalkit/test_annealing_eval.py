@@ -1,0 +1,60 @@
+"""Figure 7 harness: annealing iterations vs. merge error."""
+
+import pytest
+
+from repro.evalkit import basic_series_for_query, evaluate_annealing
+
+
+class TestBasicSeries:
+    def test_series_pair(self, online_session):
+        x, y = basic_series_for_query(online_session, "France Clothing",
+                                      "DimCustomer", "YearlyIncome")
+        assert len(x) == len(y)
+        assert len(x) >= 2
+
+    def test_unknown_query_raises(self, online_session):
+        with pytest.raises(ValueError):
+            basic_series_for_query(online_session, "qqqzz",
+                                   "DimCustomer", "YearlyIncome")
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self, online_session):
+        return evaluate_annealing(online_session, "France Clothing",
+                                  "DimCustomer", "YearlyIncome",
+                                  iterations=300)
+
+    def test_curves_for_each_k(self, scenario):
+        ks = [c.num_intervals for c in scenario.curves]
+        assert ks == [k for k in (5, 6, 7) if k <= scenario.basic_intervals]
+
+    def test_error_histories_monotone(self, scenario):
+        for curve in scenario.curves:
+            errors = curve.errors
+            assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_error_drops_substantially(self, scenario):
+        """Figure 7's message: the difference 'can be reduced dramatically
+        as the iteration advances'."""
+        for curve in scenario.curves:
+            assert curve.errors[-1] <= curve.errors[0]
+        best_drop = max(c.errors[0] - c.errors[-1] for c in scenario.curves)
+        assert best_drop >= 0.0
+
+    def test_error_at_helper(self, scenario):
+        curve = scenario.curves[0]
+        assert curve.error_at(1) == curve.errors[0]
+        assert curve.error_at(10**6) == curve.errors[-1]
+
+    def test_hundred_iterations_near_optimal(self, scenario):
+        """'With 100 iterations, the algorithm can discover partitions
+        that are almost as good as the basic interval partition.'"""
+        for curve in scenario.curves:
+            assert curve.error_at(100) <= 10.0  # within 10 corr points
+
+    def test_skipped_k_larger_than_basic(self, online_session):
+        scenario = evaluate_annealing(
+            online_session, "France Clothing", "DimCustomer",
+            "YearlyIncome", interval_counts=(5, 500), iterations=50)
+        assert [c.num_intervals for c in scenario.curves] == [5]

@@ -1,0 +1,33 @@
+"""The one-shot experiment report generator."""
+
+import pytest
+
+from repro.evalkit.full_report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(aw_online, aw_reseller):
+    return generate_report(aw_online, aw_reseller,
+                           bucket_counts=(5, 20, 80),
+                           annealing_iterations=100)
+
+
+class TestReport:
+    def test_contains_all_sections(self, report):
+        for needle in (
+            "Table 1", "Table 2", "Figure 4", "Figure 5", "Figure 6",
+            "Figure 7",
+        ):
+            assert needle in report
+
+    def test_both_warehouses_reported(self, report):
+        assert "AW_ONLINE" in report
+        assert "AW_RESELLER" in report
+
+    def test_markdown_code_blocks_balanced(self, report):
+        assert report.count("```") % 2 == 0
+
+    def test_figure4_methods_present(self, report):
+        for method in ("standard", "baseline", "no-group-number-norm",
+                       "no-group-size-norm"):
+            assert method in report

@@ -1,0 +1,71 @@
+"""Typo-robustness harness."""
+
+import random
+
+import pytest
+
+from repro.datasets import AW_ONLINE_QUERIES
+from repro.evalkit.robustness_eval import (
+    corrupt_query,
+    evaluate_robustness,
+    misspell_keyword,
+)
+
+
+class TestMisspell:
+    def test_one_edit_distance(self):
+        rng = random.Random(1)
+        for word in ("California", "Mountain", "Bachelors"):
+            corrupted = misspell_keyword(word, rng)
+            assert corrupted != word
+            assert len(corrupted) == len(word)
+            diffs = sum(a != b for a, b in zip(word, corrupted))
+            assert diffs in (1, 2)  # substitution or transposition
+
+    def test_short_words_untouched(self):
+        rng = random.Random(1)
+        assert misspell_keyword("US", rng) == "US"
+        assert misspell_keyword("2001", rng) == "2001"
+
+    def test_deterministic_given_rng(self):
+        assert misspell_keyword("California", random.Random(5)) == \
+            misspell_keyword("California", random.Random(5))
+
+
+class TestCorruptQuery:
+    def test_longest_keyword_changed(self):
+        rng = random.Random(2)
+        query = AW_ONLINE_QUERIES[23]  # "Sydney Helmet Discount"
+        corrupted = corrupt_query(query, rng)
+        original = query.text.split()
+        mutated = corrupted.text.split()
+        assert len(original) == len(mutated)
+        longest = max(range(len(original)),
+                      key=lambda i: len(original[i]))
+        assert mutated[longest] != original[longest]
+
+    def test_ground_truth_preserved(self):
+        rng = random.Random(2)
+        query = AW_ONLINE_QUERIES[0]
+        corrupted = corrupt_query(query, rng)
+        assert corrupted.interpretations == query.interpretations
+        assert corrupted.qid == query.qid
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self, online_session):
+        return evaluate_robustness(online_session,
+                                   AW_ONLINE_QUERIES[:20], seed=17)
+
+    def test_fuzzy_never_hurts(self, result):
+        for top_x in (1, 5, 10):
+            assert result.satisfied(True, top_x) >= \
+                result.satisfied(False, top_x) - 1e-9
+
+    def test_fuzzy_recovers_queries(self, result):
+        assert result.satisfied(True, 5) > result.satisfied(False, 5)
+
+    def test_corrupted_workload_shape(self, result):
+        assert len(result.corrupted) == 20
+        assert all("corrupted from" in q.note for q in result.corrupted)

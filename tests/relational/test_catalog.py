@@ -1,0 +1,111 @@
+"""Database catalog: tables and foreign keys."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    DuplicateTableError,
+    IntegrityError,
+    Table,
+    UnknownColumnError,
+    UnknownTableError,
+    integer,
+    text,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("Test")
+    parent = Table("Parent", [integer("Id", nullable=False), text("Name")],
+                   primary_key="Id")
+    parent.insert_many([{"Id": 1, "Name": "a"}, {"Id": 2, "Name": "b"}])
+    child = Table("Child", [integer("Id", nullable=False),
+                            integer("ParentId")], primary_key="Id")
+    child.insert_many([
+        {"Id": 1, "ParentId": 1},
+        {"Id": 2, "ParentId": 2},
+        {"Id": 3, "ParentId": None},
+    ])
+    database.add_table(parent)
+    database.add_table(child)
+    database.add_foreign_key("fk_child_parent", "Child", "ParentId",
+                             "Parent", "Id")
+    return database
+
+
+class TestTables:
+    def test_lookup(self, db):
+        assert db.table("Parent").name == "Parent"
+
+    def test_unknown(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("Nope")
+
+    def test_duplicate_rejected(self, db):
+        with pytest.raises(DuplicateTableError):
+            db.add_table(Table("Parent", [integer("Id")]))
+
+    def test_names_ordered(self, db):
+        assert db.table_names == ["Parent", "Child"]
+
+    def test_has_table(self, db):
+        assert db.has_table("Child")
+        assert not db.has_table("Nope")
+
+
+class TestForeignKeys:
+    def test_listing(self, db):
+        assert len(db.foreign_keys) == 1
+        assert db.foreign_keys[0].name == "fk_child_parent"
+
+    def test_outgoing(self, db):
+        assert len(db.foreign_keys_of("Child")) == 1
+        assert db.foreign_keys_of("Parent") == []
+
+    def test_incoming(self, db):
+        assert len(db.foreign_keys_into("Parent")) == 1
+
+    def test_unknown_child_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.add_foreign_key("bad", "Nope", "X", "Parent", "Id")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.add_foreign_key("bad", "Child", "Nope", "Parent", "Id")
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.add_foreign_key("fk_child_parent", "Child", "ParentId",
+                               "Parent", "Id")
+
+    def test_parallel_edges_allowed(self, db):
+        # same table pair, different name/column: the EBiz buyer/seller case
+        db.table("Child").columns  # no-op; just exercise access
+        db2 = Database("P")
+        account = Table("Account", [integer("Id", nullable=False)],
+                        primary_key="Id")
+        trans = Table("Trans", [integer("Id", nullable=False),
+                                integer("BuyerKey"), integer("SellerKey")],
+                      primary_key="Id")
+        db2.add_table(account)
+        db2.add_table(trans)
+        db2.add_foreign_key("fk_buyer", "Trans", "BuyerKey", "Account", "Id")
+        db2.add_foreign_key("fk_seller", "Trans", "SellerKey", "Account",
+                            "Id")
+        assert len(db2.foreign_keys_of("Trans")) == 2
+
+
+class TestIntegrity:
+    def test_consistent(self, db):
+        assert db.check_referential_integrity() == []
+
+    def test_nulls_allowed(self, db):
+        # row 3 has a NULL ParentId and is not a violation
+        assert db.check_referential_integrity() == []
+
+    def test_dangling_detected(self, db):
+        db.table("Child").insert({"Id": 4, "ParentId": 99})
+        violations = db.check_referential_integrity()
+        assert len(violations) == 1
+        assert "99" in violations[0]

@@ -1,0 +1,158 @@
+"""Expression tree evaluation and validation."""
+
+import pytest
+
+from repro.relational import (
+    And,
+    Arith,
+    Between,
+    Col,
+    Compare,
+    Const,
+    ExpressionError,
+    In,
+    IsNull,
+    Not,
+    Or,
+    Table,
+    TRUE,
+    eq,
+    float_,
+    integer,
+    isin,
+    text,
+)
+
+
+@pytest.fixture
+def table():
+    t = Table("T", [integer("A"), float_("B"), text("C")])
+    t.insert_many([
+        {"A": 1, "B": 2.5, "C": "x"},
+        {"A": 2, "B": 10.0, "C": "y"},
+        {"A": None, "B": None, "C": None},
+    ])
+    return t
+
+
+class TestScalars:
+    def test_col(self, table):
+        assert Col("A").evaluate(table, 0) == 1
+
+    def test_const(self, table):
+        assert Const(42).evaluate(table, 0) == 42
+
+    def test_arith_multiply(self, table):
+        expr = Arith("*", Col("A"), Col("B"))
+        assert expr.evaluate(table, 1) == 20.0
+
+    def test_arith_null_propagates(self, table):
+        expr = Arith("+", Col("A"), Const(1))
+        assert expr.evaluate(table, 2) is None
+
+    def test_arith_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            Arith("%", Col("A"), Col("B"))
+
+    def test_columns(self):
+        expr = Arith("*", Col("A"), Arith("+", Col("B"), Const(1)))
+        assert expr.columns() == {"A", "B"}
+
+
+class TestComparisons:
+    def test_eq_true(self, table):
+        assert eq("A", 1).evaluate(table, 0)
+
+    def test_eq_false(self, table):
+        assert not eq("A", 1).evaluate(table, 1)
+
+    def test_null_comparison_is_false(self, table):
+        assert not eq("A", 1).evaluate(table, 2)
+        assert not Compare("!=", Col("A"), Const(1)).evaluate(table, 2)
+
+    def test_ordering_ops(self, table):
+        assert Compare("<", Col("A"), Const(2)).evaluate(table, 0)
+        assert Compare(">=", Col("B"), Const(10.0)).evaluate(table, 1)
+
+    def test_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            Compare("~", Col("A"), Const(1))
+
+
+class TestInAndBetween:
+    def test_in(self, table):
+        pred = isin("C", ["x", "z"])
+        assert pred.evaluate(table, 0)
+        assert not pred.evaluate(table, 1)
+
+    def test_in_null_is_false(self, table):
+        assert not isin("C", ["x"]).evaluate(table, 2)
+
+    def test_between_half_open(self, table):
+        pred = Between(Col("B"), 2.5, 10.0)
+        assert pred.evaluate(table, 0)
+        assert not pred.evaluate(table, 1)  # 10.0 excluded
+
+    def test_between_closed(self, table):
+        pred = Between(Col("B"), 2.5, 10.0, inclusive_high=True)
+        assert pred.evaluate(table, 1)
+
+    def test_between_null_is_false(self, table):
+        assert not Between(Col("B"), 0, 100).evaluate(table, 2)
+
+
+class TestBooleanCombinators:
+    def test_and(self, table):
+        pred = And.of(eq("A", 1), eq("C", "x"))
+        assert pred.evaluate(table, 0)
+        assert not pred.evaluate(table, 1)
+
+    def test_or(self, table):
+        pred = Or.of(eq("A", 2), eq("C", "x"))
+        assert pred.evaluate(table, 0)
+        assert pred.evaluate(table, 1)
+        assert not pred.evaluate(table, 2)
+
+    def test_not(self, table):
+        assert Not(eq("A", 2)).evaluate(table, 0)
+
+    def test_is_null(self, table):
+        assert IsNull(Col("A")).evaluate(table, 2)
+        assert not IsNull(Col("A")).evaluate(table, 0)
+
+    def test_and_flattens(self):
+        inner = And.of(eq("A", 1), eq("A", 2))
+        outer = And.of(inner, eq("A", 3))
+        assert len(outer.parts) == 3
+
+    def test_single_part_collapses(self):
+        assert And.of(eq("A", 1)) == eq("A", 1)
+        assert Or.of(eq("A", 1)) == eq("A", 1)
+
+    def test_true_constant(self, table):
+        assert TRUE.evaluate(table, 0)
+
+
+class TestValidation:
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ExpressionError):
+            eq("Nope", 1).validate(table)
+
+    def test_known_columns_pass(self, table):
+        And.of(eq("A", 1), isin("C", ["x"])).validate(table)
+
+
+class TestRendering:
+    def test_compare_str(self):
+        assert str(eq("A", 1)) == "A = 1"
+
+    def test_string_const_quoted(self):
+        assert str(eq("C", "it's")) == "C = 'it''s'"
+
+    def test_in_renders_sorted(self):
+        text_form = str(isin("C", ["b", "a"]))
+        assert text_form == "C IN ('a', 'b')"
+
+    def test_and_or_nesting(self):
+        pred = Or.of(And.of(eq("A", 1), eq("B", 2)), eq("C", "x"))
+        assert "AND" in str(pred) and "OR" in str(pred)

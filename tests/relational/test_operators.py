@@ -1,0 +1,178 @@
+"""Relational operators, including hypothesis cross-checks against naive
+implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import (
+    AGGREGATES,
+    Table,
+    aggregate_avg,
+    aggregate_count,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    eq,
+    group_by_column,
+    hash_join,
+    integer,
+    isin,
+    project,
+    select,
+    semi_join,
+    text,
+)
+
+
+@pytest.fixture
+def orders():
+    t = Table("Orders", [integer("Id"), integer("CustomerId"),
+                         integer("Amount")])
+    t.insert_many([
+        {"Id": 1, "CustomerId": 10, "Amount": 5},
+        {"Id": 2, "CustomerId": 11, "Amount": 7},
+        {"Id": 3, "CustomerId": 10, "Amount": 2},
+        {"Id": 4, "CustomerId": 12, "Amount": None},
+    ])
+    return t
+
+
+@pytest.fixture
+def customers():
+    t = Table("Customers", [integer("Id"), text("Name")])
+    t.insert_many([
+        {"Id": 10, "Name": "Ada"},
+        {"Id": 11, "Name": "Alan"},
+        {"Id": 13, "Name": "Grace"},
+    ])
+    return t
+
+
+class TestSelect:
+    def test_basic(self, orders):
+        assert select(orders, eq("CustomerId", 10)) == [0, 2]
+
+    def test_refinement(self, orders):
+        assert select(orders, eq("CustomerId", 10), row_ids=[2, 3]) == [2]
+
+    def test_empty(self, orders):
+        assert select(orders, eq("CustomerId", 99)) == []
+
+
+class TestSemiJoin:
+    def test_child_rows_matching_parents(self, orders, customers):
+        rows = semi_join(orders, "CustomerId", [0, 1], customers, "Id")
+        assert rows == [0, 1, 2]
+
+    def test_no_parents(self, orders, customers):
+        assert semi_join(orders, "CustomerId", [], customers, "Id") == []
+
+    def test_restricted_children(self, orders, customers):
+        rows = semi_join(orders, "CustomerId", [0], customers, "Id",
+                         child_row_ids=[2, 3])
+        assert rows == [2]
+
+
+class TestHashJoin:
+    def test_pairs(self, orders, customers):
+        pairs = hash_join(orders, "CustomerId", customers, "Id")
+        assert set(pairs) == {(0, 0), (2, 0), (1, 1)}
+
+    def test_null_keys_dropped(self, customers):
+        t = Table("X", [integer("K")])
+        t.insert({"K": None})
+        assert hash_join(t, "K", customers, "Id") == []
+
+
+class TestProject:
+    def test_tuples(self, orders):
+        assert project(orders, ["Id", "Amount"], [0, 1]) == [(1, 5), (2, 7)]
+
+    def test_distinct(self, orders):
+        rows = project(orders, ["CustomerId"], distinct=True)
+        assert rows == [(10,), (11,), (12,)]
+
+
+class TestGroupBy:
+    def test_by_column(self, orders):
+        groups = group_by_column(orders, "CustomerId")
+        assert groups == {10: [0, 2], 11: [1], 12: [3]}
+
+    def test_null_keys_dropped(self, orders):
+        orders.insert({"Id": 5, "CustomerId": None, "Amount": 1})
+        groups = group_by_column(orders, "CustomerId")
+        assert None not in groups
+
+
+class TestAggregates:
+    def test_sum_ignores_none(self):
+        assert aggregate_sum([1, None, 2]) == 3
+
+    def test_count_non_null(self):
+        assert aggregate_count([1, None, 2]) == 2
+
+    def test_avg(self):
+        assert aggregate_avg([2, 4, None]) == 3
+
+    def test_avg_empty_is_none(self):
+        assert aggregate_avg([None]) is None
+
+    def test_min_max(self):
+        assert aggregate_min([3, 1, None]) == 1
+        assert aggregate_max([3, 1, None]) == 3
+
+    def test_registry(self):
+        assert set(AGGREGATES) == {"sum", "count", "avg", "min", "max"}
+
+
+# ----------------------------------------------------------------------
+# property-based cross-checks
+# ----------------------------------------------------------------------
+keys = st.lists(st.one_of(st.integers(0, 20), st.none()), min_size=0,
+                max_size=30)
+
+
+@given(child_keys=keys, parent_keys=keys)
+@settings(max_examples=60, deadline=None)
+def test_semi_join_matches_naive(child_keys, parent_keys):
+    child = Table("C", [integer("K")])
+    child.insert_many({"K": k} for k in child_keys)
+    parent = Table("P", [integer("K")])
+    parent.insert_many({"K": k} for k in parent_keys)
+    got = semi_join(child, "K", range(len(parent)), parent, "K")
+    want = [
+        i for i, k in enumerate(child_keys)
+        if k is not None and k in {p for p in parent_keys if p is not None}
+    ]
+    assert got == want
+
+
+@given(child_keys=keys, parent_keys=keys)
+@settings(max_examples=60, deadline=None)
+def test_hash_join_matches_naive(child_keys, parent_keys):
+    child = Table("C", [integer("K")])
+    child.insert_many({"K": k} for k in child_keys)
+    parent = Table("P", [integer("K")])
+    parent.insert_many({"K": k} for k in parent_keys)
+    got = set(hash_join(child, "K", parent, "K"))
+    want = {
+        (i, j)
+        for i, a in enumerate(child_keys)
+        for j, b in enumerate(parent_keys)
+        if a is not None and a == b
+    }
+    assert got == want
+
+
+@given(values=st.lists(st.one_of(st.integers(-5, 5), st.none()),
+                       max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_group_by_partitions_rows(values):
+    t = Table("T", [integer("V")])
+    t.insert_many({"V": v} for v in values)
+    groups = group_by_column(t, "V")
+    covered = sorted(rid for rows in groups.values() for rid in rows)
+    want = [i for i, v in enumerate(values) if v is not None]
+    assert covered == want
+    for key, rows in groups.items():
+        assert all(values[r] == key for r in rows)

@@ -1,0 +1,96 @@
+"""Database persistence round-trips."""
+
+import pytest
+
+from repro.relational import Database, Table, boolean, float_, integer, text
+from repro.relational.persistence import dump_database, load_database
+
+
+@pytest.fixture
+def db():
+    database = Database("Round")
+    parent = Table("Parent", [integer("Id", nullable=False), text("Name")],
+                   primary_key="Id")
+    parent.insert_many([{"Id": 1, "Name": "a"},
+                        {"Id": 2, "Name": None}])
+    child = Table("Child", [
+        integer("Id", nullable=False),
+        integer("ParentId"),
+        float_("Score"),
+        boolean("Active"),
+    ], primary_key="Id")
+    child.insert_many([
+        {"Id": 1, "ParentId": 1, "Score": 1.5, "Active": True},
+        {"Id": 2, "ParentId": 2, "Score": None, "Active": False},
+    ])
+    database.add_table(parent)
+    database.add_table(child)
+    database.add_foreign_key("fk", "Child", "ParentId", "Parent", "Id")
+    return database
+
+
+class TestRoundTrip:
+    def test_data_preserved(self, db, tmp_path):
+        path = str(tmp_path / "round.sqlite")
+        dump_database(db, path)
+        loaded = load_database(path)
+        assert loaded.name == "Round"
+        for name in db.table_names:
+            original = db.table(name)
+            copy = loaded.table(name)
+            assert copy.column_names == original.column_names
+            for column in original.column_names:
+                assert copy.column_values(column) == \
+                    original.column_values(column)
+
+    def test_schema_preserved(self, db, tmp_path):
+        path = str(tmp_path / "round.sqlite")
+        dump_database(db, path)
+        loaded = load_database(path)
+        assert loaded.table("Child").primary_key == "Id"
+        assert loaded.table("Child").column("Active").type.value == \
+            "boolean"
+        fks = loaded.foreign_keys
+        assert len(fks) == 1
+        assert fks[0].name == "fk"
+
+    def test_bools_restored_as_bools(self, db, tmp_path):
+        path = str(tmp_path / "round.sqlite")
+        dump_database(db, path)
+        loaded = load_database(path)
+        assert loaded.table("Child").column_values("Active") == \
+            [True, False]
+
+    def test_integrity_after_reload(self, db, tmp_path):
+        path = str(tmp_path / "round.sqlite")
+        dump_database(db, path)
+        assert load_database(path).check_referential_integrity() == []
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        import sqlite3
+        path = str(tmp_path / "bare.sqlite")
+        sqlite3.connect(path).execute("CREATE TABLE t (x)").close()
+        with pytest.raises((ValueError, Exception)):
+            load_database(path)
+
+
+class TestWarehouseRoundTrip:
+    def test_ebiz_roundtrip_preserves_query_results(self, ebiz, tmp_path):
+        from repro.core import KdapSession
+        from repro.warehouse import StarSchema
+
+        path = str(tmp_path / "ebiz.sqlite")
+        dump_database(ebiz.database, path)
+        loaded = load_database(path)
+        schema = StarSchema(
+            database=loaded,
+            fact_table=ebiz.fact_table,
+            dimensions=ebiz.dimensions,
+            measures=list(ebiz.measures.values()),
+            searchable=ebiz.searchable,
+            fact_complex=tuple(ebiz.fact_complex - {ebiz.fact_table}),
+        )
+        original = KdapSession(ebiz).search("Columbus LCD")
+        reloaded = KdapSession(schema).search("Columbus LCD")
+        assert reloaded.total_aggregate == pytest.approx(
+            original.total_aggregate)

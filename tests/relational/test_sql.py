@@ -1,0 +1,58 @@
+"""SQL generation for join queries."""
+
+from repro.relational import AliasFilter, JoinEdge, JoinQuery, eq, isin
+from repro.relational.sql import _qualify
+
+
+class TestQualify:
+    def test_bare_identifier(self):
+        assert _qualify("City = 'Columbus'", "t1") == "t1.City = 'Columbus'"
+
+    def test_keywords_untouched(self):
+        out = _qualify("A = 1 AND B IN ('x')", "t")
+        assert out == "t.A = 1 AND t.B IN ('x')"
+
+    def test_string_literal_untouched(self):
+        out = _qualify("Name = 'AND City'", "t")
+        assert out == "t.Name = 'AND City'"
+
+    def test_escaped_quote_in_literal(self):
+        out = _qualify("Name = 'it''s City'", "t")
+        assert out == "t.Name = 'it''s City'"
+
+
+class TestJoinQuery:
+    def build(self):
+        query = JoinQuery(fact_table="Fact", fact_alias="f",
+                          aggregate="sum", measure_sql="(f.Price * f.Qty)")
+        query.edges.append(JoinEdge("f", "ProdKey", "DimProduct", "t1",
+                                    "ProdKey"))
+        query.filters.append(AliasFilter("t1", isin("Name", ["LCD"])))
+        return query
+
+    def test_select_from_join(self):
+        sql = self.build().to_sql()
+        assert "SELECT SUM((f.Price * f.Qty)) AS agg" in sql
+        assert "FROM Fact AS f" in sql
+        assert "JOIN DimProduct AS t1 ON f.ProdKey = t1.ProdKey" in sql
+
+    def test_where_qualified(self):
+        sql = self.build().to_sql()
+        assert "WHERE (t1.Name IN ('LCD'))" in sql
+
+    def test_group_by(self):
+        query = self.build()
+        query.group_by.append(("t1", "Name"))
+        sql = query.to_sql()
+        assert sql.startswith("SELECT t1.Name, SUM")
+        assert sql.endswith("GROUP BY t1.Name")
+
+    def test_multiple_filters_anded(self):
+        query = self.build()
+        query.filters.append(AliasFilter("f", eq("Qty", 2)))
+        sql = query.to_sql()
+        assert "WHERE (t1.Name IN ('LCD')) AND (f.Qty = 2)" in sql
+
+    def test_no_filters_no_where(self):
+        query = JoinQuery(fact_table="Fact", fact_alias="f")
+        assert "WHERE" not in query.to_sql()

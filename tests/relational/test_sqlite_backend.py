@@ -1,0 +1,73 @@
+"""sqlite3 mirror of the in-memory engine."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    SqliteBackend,
+    Table,
+    boolean,
+    date,
+    float_,
+    integer,
+    text,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("Mini")
+    t = Table("Items", [
+        integer("Id", nullable=False),
+        text("Name"),
+        float_("Price"),
+        date("Added"),
+        boolean("Active"),
+    ], primary_key="Id")
+    t.insert_many([
+        {"Id": 1, "Name": "a", "Price": 1.5, "Added": "2020-01-01",
+         "Active": True},
+        {"Id": 2, "Name": "b", "Price": 2.5, "Added": "2020-01-02",
+         "Active": False},
+        {"Id": 3, "Name": None, "Price": None, "Added": None,
+         "Active": None},
+    ])
+    database.add_table(t)
+    return database
+
+
+class TestSqliteBackend:
+    def test_row_count(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute("SELECT COUNT(*) FROM Items")
+            assert rows == [(3,)]
+
+    def test_values_roundtrip(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Name, Price FROM Items ORDER BY Id")
+            assert rows == [("a", 1.5), ("b", 2.5), (None, None)]
+
+    def test_bool_as_int(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Active FROM Items ORDER BY Id")
+            assert [r[0] for r in rows] == [1, 0, None]
+
+    def test_aggregation(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute("SELECT SUM(Price) FROM Items")
+            assert rows[0][0] == pytest.approx(4.0)
+
+    def test_pk_enforced(self, db):
+        import sqlite3
+        with SqliteBackend(db) as backend:
+            with pytest.raises(sqlite3.IntegrityError):
+                backend.connection.execute(
+                    "INSERT INTO Items (Id) VALUES (1)")
+
+    def test_parameters(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Id FROM Items WHERE Name = ?", ("b",))
+            assert rows == [(2,)]

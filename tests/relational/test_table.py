@@ -1,0 +1,118 @@
+"""Columnar Table behaviour."""
+
+import pytest
+
+from repro.relational import (
+    IntegrityError,
+    Table,
+    UnknownColumnError,
+    integer,
+    text,
+)
+
+
+@pytest.fixture
+def people():
+    table = Table("People", [integer("Id", nullable=False), text("Name"),
+                             text("City")], primary_key="Id")
+    table.insert_many([
+        {"Id": 1, "Name": "Ada", "City": "London"},
+        {"Id": 2, "Name": "Grace", "City": "New York"},
+        {"Id": 3, "Name": "Alan", "City": "London"},
+    ])
+    return table
+
+
+class TestConstruction:
+    def test_requires_columns(self):
+        with pytest.raises(IntegrityError):
+            Table("Empty", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(IntegrityError):
+            Table("Dup", [integer("A"), integer("A")])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            Table("T", [integer("A")], primary_key="B")
+
+    def test_column_names_in_order(self, people):
+        assert people.column_names == ("Id", "Name", "City")
+
+
+class TestInsert:
+    def test_row_count(self, people):
+        assert len(people) == 3
+        assert people.num_rows == 3
+
+    def test_returns_row_id(self, people):
+        rid = people.insert({"Id": 4, "Name": "Edsger"})
+        assert rid == 3
+
+    def test_missing_column_becomes_null(self, people):
+        rid = people.insert({"Id": 5})
+        assert people.value(rid, "Name") is None
+
+    def test_unknown_column_rejected(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.insert({"Id": 6, "Nope": "x"})
+
+    def test_duplicate_pk_rejected(self, people):
+        with pytest.raises(IntegrityError):
+            people.insert({"Id": 1, "Name": "Clone"})
+
+    def test_duplicate_pk_rolls_back_cleanly(self, people):
+        before = len(people)
+        with pytest.raises(IntegrityError):
+            people.insert({"Id": 1, "Name": "Clone"})
+        assert len(people) == before
+        # the table is still consistent: all columns equal length
+        assert len(people.column_values("Name")) == before
+
+
+class TestAccess:
+    def test_value(self, people):
+        assert people.value(0, "Name") == "Ada"
+
+    def test_row_dict(self, people):
+        assert people.row(1) == {"Id": 2, "Name": "Grace",
+                                 "City": "New York"}
+
+    def test_rows_iterates_all(self, people):
+        assert len(list(people.rows())) == 3
+
+    def test_rows_subset(self, people):
+        names = [r["Name"] for r in people.rows([0, 2])]
+        assert names == ["Ada", "Alan"]
+
+    def test_distinct(self, people):
+        assert people.distinct("City") == {"London", "New York"}
+
+    def test_distinct_over_subset(self, people):
+        assert people.distinct("City", [0, 2]) == {"London"}
+
+    def test_distinct_skips_nulls(self, people):
+        people.insert({"Id": 9})
+        assert None not in people.distinct("City")
+
+    def test_unknown_column(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.column_values("Nope")
+
+
+class TestLookups:
+    def test_lookup_pk(self, people):
+        assert people.lookup_pk(2) == 1
+
+    def test_lookup_pk_missing(self, people):
+        assert people.lookup_pk(42) is None
+
+    def test_lookup_pk_without_key_raises(self):
+        table = Table("NoPk", [integer("A")])
+        with pytest.raises(IntegrityError):
+            table.lookup_pk(1)
+
+    def test_build_index(self, people):
+        index = people.build_index("City")
+        assert index["London"] == [0, 2]
+        assert index["New York"] == [1]

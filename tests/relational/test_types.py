@@ -1,0 +1,111 @@
+"""Column types and value coercion."""
+
+import datetime
+
+import pytest
+
+from repro.relational import Column, ColumnType, TypeMismatchError, coerce_value
+from repro.relational.types import boolean, date, float_, integer, text
+
+
+class TestColumnConstructors:
+    def test_integer(self):
+        col = integer("Key")
+        assert col.type is ColumnType.INTEGER
+        assert col.nullable
+
+    def test_not_nullable(self):
+        assert not integer("Key", nullable=False).nullable
+
+    def test_float(self):
+        assert float_("Price").type is ColumnType.FLOAT
+
+    def test_text(self):
+        assert text("Name").type is ColumnType.TEXT
+
+    def test_date(self):
+        assert date("Day").type is ColumnType.DATE
+
+    def test_boolean(self):
+        assert boolean("Flag").type is ColumnType.BOOLEAN
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("bad name", ColumnType.TEXT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnType.TEXT)
+
+    def test_underscore_names_allowed(self):
+        assert Column("snake_case_name", ColumnType.TEXT)
+
+
+class TestNumericKinds:
+    def test_integer_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric
+
+    def test_float_is_numeric(self):
+        assert ColumnType.FLOAT.is_numeric
+
+    def test_text_is_not_numeric(self):
+        assert not ColumnType.TEXT.is_numeric
+
+    def test_date_is_not_numeric(self):
+        assert not ColumnType.DATE.is_numeric
+
+
+class TestCoercion:
+    def test_int_passes(self):
+        assert coerce_value(5, integer("K")) == 5
+
+    def test_integral_float_coerces_to_int(self):
+        assert coerce_value(5.0, integer("K")) == 5
+
+    def test_fractional_float_rejected_as_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, integer("K"))
+
+    def test_bool_rejected_as_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, integer("K"))
+
+    def test_int_coerces_to_float(self):
+        value = coerce_value(3, float_("P"))
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_bool_rejected_as_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(False, float_("P"))
+
+    def test_str_passes_as_text(self):
+        assert coerce_value("hi", text("N")) == "hi"
+
+    def test_int_rejected_as_text(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7, text("N"))
+
+    def test_date_object_stored_as_iso(self):
+        assert coerce_value(datetime.date(2001, 2, 3), date("D")) == "2001-02-03"
+
+    def test_iso_string_passes_as_date(self):
+        assert coerce_value("2001-02-03", date("D")) == "2001-02-03"
+
+    def test_malformed_date_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("not-a-date", date("D"))
+
+    def test_bool_passes_as_boolean(self):
+        assert coerce_value(True, boolean("F")) is True
+
+    def test_int_rejected_as_boolean(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1, boolean("F"))
+
+    def test_null_allowed_when_nullable(self):
+        assert coerce_value(None, integer("K")) is None
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(None, integer("K", nullable=False))

@@ -1,0 +1,93 @@
+"""Command-line interface (exercised in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+SMALL = ["--facts", "2000", "--warehouse", "online"]
+
+
+class TestQuery:
+    def test_prints_interpretations(self, capsys):
+        code = main([*SMALL, "query", "Road Bikes", "--limit", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Road Bikes" in out
+        assert "score" in out
+
+    def test_no_interpretation(self, capsys):
+        code = main([*SMALL, "query", "qqqzz"])
+        assert code == 1
+        assert "no interpretation" in capsys.readouterr().out
+
+    def test_method_flag(self, capsys):
+        code = main([*SMALL, "query", "October", "--method", "baseline"])
+        assert code == 0
+
+
+class TestExplore:
+    def test_facet_output(self, capsys):
+        code = main([*SMALL, "explore", "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fact rows" in out
+        assert "Dimension" in out
+
+    def test_bellwether(self, capsys):
+        code = main([*SMALL, "explore", "October", "--measure",
+                     "bellwether"])
+        assert code == 0
+
+    def test_pick_out_of_range(self, capsys):
+        code = main([*SMALL, "explore", "October", "--pick", "99"])
+        assert code == 1
+
+
+class TestSql:
+    def test_sql_output(self, capsys):
+        code = main([*SMALL, "sql", "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SELECT SUM" in out
+        assert "FROM FactInternetSales" in out
+
+
+class TestExperiment:
+    def test_figure4_reseller_small(self, capsys):
+        code = main(["--facts", "2000", "--warehouse", "reseller",
+                     "experiment", "figure4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top-x" in out
+        assert "standard" in out
+
+    def test_figure7_small(self, capsys):
+        code = main(["--facts", "3000", "experiment", "figure7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "iteration" in out
+
+
+class TestWarehouses:
+    def test_ebiz_query(self, capsys):
+        code = main(["--facts", "1000", "--warehouse", "ebiz",
+                     "query", "Columbus LCD"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Columbus" in out
+
+
+class TestExperimentFigures:
+    def test_figure5_small(self, capsys):
+        code = main(["--facts", "2000", "experiment", "figure5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "buckets" in out
+        assert "YearlyIncome" in out
+
+    def test_figure6_small(self, capsys):
+        code = main(["--facts", "2000", "--warehouse", "reseller",
+                     "experiment", "figure6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AnnualSales" in out

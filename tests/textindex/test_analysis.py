@@ -1,0 +1,52 @@
+"""Tokenization and the analysis pipeline."""
+
+from repro.textindex import Analyzer, DEFAULT_ANALYZER, STOPWORDS
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert DEFAULT_ANALYZER.tokenize("Mountain Bikes") == \
+            ["mountain", "bikes"]
+
+    def test_hyphenated_product_codes_split(self):
+        assert DEFAULT_ANALYZER.tokenize("Sport-100") == ["sport", "100"]
+
+    def test_email(self):
+        tokens = DEFAULT_ANALYZER.tokenize("fernando35@adventure-works.com")
+        assert tokens == ["fernando35", "adventure", "works", "com"]
+
+    def test_parentheses(self):
+        assert DEFAULT_ANALYZER.tokenize("Flat Panel(LCD)") == \
+            ["flat", "panel", "lcd"]
+
+    def test_empty(self):
+        assert DEFAULT_ANALYZER.tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert DEFAULT_ANALYZER.tokenize("!!! --- ...") == []
+
+
+class TestAnalyze:
+    def test_stopwords_removed(self):
+        assert DEFAULT_ANALYZER.analyze("the bar for on or road") == \
+            ["bar", "road"]
+
+    def test_stemming_applied(self):
+        assert DEFAULT_ANALYZER.analyze("Mountain Bikes") == \
+            ["mountain", "bike"]
+
+    def test_stopword_only_input_is_empty(self):
+        assert DEFAULT_ANALYZER.analyze("the of and") == []
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze("bikes") == ["bikes"]
+
+    def test_no_stopwords_option(self):
+        analyzer = Analyzer(use_stopwords=False)
+        assert "the" in analyzer.analyze("the bike")
+
+    def test_stopword_list_is_classic_lucene(self):
+        for word in ("a", "and", "the", "of", "for", "on", "or"):
+            assert word in STOPWORDS
+        assert "bike" not in STOPWORDS

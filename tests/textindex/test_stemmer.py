@@ -1,0 +1,150 @@
+"""Porter stemmer: reference vectors and robustness properties."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.textindex import stem
+
+# Reference pairs from Porter's published vocabulary and the algorithm
+# description itself.
+REFERENCE = {
+    # step 1a
+    "caresses": "caress",
+    "ponies": "poni",
+    "caress": "caress",
+    "cats": "cat",
+    # step 1b
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "fizzed": "fizz",
+    "failing": "fail",
+    "filing": "file",
+    # step 1c
+    "happy": "happi",
+    "sky": "sky",
+    # step 2
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "conformabli": "conform",
+    "radicalli": "radic",
+    "differentli": "differ",
+    "vileli": "vile",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    # step 3
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    # step 4
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "homologou": "homolog",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    # step 5
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+}
+
+
+class TestReferenceVectors:
+    def test_reference_pairs(self):
+        failures = {
+            word: (stem(word), want)
+            for word, want in REFERENCE.items()
+            if stem(word) != want
+        }
+        assert not failures, failures
+
+
+class TestDomainWords:
+    """Stemming behaviour the KDAP queries rely on."""
+
+    def test_bikes_matches_bike(self):
+        assert stem("bikes") == stem("bike")
+
+    def test_tires_matches_tire(self):
+        assert stem("tires") == stem("tire")
+
+    def test_headlights_matches_headlight(self):
+        assert stem("headlights") == stem("headlight")
+
+    def test_saddles_matches_saddle(self):
+        assert stem("saddles") == stem("saddle")
+
+    def test_bolts_matches_bolt(self):
+        assert stem("bolts") == stem("bolt")
+
+    def test_short_words_unchanged(self):
+        assert stem("tv") == "tv"
+        assert stem("us") == "us"
+        assert stem("a") == "a"
+
+
+ascii_words = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                      max_size=20)
+
+
+class TestProperties:
+    @given(word=ascii_words)
+    @settings(max_examples=200, deadline=None)
+    def test_never_longer_than_input(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(word=ascii_words)
+    @settings(max_examples=200, deadline=None)
+    def test_output_nonempty_and_lowercase(self, word):
+        result = stem(word)
+        assert result
+        assert result == result.lower()
+
+    @given(word=ascii_words)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)

@@ -1,0 +1,93 @@
+"""Aggregate cache semantics."""
+
+import pytest
+
+from repro.warehouse import Subspace
+from repro.warehouse.cube_cache import AggregateCache
+
+
+@pytest.fixture
+def cache(aw_online):
+    return AggregateCache(aw_online)
+
+
+@pytest.fixture(scope="module")
+def bikes(aw_online):
+    gb = aw_online.groupby_attribute("DimProductCategory",
+                                     "ProductCategoryName")
+    vector = aw_online.groupby_vector(gb)
+    rows = [r for r, v in enumerate(vector) if v == "Bikes"]
+    return Subspace.of(aw_online, rows, label="Bikes")
+
+
+class TestMemoisation:
+    def test_results_match_uncached(self, aw_online, cache, bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        want = bikes.partition_aggregates(gb, "revenue")
+        got = cache.partition_aggregates(bikes, gb, "revenue")
+        assert got == want
+
+    def test_second_call_hits(self, aw_online, cache, bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        cache.partition_aggregates(bikes, gb, "revenue")
+        assert cache.stats.hits == 0
+        cache.partition_aggregates(bikes, gb, "revenue")
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_domain_distinguishes_entries(self, aw_online, cache, bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        cache.partition_aggregates(bikes, gb, "revenue")
+        cache.partition_aggregates(bikes, gb, "revenue",
+                                   domain=["Black"])
+        assert cache.stats.misses == 2
+
+    def test_different_subspaces_distinguished(self, aw_online, cache,
+                                               bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        cache.partition_aggregates(bikes, gb, "revenue")
+        smaller = Subspace.of(aw_online, bikes.fact_rows[:10])
+        cache.partition_aggregates(smaller, gb, "revenue")
+        assert cache.stats.misses == 2
+
+    def test_returned_dict_is_a_copy(self, aw_online, cache, bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        first = cache.partition_aggregates(bikes, gb, "revenue")
+        first["Black"] = -1.0
+        second = cache.partition_aggregates(bikes, gb, "revenue")
+        assert second["Black"] != -1.0
+
+
+class TestPrecompute:
+    def test_full_space_materialisation(self, aw_online, cache):
+        count = cache.precompute_full_space("revenue")
+        assert count == sum(
+            1 for dim in aw_online.dimensions
+            for gb in dim.groupbys if not gb.is_numerical
+        )
+        full = Subspace.full(aw_online)
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        before = cache.stats.hits
+        cache.partition_aggregates(full, gb, "revenue")
+        assert cache.stats.hits == before + 1
+
+
+class TestEviction:
+    def test_clear_on_full(self, aw_online, bikes):
+        cache = AggregateCache(aw_online, max_entries=2)
+        gb_color = aw_online.groupby_attribute("DimProduct", "Color")
+        gb_model = aw_online.groupby_attribute("DimProduct", "ModelName")
+        gb_month = aw_online.groupby_attribute("DimDate", "MonthName")
+        cache.partition_aggregates(bikes, gb_color, "revenue")
+        cache.partition_aggregates(bikes, gb_model, "revenue")
+        assert len(cache) == 2
+        cache.partition_aggregates(bikes, gb_month, "revenue")
+        assert len(cache) == 1  # cleared, then stored the new entry
+
+    def test_manual_clear(self, aw_online, cache, bikes):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        cache.partition_aggregates(bikes, gb, "revenue")
+        cache.clear()
+        assert len(cache) == 0
+        cache.partition_aggregates(bikes, gb, "revenue")
+        assert cache.stats.misses == 2

@@ -1,0 +1,51 @@
+"""Schema description and statistics."""
+
+from repro.warehouse import describe_schema, schema_statistics
+
+
+class TestDescribe:
+    def test_mentions_every_dimension(self, aw_online):
+        text = describe_schema(aw_online)
+        for dim in aw_online.dimensions:
+            assert f"dimension {dim.name}" in text
+
+    def test_mentions_fact_and_measures(self, aw_online):
+        text = describe_schema(aw_online)
+        assert "fact table FactInternetSales" in text
+        assert "measure revenue" in text
+
+    def test_fact_complex_listed(self, ebiz):
+        text = describe_schema(ebiz)
+        assert "fact complex: TRANS" in text
+
+    def test_hierarchies_rendered_as_chains(self, aw_online):
+        text = describe_schema(aw_online)
+        assert ("DimGeography.City -> DimGeography.StateProvinceName -> "
+                "DimGeography.CountryRegionName") in text
+
+    def test_searchable_counts(self, aw_online):
+        text = describe_schema(aw_online)
+        # DimProductCategory: 1 searchable column out of 2
+        assert "table DimProductCategory (1/2 searchable" in text
+
+
+class TestStatistics:
+    def test_online_shape(self, aw_online):
+        stats = schema_statistics(aw_online)
+        assert stats["tables"] == 10
+        assert stats["dimensions"] == 6
+        assert stats["hierarchical_dimensions"] >= 3
+        assert stats["searchable_domains"] > 20
+        assert stats["fact_rows"] == aw_online.num_fact_rows
+
+    def test_reseller_shape(self, aw_reseller):
+        stats = schema_statistics(aw_reseller)
+        assert stats["tables"] == 13
+        assert stats["dimensions"] == 7
+        assert stats["hierarchical_dimensions"] >= 4
+
+    def test_counts_consistent(self, ebiz):
+        stats = schema_statistics(ebiz)
+        assert stats["groupby_candidates"] == sum(
+            len(d.groupbys) for d in ebiz.dimensions)
+        assert stats["foreign_keys"] == len(ebiz.database.foreign_keys)

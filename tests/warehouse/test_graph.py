@@ -1,0 +1,125 @@
+"""Schema graph and join-path enumeration."""
+
+import pytest
+
+from repro.relational import Database, Table, integer
+from repro.warehouse import (
+    EMPTY_PATH,
+    JoinPath,
+    PathStep,
+    SchemaGraph,
+    path_from_fk_names,
+)
+
+
+@pytest.fixture
+def ebiz_like():
+    """The paper's parallel-edge / shared-table core: Location shared by
+    Store and Account, Account joined twice by Trans."""
+    db = Database("Mini")
+    for name, cols in [
+        ("Location", [integer("LocationKey", nullable=False)]),
+        ("Store", [integer("StoreKey", nullable=False),
+                   integer("LocationKey")]),
+        ("Account", [integer("AccountKey", nullable=False),
+                     integer("LocationKey")]),
+        ("Trans", [integer("TransKey", nullable=False),
+                   integer("StoreKey"), integer("BuyerKey"),
+                   integer("SellerKey")]),
+    ]:
+        db.add_table(Table(name, cols, primary_key=cols[0].name))
+    db.add_foreign_key("fk_store_loc", "Store", "LocationKey", "Location",
+                       "LocationKey")
+    db.add_foreign_key("fk_account_loc", "Account", "LocationKey",
+                       "Location", "LocationKey")
+    db.add_foreign_key("fk_trans_store", "Trans", "StoreKey", "Store",
+                       "StoreKey")
+    db.add_foreign_key("fk_trans_buyer", "Trans", "BuyerKey", "Account",
+                       "AccountKey")
+    db.add_foreign_key("fk_trans_seller", "Trans", "SellerKey", "Account",
+                       "AccountKey")
+    return db
+
+
+class TestPathStep:
+    def test_orientation(self, ebiz_like):
+        fk = ebiz_like.foreign_keys[0]  # Store -> Location
+        up = PathStep(fk, towards_parent=True)
+        assert up.source == "Store" and up.target == "Location"
+        assert up.source_column == "LocationKey"
+        down = up.reversed()
+        assert down.source == "Location" and down.target == "Store"
+
+
+class TestJoinPaths:
+    def test_three_paths_location_to_trans(self, ebiz_like):
+        """Example 3.1: Location joins the fact through three paths."""
+        graph = SchemaGraph(ebiz_like)
+        paths = graph.join_paths("Location", "Trans")
+        assert len(paths) == 3
+        fks = {p.fk_names for p in paths}
+        assert fks == {
+            ("fk_store_loc", "fk_trans_store"),
+            ("fk_account_loc", "fk_trans_buyer"),
+            ("fk_account_loc", "fk_trans_seller"),
+        }
+
+    def test_same_table_is_empty_path(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        assert graph.join_paths("Trans", "Trans") == [EMPTY_PATH]
+
+    def test_max_length_respected(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        assert graph.join_paths("Location", "Trans", max_length=1) == []
+
+    def test_paths_are_simple(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        for path in graph.join_paths("Location", "Trans"):
+            tables = path.tables
+            assert len(set(tables)) == len(tables)
+
+    def test_reversed_roundtrip(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        path = graph.join_paths("Location", "Trans")[0]
+        back = path.reversed()
+        assert back.source == "Trans" and back.target == "Location"
+        assert back.reversed() == path
+
+
+class TestShortestPath:
+    def test_unique_shortest(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        path = graph.shortest_path("Store", "Trans")
+        assert path.fk_names == ("fk_trans_store",)
+
+    def test_ambiguous_raises(self, ebiz_like):
+        graph = SchemaGraph(ebiz_like)
+        with pytest.raises(ValueError):
+            graph.shortest_path("Account", "Trans")
+
+    def test_unreachable_is_none(self, ebiz_like):
+        db = ebiz_like
+        db.add_table(Table("Island", [integer("Id", nullable=False)],
+                           primary_key="Id"))
+        graph = SchemaGraph(db)
+        assert graph.shortest_path("Island", "Trans") is None
+
+
+class TestPathFromFkNames:
+    def test_walk(self, ebiz_like):
+        path = path_from_fk_names(ebiz_like, "Trans",
+                                  ["fk_trans_buyer", "fk_account_loc"])
+        assert path.source == "Trans"
+        assert path.target == "Location"
+        assert all(s.towards_parent for s in path.steps)
+
+    def test_unknown_fk(self, ebiz_like):
+        with pytest.raises(KeyError):
+            path_from_fk_names(ebiz_like, "Trans", ["nope"])
+
+    def test_wrong_start(self, ebiz_like):
+        with pytest.raises(ValueError):
+            path_from_fk_names(ebiz_like, "Trans", ["fk_store_loc"])
+
+    def test_empty_chain(self, ebiz_like):
+        assert path_from_fk_names(ebiz_like, "Trans", []) == JoinPath(())

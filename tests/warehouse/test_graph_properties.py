@@ -1,0 +1,82 @@
+"""Property tests: join-path enumeration cross-checked against networkx.
+
+Random FK structures (including parallel edges) are generated with
+hypothesis; our enumeration must find exactly the simple paths that
+``networkx.all_simple_edge_paths`` finds on the equivalent undirected
+multigraph.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Database, Table, integer
+from repro.warehouse import SchemaGraph
+
+
+def build_random_db(edge_spec: list[tuple[int, int]], num_tables: int):
+    """A database with ``num_tables`` tables and one FK per spec pair
+    (parallel edges allowed via duplicate pairs)."""
+    db = Database("Rand")
+    for i in range(num_tables):
+        db.add_table(Table(
+            f"T{i}",
+            [integer("Id", nullable=False)] + [
+                integer(f"Ref{j}") for j in range(len(edge_spec))
+            ],
+            primary_key="Id",
+        ))
+    for idx, (child, parent) in enumerate(edge_spec):
+        db.add_foreign_key(f"fk{idx}", f"T{child}", f"Ref{idx}",
+                           f"T{parent}", "Id")
+    return db
+
+
+edges = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=1, max_size=8,
+)
+
+
+@given(edge_spec=edges)
+@settings(max_examples=80, deadline=None)
+def test_join_paths_match_networkx(edge_spec):
+    num_tables = 5
+    db = build_random_db(edge_spec, num_tables)
+    graph = SchemaGraph(db)
+
+    multigraph = nx.MultiGraph()
+    multigraph.add_nodes_from(f"T{i}" for i in range(num_tables))
+    for idx, (child, parent) in enumerate(edge_spec):
+        multigraph.add_edge(f"T{child}", f"T{parent}", key=f"fk{idx}")
+
+    source, target = "T0", "T1"
+    ours = {
+        path.fk_names
+        for path in graph.join_paths(source, target, max_length=6)
+        if path.steps
+    }
+    theirs = {
+        tuple(key for _u, _v, key in path)
+        for path in nx.all_simple_edge_paths(multigraph, source, target,
+                                             cutoff=6)
+    }
+    assert ours == theirs
+
+
+@given(edge_spec=edges)
+@settings(max_examples=60, deadline=None)
+def test_paths_are_well_formed(edge_spec):
+    db = build_random_db(edge_spec, 5)
+    graph = SchemaGraph(db)
+    for path in graph.join_paths("T0", "T2", max_length=6):
+        if not path.steps:
+            continue
+        assert path.source == "T0"
+        assert path.target == "T2"
+        # steps are chained
+        for left, right in zip(path.steps, path.steps[1:]):
+            assert left.target == right.source
+        # simple: no repeated tables
+        assert len(set(path.tables)) == len(path.tables)

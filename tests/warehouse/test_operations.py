@@ -1,0 +1,123 @@
+"""OLAP navigation operations: slice, dice, drill-down, roll-up, pivot."""
+
+import pytest
+
+from repro.warehouse import Subspace
+from repro.warehouse.operations import (
+    dice,
+    drill_down,
+    pivot,
+    roll_up,
+    slice_,
+)
+
+
+@pytest.fixture(scope="module")
+def full(aw_online):
+    return Subspace.full(aw_online)
+
+
+class TestSlice:
+    def test_slice_restricts(self, aw_online, full):
+        gb = aw_online.groupby_attribute("DimProductCategory",
+                                         "ProductCategoryName")
+        bikes = slice_(full, gb, "Bikes")
+        assert 0 < len(bikes) < len(full)
+        assert bikes.domain(gb) == ["Bikes"]
+
+    def test_slice_no_match_empty(self, aw_online, full):
+        gb = aw_online.groupby_attribute("DimProduct", "Color")
+        assert slice_(full, gb, "Chartreuse").is_empty
+
+    def test_slices_partition_the_space(self, aw_online, full):
+        gb = aw_online.groupby_attribute("DimProductCategory",
+                                         "ProductCategoryName")
+        total = sum(len(slice_(full, gb, v)) for v in full.domain(gb))
+        assert total == len(full)  # category is never NULL
+
+
+class TestDice:
+    def test_multi_attribute(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        color = aw_online.groupby_attribute("DimProduct", "Color")
+        diced = dice(full, {cat: ["Bikes"], color: ["Black", "Silver"]})
+        assert diced.domain(cat) == ["Bikes"]
+        assert set(diced.domain(color)) <= {"Black", "Silver"}
+
+    def test_dice_equals_nested_slices(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        color = aw_online.groupby_attribute("DimProduct", "Color")
+        diced = dice(full, {cat: ["Bikes"], color: ["Black"]})
+        nested = slice_(slice_(full, cat, "Bikes"), color, "Black")
+        assert diced.fact_rows == nested.fact_rows
+
+
+class TestDrillDown:
+    def test_descends_one_level(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        sliced, finer = drill_down(full, cat, "Bikes")
+        assert finer is not None
+        assert finer.ref.column == "ProductSubcategoryName"
+        subs = set(sliced.domain(finer))
+        assert subs == {"Mountain Bikes", "Road Bikes", "Touring Bikes"}
+
+    def test_bottom_level_has_no_finer(self, aw_online, full):
+        city = aw_online.groupby_attribute("DimGeography", "City")
+        sliced, finer = drill_down(full, city, "Seattle")
+        assert finer is None
+        assert not sliced.is_empty
+
+    def test_non_hierarchy_attribute(self, aw_online, full):
+        color = aw_online.groupby_attribute("DimProduct", "Color")
+        _sliced, finer = drill_down(full, color, "Black")
+        assert finer is None
+
+
+class TestRollUp:
+    def test_ascends_one_level(self, aw_online, full):
+        city = aw_online.groupby_attribute("DimGeography", "City")
+        coarser = roll_up(full, city)
+        assert coarser.ref.column == "StateProvinceName"
+
+    def test_top_level_returns_none(self, aw_online, full):
+        country = aw_online.groupby_attribute("DimGeography",
+                                              "CountryRegionName")
+        assert roll_up(full, country) is None
+
+    def test_roll_up_then_drill_down_roundtrip(self, aw_online, full):
+        city = aw_online.groupby_attribute("DimGeography", "City")
+        state = roll_up(full, city)
+        _sliced, finer = drill_down(full, state, "California")
+        assert finer.ref == city.ref
+
+
+class TestPivot:
+    def test_cross_tab_totals(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        quarter = aw_online.groupby_attribute("DimDate", "CalendarQuarter")
+        table = pivot(full, cat, quarter, "revenue")
+        assert set(table.column_values) == {"Q1", "Q2", "Q3", "Q4"}
+        grand_total = sum(table.row_totals().values())
+        assert grand_total == pytest.approx(full.aggregate("revenue"))
+        assert sum(table.column_totals().values()) == \
+            pytest.approx(grand_total)
+
+    def test_cells_match_dice(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        quarter = aw_online.groupby_attribute("DimDate", "CalendarQuarter")
+        table = pivot(full, cat, quarter, "revenue")
+        diced = dice(full, {cat: ["Bikes"], quarter: ["Q2"]})
+        assert table.cell("Bikes", "Q2") == pytest.approx(
+            diced.aggregate("revenue"))
+
+    def test_empty_cell_is_zero(self, aw_online, full):
+        cat = aw_online.groupby_attribute("DimProductCategory",
+                                          "ProductCategoryName")
+        quarter = aw_online.groupby_attribute("DimDate", "CalendarQuarter")
+        table = pivot(full, cat, quarter, "revenue")
+        assert table.cell("Nope", "Q1") == 0.0

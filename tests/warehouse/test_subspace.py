@@ -1,0 +1,101 @@
+"""Subspace algebra, aggregation, and partitioning."""
+
+import pytest
+
+from repro.warehouse import Subspace
+
+
+@pytest.fixture(scope="module")
+def spaces(aw_online):
+    full = Subspace.full(aw_online)
+    half = Subspace.of(aw_online, range(0, aw_online.num_fact_rows, 2),
+                       label="even")
+    return aw_online, full, half
+
+
+class TestConstruction:
+    def test_of_normalises(self, aw_online):
+        subspace = Subspace.of(aw_online, [3, 1, 2, 1])
+        assert subspace.fact_rows == (1, 2, 3)
+
+    def test_full(self, spaces):
+        schema, full, _half = spaces
+        assert len(full) == schema.num_fact_rows
+
+    def test_empty(self, aw_online):
+        assert Subspace.of(aw_online, []).is_empty
+
+
+class TestAlgebra:
+    def test_intersect(self, spaces):
+        schema, full, half = spaces
+        assert full.intersect(half).fact_rows == half.fact_rows
+
+    def test_union(self, spaces):
+        schema, full, half = spaces
+        assert half.union(full).fact_rows == full.fact_rows
+
+    def test_contains(self, spaces):
+        _schema, full, half = spaces
+        assert full.contains(half)
+        assert not half.contains(full)
+
+    def test_labels_combined(self, spaces):
+        _schema, full, half = spaces
+        assert "AND" in full.intersect(half).label
+        assert "OR" in full.union(half).label
+
+
+class TestAggregation:
+    def test_full_aggregate_is_total(self, spaces):
+        schema, full, _half = spaces
+        total = sum(schema.measure_vector("revenue"))
+        assert full.aggregate("revenue") == pytest.approx(total)
+
+    def test_additivity(self, spaces):
+        schema, full, half = spaces
+        other = Subspace.of(
+            schema, set(full.fact_rows) - set(half.fact_rows))
+        assert half.aggregate("revenue") + other.aggregate("revenue") == \
+            pytest.approx(full.aggregate("revenue"))
+
+    def test_empty_aggregate_zero(self, aw_online):
+        assert Subspace.of(aw_online, []).aggregate("revenue") == 0.0
+
+
+class TestPartitioning:
+    def test_partition_covers_non_null_rows(self, spaces):
+        schema, _full, half = spaces
+        gb = schema.groupby_attribute("DimProduct", "Color")
+        partition = half.partition(gb)
+        covered = sorted(r for rows in partition.values() for r in rows)
+        values = schema.groupby_vector(gb)
+        want = [r for r in half.fact_rows if values[r] is not None]
+        assert covered == want
+
+    def test_partition_aggregates_sum_to_total(self, spaces):
+        schema, _full, half = spaces
+        gb = schema.groupby_attribute("DimProductCategory",
+                                      "ProductCategoryName")
+        parts = half.partition_aggregates(gb, "revenue")
+        assert sum(parts.values()) == pytest.approx(
+            half.aggregate("revenue"))
+
+    def test_domain_sorted(self, spaces):
+        schema, full, _half = spaces
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        domain = full.domain(gb)
+        assert domain == sorted(domain)
+
+    def test_fixed_domain_fills_zero(self, spaces):
+        schema, _full, half = spaces
+        gb = schema.groupby_attribute("DimProduct", "Color")
+        parts = half.partition_aggregates(gb, "revenue",
+                                          domain=["NoSuchColor"])
+        assert parts == {"NoSuchColor": 0.0}
+
+    def test_groupby_values_aligned(self, spaces):
+        schema, _full, half = spaces
+        gb = schema.groupby_attribute("DimProduct", "Color")
+        values = half.groupby_values(gb)
+        assert len(values) == len(half)

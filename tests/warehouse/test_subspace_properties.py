@@ -1,0 +1,58 @@
+"""Property tests: subspace set algebra and aggregation laws."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.warehouse import Subspace
+
+row_sets = st.sets(st.integers(0, 799), max_size=60)
+
+SUPPRESS = [HealthCheck.function_scoped_fixture]
+
+
+@given(a=row_sets, b=row_sets)
+@settings(max_examples=60, deadline=None, suppress_health_check=SUPPRESS)
+def test_intersection_commutes(ebiz, a, b):
+    sa, sb = Subspace.of(ebiz, a), Subspace.of(ebiz, b)
+    assert sa.intersect(sb).fact_rows == sb.intersect(sa).fact_rows
+    assert set(sa.intersect(sb).fact_rows) == a & b
+
+
+@given(a=row_sets, b=row_sets)
+@settings(max_examples=60, deadline=None, suppress_health_check=SUPPRESS)
+def test_union_commutes(ebiz, a, b):
+    sa, sb = Subspace.of(ebiz, a), Subspace.of(ebiz, b)
+    assert sa.union(sb).fact_rows == sb.union(sa).fact_rows
+    assert set(sa.union(sb).fact_rows) == a | b
+
+
+@given(a=row_sets, b=row_sets)
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+def test_inclusion_exclusion_on_aggregates(ebiz, a, b):
+    """sum(A) + sum(B) == sum(A|B) + sum(A&B) for the SUM measure."""
+    sa, sb = Subspace.of(ebiz, a), Subspace.of(ebiz, b)
+    left = sa.aggregate("revenue") + sb.aggregate("revenue")
+    right = sa.union(sb).aggregate("revenue") + \
+        sa.intersect(sb).aggregate("revenue")
+    assert left == pytest.approx(right)
+
+
+@given(rows=row_sets)
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+def test_partition_aggregates_total(ebiz, rows):
+    """Partition aggregates sum to the subspace aggregate (category is a
+    total, never-null attribute in EBiz)."""
+    subspace = Subspace.of(ebiz, rows)
+    gb = ebiz.groupby_attribute("PGROUP", "GroupName")
+    parts = subspace.partition_aggregates(gb, "revenue")
+    assert sum(parts.values()) == pytest.approx(
+        subspace.aggregate("revenue"))
+
+
+@given(rows=row_sets)
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+def test_contains_reflexive_and_monotone(ebiz, rows):
+    subspace = Subspace.of(ebiz, rows)
+    assert subspace.contains(subspace)
+    half = Subspace.of(ebiz, list(rows)[: len(rows) // 2])
+    assert subspace.contains(half)

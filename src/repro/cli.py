@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="approximate fact-table size")
     parser.add_argument("--seed", type=int, default=42,
                         help="generation seed")
+    parser.add_argument("--backend", choices=["memory", "sqlite"],
+                        default="memory",
+                        help="query execution backend (logical plans run "
+                             "on in-memory row-id chains or a sqlite3 "
+                             "mirror)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query",
@@ -76,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="1-based interpretation rank to explore")
     explore.add_argument("--measure", choices=["surprise", "bellwether"],
                          default="surprise")
+    explore.add_argument("--stats", action="store_true",
+                         help="print per-operator execution counters and "
+                              "plan-cache statistics after exploring")
 
     sql = sub.add_parser("sql",
                          help="print the SQL of one interpretation")
@@ -93,7 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _session(args) -> KdapSession:
     schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
-    return KdapSession(schema)
+    return KdapSession(schema, backend=args.backend)
 
 
 def _cmd_query(args) -> int:
@@ -129,6 +137,11 @@ def _cmd_explore(args) -> int:
     print(f"{len(result.subspace)} fact rows, total = "
           f"{result.total_aggregate:,.2f}\n")
     print(render_facets(result.interface))
+    if args.stats:
+        from .evalkit import render_counters
+
+        print()
+        print(render_counters(session.engine))
     return 0
 
 

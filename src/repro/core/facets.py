@@ -131,12 +131,13 @@ def rollup_ray(schema: StarSchema, ray: Ray) -> Ray | None:
 
 
 def rollup_subspace(schema: StarSchema, star_net: StarNet,
-                    dimension: str) -> Subspace:
+                    dimension: str, engine=None) -> Subspace:
     """RUP(DS') along one hitted dimension.
 
     Every ray of ``dimension`` is generalised one hierarchy level (or
     dropped at the top — roll-up to ALL); rays of other dimensions keep
-    their selections.
+    their selections.  With an ``engine`` the rolled-up net is evaluated
+    through the plan layer (and the result stays engine-bound).
     """
     new_rays: list[Ray] = []
     for ray in star_net.rays:
@@ -147,18 +148,24 @@ def rollup_subspace(schema: StarSchema, star_net: StarNet,
         else:
             new_rays.append(ray)
     rolled_net = StarNet(star_net.fact_table, tuple(new_rays))
-    subspace = rolled_net.evaluate(schema)
+    if engine is not None:
+        subspace = engine.evaluate(rolled_net)
+    else:
+        subspace = rolled_net.evaluate(schema)
     return Subspace(subspace.schema, subspace.fact_rows,
-                    label=f"RUP[{dimension}]({star_net})")
+                    label=f"RUP[{dimension}]({star_net})",
+                    engine=subspace.engine)
 
 
-def rollup_subspaces(schema: StarSchema, star_net: StarNet) -> list[Subspace]:
+def rollup_subspaces(schema: StarSchema, star_net: StarNet,
+                     engine=None) -> list[Subspace]:
     """One roll-up space per hitted dimension; the full dataspace when the
     star net has no hitted dimensions (e.g. only fact-attribute hits)."""
     dims = star_net.hitted_dimensions
     if not dims:
-        return [Subspace.full(schema)]
-    return [rollup_subspace(schema, star_net, d) for d in dims]
+        return [Subspace.full(schema, engine=engine)]
+    return [rollup_subspace(schema, star_net, d, engine=engine)
+            for d in dims]
 
 
 # ----------------------------------------------------------------------
@@ -289,7 +296,8 @@ def expand_interval(
     rows = [r for r in subspace.fact_rows
             if vector[r] is not None and interval.contains(vector[r])]
     inner = Subspace.of(schema, rows,
-                        label=f"{subspace.label} / {gb.ref} in {interval}")
+                        label=f"{subspace.label} / {gb.ref} in {interval}",
+                        engine=subspace.engine)
     if inner.is_empty:
         return ()
     inner_rollups = [
@@ -298,6 +306,7 @@ def expand_interval(
             [r for r in rollup.fact_rows
              if vector[r] is not None and interval.contains(vector[r])],
             label=f"{rollup.label} / {gb.ref} in {interval}",
+            engine=rollup.engine,
         )
         for rollup in rollups
     ]
@@ -314,6 +323,7 @@ def build_facets(
     interestingness: InterestingnessMeasure = SURPRISE,
     config: ExploreConfig = ExploreConfig(),
     rollups: Sequence[Subspace] | None = None,
+    engine=None,
 ) -> FacetedInterface:
     """Construct the full dynamic multi-faceted interface for a star net.
 
@@ -321,12 +331,22 @@ def build_facets(
     per hitted dimension is derived from the star net (§5.2.1).  Drill-
     down navigation passes the previous subspace here so interestingness
     is measured against the space the user just left.
+
+    With an ``engine`` (a :class:`~repro.plan.engine.QueryEngine`), the
+    subspace, roll-up spaces, and all facet aggregation evaluate through
+    the logical-plan layer on that engine's backend, sharing its
+    fingerprint-keyed result cache.
     """
+    if engine is not None and subspace is not None:
+        subspace = engine.bind(subspace)
     if subspace is None:
-        subspace = star_net.evaluate(schema)
+        subspace = (engine.evaluate(star_net) if engine is not None
+                    else star_net.evaluate(schema))
     if rollups is None:
-        rollups = rollup_subspaces(schema, star_net)
+        rollups = rollup_subspaces(schema, star_net, engine=engine)
     rollups = list(rollups)
+    if engine is not None:
+        rollups = [engine.bind(r) for r in rollups]
     facets: list[DynamicFacet] = []
     for dim in sorted(schema.dimensions, key=lambda d: d.name):
         promoted = _promoted_attributes(schema, star_net, dim.name)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 
+from ..plan.engine import QueryEngine
 from ..textindex.index import AttributeTextIndex
 from ..warehouse.operations import drill_down as _drill_subspace
 from ..warehouse.schema import GroupByAttribute, StarSchema
@@ -52,18 +53,32 @@ class KdapSession:
     index:
         An attribute-level full-text index over the schema; built on the
         fly from ``schema.searchable`` when omitted.
+    backend:
+        Execution backend name (``"memory"`` or ``"sqlite"``) or a
+        pre-built :class:`~repro.plan.backends.ExecutionBackend`.  All
+        query evaluation — star-net materialisation, facet aggregation,
+        drill-down — goes through one :class:`~repro.plan.engine.QueryEngine`
+        on this backend, with plan-fingerprint caching.
     """
 
     def __init__(self, schema: StarSchema,
-                 index: AttributeTextIndex | None = None):
+                 index: AttributeTextIndex | None = None,
+                 backend: str = "memory"):
         self.schema = schema
         if index is None:
             index = AttributeTextIndex()
             index.index_database(schema.database, schema.searchable)
         self.index = index
-        # per-ray fact-set cache: the same (hit group, path) ray recurs
-        # across many candidate star nets of one query
+        self.engine = QueryEngine(schema, backend=backend)
+        # per-ray fact-set memo: the same (hit group, path) ray recurs
+        # across many candidate star nets of one query.  The engine's plan
+        # cache holds the row tuples; this memo only avoids re-building
+        # frozensets for the intersection loop in subspace_size.
         self._ray_cache: dict[tuple, frozenset[int]] = {}
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the sqlite mirror)."""
+        self.engine.close()
 
     # ------------------------------------------------------------------
     # cached subspace sizing
@@ -72,11 +87,10 @@ class KdapSession:
         key = (ray.hit_group.domain, ray.hit_group.values,
                ray.path_to_fact.fk_names)
         if key not in self._ray_cache:
-            from .starnet import StarNet
-
-            probe = StarNet(self.schema.fact_table, (ray,))
-            self._ray_cache[key] = frozenset(
-                probe.ray_facts(self.schema, ray))
+            rows = self.engine.semijoin_rows(
+                ray.hit_group.table, ray.hit_group.attribute,
+                ray.hit_group.values, ray.path_to_fact, ray.dimension)
+            self._ray_cache[key] = frozenset(rows)
         return self._ray_cache[key]
 
     def subspace_size(self, star_net) -> int:
@@ -143,12 +157,20 @@ class KdapSession:
         interestingness: InterestingnessMeasure = SURPRISE,
         config: ExploreConfig = ExploreConfig(),
     ) -> ExploreResult:
-        """Aggregate a chosen star net's subspace and build its facets."""
-        subspace = star_net.evaluate(self.schema)
-        logger.info("explore %s: %d fact rows", star_net, len(subspace))
+        """Aggregate a chosen star net's subspace and build its facets.
+
+        Evaluation goes through the session's query engine: the star net
+        compiles to a logical plan, the subspace comes back engine-bound,
+        and every facet aggregation over it is a fingerprint-cached plan
+        on the configured backend.
+        """
+        subspace = self.engine.evaluate(star_net)
+        logger.info("explore %s: %d fact rows (%s backend)", star_net,
+                    len(subspace), self.engine.backend_name)
         interface = build_facets(
             self.schema, star_net, subspace=subspace,
             interestingness=interestingness, config=config,
+            engine=self.engine,
         )
         return ExploreResult(star_net, subspace, interface)
 
@@ -167,11 +189,12 @@ class KdapSession:
         as the roll-up background, so interestingness now measures
         deviation from the space the user just left.
         """
-        finer, _next_level = _drill_subspace(result.subspace, gb, value)
+        current = self.engine.bind(result.subspace)
+        finer, _next_level = _drill_subspace(current, gb, value)
         interface = build_facets(
             self.schema, result.star_net, subspace=finer,
             interestingness=interestingness, config=config,
-            rollups=[result.subspace],
+            rollups=[current], engine=self.engine,
         )
         return ExploreResult(result.star_net, finer, interface)
 

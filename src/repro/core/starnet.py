@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import reduce
 
-from ..relational.expressions import isin
-from ..relational.sql import AliasFilter, JoinEdge, JoinQuery
+from ..plan.compile import compile_plan
+from ..plan.nodes import Filter, PlanNode, Scan, SemiJoin
+from ..relational.sql import JoinQuery, qualify_measure
 from ..warehouse.graph import JoinPath
 from ..warehouse.rollup import select_rows_by_values, slice_facts
 from ..warehouse.schema import StarSchema
@@ -136,51 +137,23 @@ class StarNet:
         return Subspace.of(schema, rows, label=str(self))
 
     # ------------------------------------------------------------------
-    # SQL rendering
+    # logical plan / SQL rendering
     # ------------------------------------------------------------------
-    def to_join_query(self, schema: StarSchema, measure_name: str,
-                      group_by: list[tuple[str, str]] | None = None) -> JoinQuery:
-        """Compile this star net into a fact-rooted :class:`JoinQuery`.
-
-        Alias assignment implements the merge semantics: walking each ray's
-        path fact → hit table, a step reuses an existing alias when a ray of
-        the *same dimension* already took the identical step from the same
-        alias; otherwise it mints a fresh alias.
-        """
-        measure = schema.measures[measure_name]
-        query = JoinQuery(
-            fact_table=self.fact_table,
-            fact_alias="f",
-            aggregate=measure.aggregate,
-            measure_sql=_qualified_measure_sql(str(measure.expression), "f"),
-            measure_expr=measure.expression,
-            group_by=list(group_by or []),
-        )
-        # (dimension, alias_of_source, fk_name, towards_parent) -> alias
-        step_alias: dict[tuple, str] = {}
-        alias_count = 0
+    def to_plan(self, schema: StarSchema) -> PlanNode:
+        """The row-producing logical plan this star net denotes: a scan of
+        the fact table narrowed by one semi-join per ray (carrying the
+        ray's dimension for alias merging) and one filter per measure
+        predicate."""
+        node: PlanNode = Scan(self.fact_table)
         for ray in self.rays:
-            alias = "f"
-            for step in ray.path_to_fact.reversed().steps:
-                key = (ray.dimension, alias, step.fk.name, step.towards_parent)
-                if key in step_alias:
-                    alias = step_alias[key]
-                    continue
-                alias_count += 1
-                new_alias = f"t{alias_count}"
-                query.edges.append(
-                    JoinEdge(
-                        left_alias=alias,
-                        left_column=step.source_column,
-                        right_table=step.target,
-                        right_alias=new_alias,
-                        right_column=step.target_column,
-                    )
-                )
-                step_alias[key] = new_alias
-                alias = new_alias
-            predicate = isin(ray.hit_group.attribute, ray.hit_group.values)
-            query.filters.append(AliasFilter(alias, predicate))
+            node = SemiJoin(
+                child=node,
+                source_table=ray.hit_group.table,
+                column=ray.hit_group.attribute,
+                values=tuple(ray.hit_group.values),
+                path=ray.path_to_fact,
+                dimension=ray.dimension,
+            )
         if self.measure_predicates:
             from ..relational.expressions import Col, Compare, Const
 
@@ -189,30 +162,28 @@ class StarNet:
                     expr = schema.measures[mp.target].expression
                 else:
                     expr = Col(mp.target)
-                query.filters.append(
-                    AliasFilter("f", Compare(mp.op, expr, Const(mp.value)))
-                )
+                node = Filter(node,
+                              predicate=Compare(mp.op, expr, Const(mp.value)))
+        return node
+
+    def to_join_query(self, schema: StarSchema, measure_name: str,
+                      group_by: list[tuple[str, str]] | None = None) -> JoinQuery:
+        """Compile this star net into a fact-rooted :class:`JoinQuery`.
+
+        Delegates to the plan compiler (:mod:`repro.plan.compile`), which
+        implements the alias-merge semantics: walking each ray's path
+        fact → hit table, a step reuses an existing alias when a ray of
+        the *same dimension* already took the identical step from the same
+        alias; otherwise it mints a fresh alias.
+        """
+        measure = schema.measures[measure_name]
+        query = compile_plan(self.to_plan(schema), schema.database)
+        query.aggregate = measure.aggregate
+        query.measure_sql = qualify_measure(str(measure.expression), "f")
+        query.measure_expr = measure.expression
+        query.group_by = list(group_by or [])
         return query
 
     def to_sql(self, schema: StarSchema, measure_name: str) -> str:
         """The SQL text this star net denotes (aggregate over the subspace)."""
         return self.to_join_query(schema, measure_name).to_sql()
-
-
-def _qualified_measure_sql(measure_sql: str, fact_alias: str) -> str:
-    """Qualify bare identifiers in a rendered measure with the fact alias."""
-    out: list[str] = []
-    i = 0
-    n = len(measure_sql)
-    while i < n:
-        ch = measure_sql[i]
-        if ch.isalpha() or ch == "_":
-            j = i
-            while j < n and (measure_sql[j].isalnum() or measure_sql[j] == "_"):
-                j += 1
-            out.append(f"{fact_alias}.{measure_sql[i:j]}")
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)

@@ -8,6 +8,7 @@ Public surface::
         BucketEvaluation, DEFAULT_BUCKET_COUNTS,
         evaluate_annealing, AnnealingScenario,
         render_table, render_star_nets, render_facets, render_series,
+        render_counters,
     )
 """
 
@@ -34,7 +35,13 @@ from .ranking_eval import (
     RankingEvaluation,
     evaluate_ranking,
 )
-from .report import render_facets, render_series, render_star_nets, render_table
+from .report import (
+    render_counters,
+    render_facets,
+    render_series,
+    render_star_nets,
+    render_table,
+)
 from .robustness_eval import (
     RobustnessResult,
     corrupt_query,
@@ -63,6 +70,7 @@ __all__ = [
     "evaluate_ranking",
     "evaluate_robustness",
     "misspell_keyword",
+    "render_counters",
     "render_facets",
     "render_series",
     "render_star_nets",

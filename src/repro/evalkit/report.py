@@ -68,3 +68,26 @@ def render_series(x_values: Sequence[object],
     for i, x in enumerate(x_values):
         rows.append((x, *(f"{values[i]:.3f}" for values in series.values())))
     return render_table(headers, rows)
+
+
+def render_counters(engine) -> str:
+    """Render a query engine's per-operator counters and cache stats.
+
+    ``engine`` is a :class:`~repro.plan.engine.QueryEngine` (anything with
+    ``backend_name``, ``counters`` and ``cache_stats`` duck-types).
+    """
+    stats = engine.cache_stats
+    lines = [
+        f"backend: {engine.backend_name}",
+        f"plan cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions",
+    ]
+    ops = engine.counters.as_dict()
+    if ops:
+        rows = [
+            (op, s["calls"], s["rows"], f"{s['seconds']:.4f}")
+            for op, s in ops.items()
+        ]
+        lines.append(render_table(["operator", "calls", "rows", "seconds"],
+                                  rows))
+    return "\n".join(lines)

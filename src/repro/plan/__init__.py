@@ -1,0 +1,89 @@
+"""Logical query plans with pluggable execution backends.
+
+This package is the evaluation seam of the engine.  KDAP consumers (star
+nets, subspaces, OLAP operators, facet building) describe their work as
+logical plans — small frozen trees of :class:`Scan` / :class:`RowSet` /
+:class:`SemiJoin` / :class:`Filter` / :class:`Partition` /
+:class:`GroupAggregate` nodes — and hand them to a :class:`QueryEngine`,
+which memoises results by canonical plan fingerprint and executes misses
+on a pluggable :class:`ExecutionBackend`:
+
+* ``memory`` — :class:`InMemoryBackend`, row-id operator chains over the
+  schema's fact-aligned vectors (the engine's native path);
+* ``sqlite`` — :class:`SqliteBackend`, compiling plans to SQL and running
+  them on a sqlite3 mirror of the warehouse (the paper's §7 direction of
+  delegating KDAP aggregation to an existing engine).
+
+Public surface::
+
+    from repro.plan import (
+        QueryEngine, ExecutionBackend, InMemoryBackend, SqliteBackend,
+        BACKENDS, create_backend,
+        PlanNode, Scan, RowSet, SemiJoin, Filter, Partition,
+        GroupAggregate, AttrKey,
+        PlanCache, CacheStats, PlanCounters, OpStats,
+        compile_plan,
+    )
+"""
+
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    InMemoryBackend,
+    SqliteBackend,
+    create_backend,
+)
+from .builders import (
+    aggregate_plan,
+    attr_key,
+    partition_plan,
+    pivot_plan,
+    rowset,
+    subspace_aggregate_plan,
+    subspace_partition_plan,
+)
+from .cache import CacheStats, PlanCache
+from .compile import compile_plan
+from .counters import OpStats, PlanCounters
+from .engine import QueryEngine
+from .nodes import (
+    AttrKey,
+    Filter,
+    GroupAggregate,
+    Partition,
+    PlanNode,
+    RowSet,
+    Scan,
+    SemiJoin,
+    row_source,
+)
+
+__all__ = [
+    "AttrKey",
+    "BACKENDS",
+    "CacheStats",
+    "ExecutionBackend",
+    "Filter",
+    "GroupAggregate",
+    "InMemoryBackend",
+    "OpStats",
+    "Partition",
+    "PlanCache",
+    "PlanCounters",
+    "PlanNode",
+    "QueryEngine",
+    "RowSet",
+    "Scan",
+    "SemiJoin",
+    "SqliteBackend",
+    "aggregate_plan",
+    "attr_key",
+    "compile_plan",
+    "create_backend",
+    "partition_plan",
+    "pivot_plan",
+    "row_source",
+    "rowset",
+    "subspace_aggregate_plan",
+    "subspace_partition_plan",
+]

@@ -1,0 +1,342 @@
+"""Pluggable execution backends for logical plans.
+
+An :class:`ExecutionBackend` turns logical plans into results:
+
+* :meth:`~ExecutionBackend.materialize` runs a row-producing plan and
+  returns the sorted fact-row ids it selects;
+* :meth:`~ExecutionBackend.execute` runs a :class:`GroupAggregate` and
+  returns a scalar (ungrouped) or a ``key → aggregate`` mapping.
+
+Two engines conform:
+
+* :class:`InMemoryBackend` — the row-id operator chains (semi-joins over
+  fact-aligned vectors) that previously lived inline in the executor,
+  subspace, and OLAP-operator modules;
+* :class:`SqliteBackend` — compiles plans to SQL via
+  :mod:`repro.plan.compile` and runs them on a sqlite3 mirror of the
+  warehouse, demonstrating the paper's §7 direction of delegating KDAP
+  aggregation to an existing OLAP-capable engine.
+
+Both keep per-operator timing/row-count counters
+(:class:`~repro.plan.counters.PlanCounters`) so benchmarks can attribute
+cost to plan nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..relational.errors import SchemaError
+from ..relational.operators import AGGREGATES
+from ..relational.sqlite_backend import SqliteBackend as SqliteMirror
+from ..relational.types import ColumnType
+from ..warehouse.rollup import select_rows_by_values, slice_facts
+from ..warehouse.schema import AttributeRef, StarSchema
+from .compile import compile_plan
+from .counters import PlanCounters
+from .nodes import (
+    Filter,
+    GroupAggregate,
+    Partition,
+    PlanNode,
+    RowSet,
+    Scan,
+    SemiJoin,
+    row_source,
+)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the engine requires of an execution backend."""
+
+    name: str
+    counters: PlanCounters
+
+    def materialize(self, plan: PlanNode) -> tuple[int, ...]:
+        """Sorted row ids selected by a row-producing plan."""
+
+    def execute(self, plan: GroupAggregate) -> object:
+        """Scalar aggregate, or ``key → aggregate`` for grouped plans."""
+
+    def close(self) -> None:
+        """Release any resources (idempotent)."""
+
+
+def _leaf(plan: PlanNode) -> PlanNode:
+    """The Scan/RowSet leaf anchoring a plan."""
+    node = row_source(plan)
+    while isinstance(node, (SemiJoin, Filter)):
+        node = node.child
+    if not isinstance(node, (Scan, RowSet)):
+        raise SchemaError(f"plan has no scan leaf: {node!r}")
+    return node
+
+
+def _empty_result(plan: GroupAggregate):
+    """The result of aggregating zero rows (shared by both backends)."""
+    if plan.grouped:
+        if plan.domain is not None:
+            fill = AGGREGATES[plan.aggregate](())
+            return {value: fill for value in plan.domain}
+        return {}
+    return AGGREGATES[plan.aggregate](())
+
+
+# ----------------------------------------------------------------------
+# in-memory backend
+# ----------------------------------------------------------------------
+class InMemoryBackend:
+    """Row-id operator chains over the schema's fact-aligned vectors."""
+
+    name = "memory"
+
+    def __init__(self, schema: StarSchema):
+        self.schema = schema
+        self.counters = PlanCounters()
+        self._measure_vectors: dict[str, list] = {}
+
+    # -- rows ----------------------------------------------------------
+    def materialize(self, plan: PlanNode) -> tuple[int, ...]:
+        return tuple(sorted(self._rows(plan)))
+
+    def _rows(self, node: PlanNode) -> list[int]:
+        if isinstance(node, Scan):
+            with self.counters.timed("Scan") as out:
+                rows = list(range(len(self.schema.database.table(node.table))))
+                out[0] = len(rows)
+            return rows
+        if isinstance(node, RowSet):
+            self.counters.record("RowSet", len(node.rows))
+            return list(node.rows)
+        if isinstance(node, SemiJoin):
+            child_rows = self._rows(node.child)
+            if not child_rows:
+                return child_rows
+            with self.counters.timed("SemiJoin") as out:
+                ref = AttributeRef(node.source_table, node.column)
+                selected = select_rows_by_values(self.schema, ref,
+                                                 node.values)
+                facts = slice_facts(self.schema, node.source_table,
+                                    selected, node.path)
+                rows = [r for r in child_rows if r in facts]
+                out[0] = len(rows)
+            return rows
+        if isinstance(node, Filter):
+            child_rows = self._rows(node.child)
+            if not child_rows:
+                return child_rows
+            with self.counters.timed("Filter") as out:
+                if node.predicate is not None:
+                    table = self.schema.database.table(
+                        _leaf(node).table)
+                    node.predicate.validate(table)
+                    rows = [r for r in child_rows
+                            if node.predicate.evaluate(table, r)]
+                else:
+                    vector = self.schema.fact_vector(node.attr.path,
+                                                     node.attr.column)
+                    wanted = set(node.values)
+                    rows = [r for r in child_rows if vector[r] in wanted]
+                out[0] = len(rows)
+            return rows
+        raise SchemaError(f"not a row-producing plan node: {node!r}")
+
+    # -- aggregates ----------------------------------------------------
+    def execute(self, plan: GroupAggregate):
+        if not isinstance(plan, GroupAggregate):
+            raise SchemaError("execute() takes a GroupAggregate plan")
+        child = plan.child
+        keys = ()
+        if isinstance(child, Partition):
+            keys = child.keys
+            child = child.child
+        rows = self._rows(child)
+        if not rows:
+            return _empty_result(plan)
+        fn = AGGREGATES[plan.aggregate]
+        measure = self._measure_values(plan)
+        if not keys:
+            with self.counters.timed("GroupAggregate") as out:
+                out[0] = len(rows)
+                return fn(measure[r] for r in rows)
+        with self.counters.timed("Partition") as out:
+            vectors = [self.schema.fact_vector(k.path, k.column)
+                       for k in keys]
+            groups: dict = {}
+            if len(vectors) == 1:
+                vector = vectors[0]
+                for r in rows:
+                    value = vector[r]
+                    if value is not None:
+                        groups.setdefault(value, []).append(r)
+            else:
+                for r in rows:
+                    key = tuple(v[r] for v in vectors)
+                    if None in key:
+                        continue
+                    groups.setdefault(key, []).append(r)
+            out[0] = len(groups)
+        with self.counters.timed("GroupAggregate") as out:
+            out[0] = len(groups)
+            if plan.domain is not None:
+                return {
+                    value: fn(measure[r] for r in groups.get(value, ()))
+                    for value in plan.domain
+                }
+            return {
+                value: fn(measure[r] for r in group_rows)
+                for value, group_rows in groups.items()
+            }
+
+    def _measure_values(self, plan: GroupAggregate) -> list:
+        """Per-fact-row measure values, memoised by canonical measure SQL."""
+        key = plan.measure_sql
+        cached = self._measure_vectors.get(key)
+        if cached is not None:
+            return cached
+        fact = self.schema.database.table(_leaf(plan).table)
+        if plan.measure_expr is None:
+            values = [1] * len(fact)
+        else:
+            plan.measure_expr.validate(fact)
+            values = [plan.measure_expr.evaluate(fact, rid)
+                      for rid in range(len(fact))]
+        self._measure_vectors[key] = values
+        return values
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+# ----------------------------------------------------------------------
+# sqlite backend
+# ----------------------------------------------------------------------
+class SqliteBackend:
+    """Plan execution by SQL compilation against a sqlite3 mirror.
+
+    The mirror is loaded lazily on first use (loading a 60k-row warehouse
+    into sqlite costs noticeable startup time that differentiate-only
+    sessions should not pay).
+    """
+
+    name = "sqlite"
+
+    def __init__(self, schema: StarSchema, path: str = ":memory:"):
+        self.schema = schema
+        self.path = path
+        self.counters = PlanCounters()
+        self._mirror: SqliteMirror | None = None
+
+    @property
+    def mirror(self) -> SqliteMirror:
+        """The sqlite3 mirror, loading it on first access."""
+        if self._mirror is None:
+            with self.counters.timed("MirrorLoad"):
+                self._mirror = SqliteMirror(self.schema.database, self.path)
+        return self._mirror
+
+    # -- rows ----------------------------------------------------------
+    def materialize(self, plan: PlanNode) -> tuple[int, ...]:
+        leaf = _leaf(plan)
+        if isinstance(leaf, RowSet) and not leaf.rows:
+            return ()
+        table = self.schema.database.table(leaf.table)
+        query = self._compile(plan)
+        pk = table.primary_key
+        if pk is not None and table.column(pk).type is ColumnType.INTEGER:
+            sql = query.render_sql([f"DISTINCT f.{pk}"])
+            rows = self._run(sql)
+            rids = [table.lookup_pk(value) for (value,) in rows]
+        else:
+            sql = query.render_sql(["DISTINCT f.rowid"])
+            rows = self._run(sql)
+            rids = [value - 1 for (value,) in rows]
+        return tuple(sorted(rids))
+
+    # -- aggregates ----------------------------------------------------
+    def execute(self, plan: GroupAggregate):
+        if not isinstance(plan, GroupAggregate):
+            raise SchemaError("execute() takes a GroupAggregate plan")
+        leaf = _leaf(plan)
+        if isinstance(leaf, RowSet) and not leaf.rows:
+            return _empty_result(plan)
+        query = self._compile(plan)
+        result_rows = self._run(query.to_sql())
+        if not plan.grouped:
+            value = result_rows[0][0]
+            return self._restore_aggregate(plan, value)
+        num_keys = len(plan.child.keys)
+        result: dict = {}
+        for row in result_rows:
+            key = row[0] if num_keys == 1 else tuple(row[:num_keys])
+            result[key] = self._restore_aggregate(plan, row[num_keys])
+        if plan.domain is not None:
+            fill = AGGREGATES[plan.aggregate](())
+            for value in plan.domain:
+                result.setdefault(value, fill)
+        return result
+
+    # -- helpers -------------------------------------------------------
+    def _compile(self, plan: PlanNode):
+        with self.counters.timed("SqlCompile"):
+            query = compile_plan(plan, self.schema.database)
+        for node_kind in _walk_kinds(plan):
+            self.counters.record(node_kind)
+        return query
+
+    def _run(self, sql: str) -> list[tuple]:
+        with self.counters.timed("SqlExecute") as out:
+            rows = self.mirror.execute(sql)
+            out[0] = len(rows)
+        return rows
+
+    @staticmethod
+    def _restore_aggregate(plan: GroupAggregate, value):
+        """Align sqlite aggregate results with the in-memory fold: SUM of
+        no (or all-NULL) inputs is 0 in memory, NULL in SQL."""
+        if value is None and plan.aggregate in ("sum", "count"):
+            return AGGREGATES[plan.aggregate](())
+        return value
+
+    def close(self) -> None:
+        if self._mirror is not None:
+            self._mirror.close()
+            self._mirror = None
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _walk_kinds(plan: PlanNode):
+    """Node kinds of a plan tree, leaf-first (for counter attribution)."""
+    node = plan
+    kinds: list[str] = []
+    while node is not None:
+        kinds.append(node.kind)
+        node = getattr(node, "child", None)
+    return reversed(kinds)
+
+
+BACKENDS = {
+    "memory": InMemoryBackend,
+    "sqlite": SqliteBackend,
+}
+"""Backend registry addressable by name (the CLI's ``--backend`` flag)."""
+
+
+def create_backend(schema: StarSchema, backend: str | ExecutionBackend
+                   ) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, str):
+        try:
+            factory = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"choose from {sorted(BACKENDS)}") from None
+        return factory(schema)
+    return backend

@@ -1,0 +1,67 @@
+"""Helpers building the plans the KDAP layers need.
+
+Every consumer of the plan layer (sessions, subspaces, OLAP operators,
+the aggregate cache) builds its plans through these functions, so that
+semantically identical requests produce byte-identical fingerprints and
+share cache entries.
+
+The ``schema`` / ``gb`` / ``measure`` parameters are duck-typed against
+:mod:`repro.warehouse.schema` (``StarSchema`` / ``GroupByAttribute`` /
+``Measure``); this module deliberately avoids importing the warehouse
+package to keep the plan layer below it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .nodes import AttrKey, GroupAggregate, Partition, PlanNode, RowSet
+
+
+def attr_key(gb) -> AttrKey:
+    """The plan-layer key of a group-by attribute."""
+    return AttrKey(gb.ref.table, gb.ref.column, gb.path_from_fact)
+
+
+def rowset(schema, rows: Iterable[int]) -> RowSet:
+    """A fact-table row set (e.g. a subspace's rows)."""
+    return RowSet(schema.fact_table, tuple(rows))
+
+
+def aggregate_plan(source: PlanNode, measure,
+                   domain: tuple | None = None) -> GroupAggregate:
+    """Aggregate ``measure`` over the rows of ``source``."""
+    return GroupAggregate(
+        child=source,
+        aggregate=measure.aggregate,
+        measure_sql=str(measure.expression),
+        measure_expr=measure.expression,
+        domain=domain,
+    )
+
+
+def partition_plan(source: PlanNode, keys: Sequence[AttrKey], measure,
+                   domain: tuple | None = None) -> GroupAggregate:
+    """Aggregate ``measure`` per group of ``keys`` over ``source``."""
+    return aggregate_plan(Partition(source, tuple(keys)), measure,
+                          domain=domain)
+
+
+def subspace_aggregate_plan(schema, rows: Iterable[int],
+                            measure) -> GroupAggregate:
+    """G(DS'): the measure over a subspace's rows."""
+    return aggregate_plan(rowset(schema, rows), measure)
+
+
+def subspace_partition_plan(schema, rows: Iterable[int], gb, measure,
+                            domain: tuple | None = None) -> GroupAggregate:
+    """value → aggregate for one group-by attribute over a subspace."""
+    return partition_plan(rowset(schema, rows), (attr_key(gb),), measure,
+                          domain=domain)
+
+
+def pivot_plan(schema, rows: Iterable[int], rows_gb, cols_gb,
+               measure) -> GroupAggregate:
+    """(row value, column value) → aggregate over a subspace."""
+    return partition_plan(rowset(schema, rows),
+                          (attr_key(rows_gb), attr_key(cols_gb)), measure)

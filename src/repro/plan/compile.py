@@ -1,0 +1,195 @@
+"""Compile logical plans to :class:`~repro.relational.sql.JoinQuery`.
+
+This is the SQL half of the plan seam: the same logical tree the
+in-memory backend interprets as row-id operator chains is rendered here
+as a fact-rooted join query, which :mod:`repro.relational.sql` turns into
+SQL text for any SQL engine (the bundled sqlite backend, or external
+tooling).
+
+Alias assignment implements the paper's merge semantics: walking each
+semi-join's path fact → hit table, a step reuses an existing alias when a
+semi-join of the *same dimension* already took the identical step from
+the same alias; otherwise it mints a fresh alias.  Group-by / filter
+attribute paths get their own alias group and LEFT JOINs, so rows with
+dangling foreign keys surface as NULL keys instead of disappearing.
+"""
+
+from __future__ import annotations
+
+from ..relational.catalog import Database
+from ..relational.errors import SchemaError
+from ..relational.expressions import Col, In, IsNull, Not, Or, Predicate, isin
+from ..relational.sql import AliasFilter, JoinEdge, JoinQuery, qualify_measure
+from ..relational.table import Table
+from ..relational.types import ColumnType
+from .nodes import (
+    AttrKey,
+    Filter,
+    GroupAggregate,
+    Partition,
+    PlanNode,
+    RowSet,
+    Scan,
+    SemiJoin,
+)
+
+_ATTR_GROUP = "__attr__"
+"""Alias-merge group for attribute paths (distinct from every dimension)."""
+
+
+def adapt_value(value, column_type: ColumnType):
+    """Adapt one engine value for SQL rendering (bools become 0/1 so the
+    comparison does not depend on the engine's TRUE/FALSE spelling)."""
+    if column_type is ColumnType.BOOLEAN and isinstance(value, bool):
+        return int(value)
+    return value
+
+
+class _Compiler:
+    """One compilation pass over a plan tree."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.query: JoinQuery | None = None
+        # (group, alias_of_source, fk_name, towards_parent) -> alias
+        self._step_alias: dict[tuple, str] = {}
+        self._alias_count = 0
+
+    # ------------------------------------------------------------------
+    # entry
+    # ------------------------------------------------------------------
+    def compile(self, plan: PlanNode) -> JoinQuery:
+        if isinstance(plan, GroupAggregate):
+            child = plan.child
+            keys: tuple[AttrKey, ...] = ()
+            if isinstance(child, Partition):
+                keys = child.keys
+                child = child.child
+            self._rows(child)
+            self.query.aggregate = plan.aggregate
+            self.query.measure_sql = qualify_measure(plan.measure_sql, "f")
+            self.query.measure_expr = plan.measure_expr
+            for key in keys:
+                alias = self._attr_alias(key)
+                self.query.filters.append(
+                    AliasFilter(alias, Not(IsNull(Col(key.column)))))
+                self.query.group_by.append((alias, key.column))
+            if plan.domain is not None:
+                if len(keys) != 1:
+                    raise SchemaError(
+                        "domain restriction requires exactly one "
+                        "partition key")
+                key = keys[0]
+                alias = self.query.group_by[0][0]
+                self.query.filters.append(AliasFilter(
+                    alias,
+                    self._adapted_isin(key.table, key.column, plan.domain),
+                ))
+        else:
+            self._rows(plan)
+        return self.query
+
+    # ------------------------------------------------------------------
+    # row-producing nodes
+    # ------------------------------------------------------------------
+    def _rows(self, node: PlanNode) -> None:
+        if isinstance(node, Scan):
+            self.query = JoinQuery(fact_table=node.table, fact_alias="f")
+            return
+        if isinstance(node, RowSet):
+            self.query = JoinQuery(fact_table=node.table, fact_alias="f")
+            predicate = rowset_predicate(
+                self.database.table(node.table), node.rows)
+            if predicate is not None:
+                self.query.filters.append(AliasFilter("f", predicate))
+            return
+        if isinstance(node, SemiJoin):
+            self._rows(node.child)
+            alias = "f"
+            group = (node.dimension
+                     if node.dimension is not None else _ATTR_GROUP)
+            for step in node.path.reversed().steps:
+                alias = self._edge_alias(group, alias, step, left=False)
+            self.query.filters.append(AliasFilter(
+                alias,
+                self._adapted_isin(node.source_table, node.column,
+                                   node.values),
+            ))
+            return
+        if isinstance(node, Filter):
+            self._rows(node.child)
+            if node.predicate is not None:
+                self.query.filters.append(AliasFilter("f", node.predicate))
+                return
+            attr = node.attr
+            alias = self._attr_alias(attr)
+            values = [v for v in node.values if v is not None]
+            parts: list[Predicate] = []
+            if values:
+                parts.append(
+                    self._adapted_isin(attr.table, attr.column, values))
+            if len(values) != len(node.values):  # None was requested
+                parts.append(IsNull(Col(attr.column)))
+            if not parts:
+                raise SchemaError("attribute filter needs at least one value")
+            self.query.filters.append(
+                AliasFilter(alias, Or.of(*parts)))
+            return
+        raise SchemaError(f"not a row-producing plan node: {node!r}")
+
+    # ------------------------------------------------------------------
+    # aliases and edges
+    # ------------------------------------------------------------------
+    def _edge_alias(self, group: str, alias: str, step,
+                    left: bool) -> str:
+        key = (group, alias, step.fk.name, step.towards_parent)
+        existing = self._step_alias.get(key)
+        if existing is not None:
+            return existing
+        self._alias_count += 1
+        new_alias = f"t{self._alias_count}"
+        self.query.edges.append(JoinEdge(
+            left_alias=alias,
+            left_column=step.source_column,
+            right_table=step.target,
+            right_alias=new_alias,
+            right_column=step.target_column,
+            left=left,
+        ))
+        self._step_alias[key] = new_alias
+        return new_alias
+
+    def _attr_alias(self, attr: AttrKey) -> str:
+        """Alias of the table holding a fact-aligned attribute, joining
+        along its path (fact-table attributes stay on alias ``f``)."""
+        alias = "f"
+        for step in attr.path.steps:
+            alias = self._edge_alias(_ATTR_GROUP, alias, step, left=True)
+        return alias
+
+    def _adapted_isin(self, table: str, column: str, values) -> In:
+        """An IN predicate with engine values adapted for SQL rendering."""
+        column_type = self.database.table(table).column(column).type
+        return isin(column, [adapt_value(v, column_type) for v in values])
+
+
+def rowset_predicate(table: Table, rows: tuple[int, ...]) -> Predicate | None:
+    """A fact-alias predicate selecting exactly ``rows`` of ``table``.
+
+    Returns None when the row set covers the whole table (no filter
+    needed).  Uses the integer primary key when one exists; otherwise
+    falls back to sqlite's implicit ``rowid`` (1-based insertion order),
+    which is stable because tables are loaded in row-id order.
+    """
+    if len(rows) == len(table):
+        return None
+    pk = table.primary_key
+    if pk is not None and table.column(pk).type is ColumnType.INTEGER:
+        values = table.column_values(pk)
+        return isin(pk, tuple(values[r] for r in rows))
+    return isin("rowid", tuple(r + 1 for r in rows))
+
+
+def compile_plan(plan: PlanNode, database: Database) -> JoinQuery:
+    """Render a logical plan as a fact-rooted join query."""
+    return _Compiler(database).compile(plan)

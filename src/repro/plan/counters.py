@@ -1,0 +1,70 @@
+"""Per-operator execution counters.
+
+Every backend records, for each plan operator it executes, how often it
+ran, how many rows it produced, and how much wall time it consumed — so
+benchmarks can attribute cost to plan nodes rather than to whole queries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpStats:
+    """Accumulated statistics for one plan operator."""
+
+    calls: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    def record(self, rows: int, seconds: float) -> None:
+        self.calls += 1
+        self.rows += rows
+        self.seconds += seconds
+
+
+@dataclass
+class PlanCounters:
+    """Per-operator counters of one backend."""
+
+    ops: dict[str, OpStats] = field(default_factory=dict)
+
+    def record(self, op: str, rows: int = 0, seconds: float = 0.0) -> None:
+        """Add one execution of ``op``."""
+        stats = self.ops.get(op)
+        if stats is None:
+            stats = self.ops[op] = OpStats()
+        stats.record(rows, seconds)
+
+    @contextmanager
+    def timed(self, op: str):
+        """Context manager recording one timed execution of ``op``.
+
+        The yielded one-slot list receives the produced row count
+        (defaults to 0 when the caller leaves it untouched).
+        """
+        out = [0]
+        start = time.perf_counter()
+        try:
+            yield out
+        finally:
+            self.record(op, out[0], time.perf_counter() - start)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot, sorted by operator name."""
+        return {
+            op: {"calls": s.calls, "rows": s.rows,
+                 "seconds": round(s.seconds, 6)}
+            for op, s in sorted(self.ops.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated statistics."""
+        self.ops.clear()
+
+    @property
+    def total_calls(self) -> int:
+        return sum(s.calls for s in self.ops.values())

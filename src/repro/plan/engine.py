@@ -1,0 +1,178 @@
+"""The query engine: plans + a backend + a fingerprint-keyed cache.
+
+:class:`QueryEngine` is the single evaluation seam between the KDAP
+layers (star nets, subspaces, OLAP operators, facets) and query
+execution.  Consumers describe *what* they need as a logical plan (built
+via :mod:`repro.plan.builders`); the engine memoises results by plan
+fingerprint and delegates cache misses to the configured
+:class:`~repro.plan.backends.ExecutionBackend`.
+
+Because cache keys are canonical fingerprints rather than per-consumer
+ad-hoc keys, a ray materialised for subspace-size preview, the same ray
+evaluated inside a star net, and a facet roll-up over the resulting rows
+all share one cache — repeated exploration of related interpretations
+hits instead of recomputing, on either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational.operators import AGGREGATES
+from ..warehouse.subspace import Subspace
+from .backends import ExecutionBackend, create_backend
+from .builders import (
+    attr_key,
+    pivot_plan,
+    rowset,
+    subspace_aggregate_plan,
+    subspace_partition_plan,
+)
+from .cache import CacheStats, PlanCache
+from .nodes import Filter, GroupAggregate, PlanNode, Scan, SemiJoin
+
+_MISS = object()
+
+
+class QueryEngine:
+    """Evaluate logical plans with caching over a pluggable backend."""
+
+    def __init__(self, schema, backend: str | ExecutionBackend = "memory",
+                 max_cache_entries: int = 4096):
+        self.schema = schema
+        self.backend = create_backend(schema, backend)
+        self.cache = PlanCache(max_entries=max_cache_entries)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def counters(self):
+        """The backend's per-operator execution counters."""
+        return self.backend.counters
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __repr__(self) -> str:
+        return (f"QueryEngine(backend={self.backend_name!r}, "
+                f"cached={len(self.cache)})")
+
+    # ------------------------------------------------------------------
+    # primitive evaluation (cached)
+    # ------------------------------------------------------------------
+    def materialize(self, plan: PlanNode) -> tuple[int, ...]:
+        """Row ids selected by a row-producing plan (cached)."""
+        fingerprint = plan.fingerprint()
+        cached = self.cache.get(fingerprint, _MISS)
+        if cached is not _MISS:
+            return cached
+        rows = self.backend.materialize(plan)
+        self.cache.put(fingerprint, rows)
+        return rows
+
+    def execute(self, plan: GroupAggregate):
+        """Aggregate result of a plan (cached; dicts are copied on the
+        way out so callers cannot corrupt cache entries)."""
+        fingerprint = plan.fingerprint()
+        cached = self.cache.get(fingerprint, _MISS)
+        if cached is _MISS:
+            cached = self.backend.execute(plan)
+            self.cache.put(fingerprint, cached)
+        return dict(cached) if isinstance(cached, dict) else cached
+
+    # ------------------------------------------------------------------
+    # star-net evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, star_net) -> Subspace:
+        """SUP(N): the subspace selected by a star net, engine-bound so
+        later aggregation over it routes back through this engine."""
+        rows = self.materialize(star_net.to_plan(self.schema))
+        return Subspace(self.schema, rows, label=str(star_net), engine=self)
+
+    def semijoin_rows(self, source_table: str, column: str,
+                      values: Iterable, path,
+                      dimension: str | None = None) -> tuple[int, ...]:
+        """Fact rows reached by one semi-join ray (cached — the same ray
+        inside a full star-net plan shares the per-ray entry's work only
+        indirectly, but repeated previews of a ray are free)."""
+        plan = SemiJoin(
+            child=Scan(self.schema.fact_table),
+            source_table=source_table,
+            column=column,
+            values=tuple(values),
+            path=path,
+            dimension=dimension,
+        )
+        return self.materialize(plan)
+
+    def bind(self, subspace: Subspace) -> Subspace:
+        """The same subspace with aggregation bound to this engine."""
+        if subspace.engine is self:
+            return subspace
+        return Subspace(subspace.schema, subspace.fact_rows,
+                        subspace.label, engine=self)
+
+    # ------------------------------------------------------------------
+    # subspace aggregation
+    # ------------------------------------------------------------------
+    def subspace_aggregate(self, subspace: Subspace, measure_name: str):
+        """G(DS') — the measure aggregated over a subspace."""
+        measure = self.schema.measures[measure_name]
+        if subspace.is_empty:
+            return AGGREGATES[measure.aggregate](())
+        plan = subspace_aggregate_plan(self.schema, subspace.fact_rows,
+                                       measure)
+        return self.execute(plan)
+
+    def subspace_partition_aggregates(
+        self,
+        subspace: Subspace,
+        gb,
+        measure_name: str,
+        domain: Iterable | None = None,
+    ) -> dict:
+        """value → aggregated measure per group (NULL keys dropped; with a
+        ``domain``, exactly those categories, absent ones aggregating over
+        zero rows)."""
+        measure = self.schema.measures[measure_name]
+        domain_key = None if domain is None else tuple(domain)
+        if subspace.is_empty:
+            if domain_key is None:
+                return {}
+            fill = AGGREGATES[measure.aggregate](())
+            return {value: fill for value in domain_key}
+        plan = subspace_partition_plan(self.schema, subspace.fact_rows,
+                                       gb, measure, domain=domain_key)
+        return self.execute(plan)
+
+    def pivot_aggregates(self, subspace: Subspace, rows_gb, cols_gb,
+                         measure_name: str) -> dict:
+        """(row value, column value) → aggregated measure."""
+        if subspace.is_empty:
+            return {}
+        measure = self.schema.measures[measure_name]
+        plan = pivot_plan(self.schema, subspace.fact_rows,
+                          rows_gb, cols_gb, measure)
+        return self.execute(plan)
+
+    # ------------------------------------------------------------------
+    # subspace filtering (slice / dice)
+    # ------------------------------------------------------------------
+    def filter_rows(self, subspace: Subspace,
+                    selections: Sequence[tuple] ) -> tuple[int, ...]:
+        """Rows of ``subspace`` matching every ``(gb, values)`` selection."""
+        if subspace.is_empty:
+            return ()
+        plan: PlanNode = rowset(self.schema, subspace.fact_rows)
+        for gb, values in selections:
+            plan = Filter(plan, attr=attr_key(gb), values=tuple(values))
+        return self.materialize(plan)

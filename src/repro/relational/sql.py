@@ -21,7 +21,10 @@ class JoinEdge:
     """One join step: ``left_alias.left_column = right_alias.right_column``.
 
     ``right_table`` is the base-table name behind ``right_alias``; the fact
-    table anchors the FROM clause, and each edge adds one JOIN.
+    table anchors the FROM clause, and each edge adds one JOIN.  ``left``
+    renders a LEFT JOIN — used for group-by attribute paths, where rows
+    with dangling foreign keys must survive as NULL-keyed rows instead of
+    being dropped.
     """
 
     left_alias: str
@@ -29,6 +32,7 @@ class JoinEdge:
     right_table: str
     right_alias: str
     right_column: str
+    left: bool = False
 
 
 @dataclass(frozen=True)
@@ -76,13 +80,22 @@ class JoinQuery:
         for alias, column in self.group_by:
             select_parts.append(f"{alias}.{column}")
         select_parts.append(f"{self.aggregate.upper()}({self.measure_sql}) AS agg")
+        group_keys = [f"{alias}.{column}" for alias, column in self.group_by]
+        return self.render_sql(select_parts, group_keys)
+
+    def render_sql(self, select_parts: Sequence[str],
+                   group_keys: Sequence[str] = ()) -> str:
+        """Render this query's join tree and filters with a caller-chosen
+        SELECT list (used by backends to select row ids, distinct values,
+        or custom aggregates over the same plan)."""
         lines = [
             "SELECT " + ", ".join(select_parts),
             f"FROM {self.fact_table} AS {self.fact_alias}",
         ]
         for edge in self.edges:
+            keyword = "LEFT JOIN" if edge.left else "JOIN"
             lines.append(
-                f"JOIN {edge.right_table} AS {edge.right_alias} "
+                f"{keyword} {edge.right_table} AS {edge.right_alias} "
                 f"ON {edge.left_alias}.{edge.left_column} = "
                 f"{edge.right_alias}.{edge.right_column}"
             )
@@ -92,9 +105,8 @@ class JoinQuery:
                 for f in self.filters
             ]
             lines.append("WHERE " + " AND ".join(rendered))
-        if self.group_by:
-            keys = ", ".join(f"{alias}.{column}" for alias, column in self.group_by)
-            lines.append(f"GROUP BY {keys}")
+        if group_keys:
+            lines.append("GROUP BY " + ", ".join(group_keys))
         return "\n".join(lines)
 
 
@@ -133,6 +145,29 @@ def _qualify(predicate_sql: str, alias: str) -> str:
                 out.append(token)
             else:
                 out.append(f"{alias}.{token}")
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def qualify_measure(measure_sql: str, fact_alias: str) -> str:
+    """Qualify bare identifiers in a rendered measure with the fact alias.
+
+    Measures only read fact columns, so every identifier gets the prefix
+    (there are no keywords or quoted strings in measure expressions).
+    """
+    out: list[str] = []
+    i = 0
+    n = len(measure_sql)
+    while i < n:
+        ch = measure_sql[i]
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (measure_sql[j].isalnum() or measure_sql[j] == "_"):
+                j += 1
+            out.append(f"{fact_alias}.{measure_sql[i:j]}")
             i = j
         else:
             out.append(ch)

@@ -1,11 +1,23 @@
 """Execute catalogs and generated SQL against sqlite3.
 
-The in-memory engine is the primary execution path; this backend exists to
-*cross-check* it: tests load the same :class:`~repro.relational.catalog.Database`
-into an in-memory sqlite database, run the SQL produced by
-:mod:`repro.relational.sql`, and compare results with the columnar engine.
-It doubles as an escape hatch for users who want to point real SQL tooling
-at a generated warehouse.
+This backend mirrors a :class:`~repro.relational.catalog.Database` into
+sqlite3.  It started as a cross-check for the in-memory engine; the plan
+layer (:mod:`repro.plan`) now also runs it as a first-class execution
+backend, so **value fidelity** matters: a round trip through sqlite must
+hand back the same Python values the columnar engine stores.
+
+Two column types need explicit adaptation:
+
+* ``BOOLEAN`` — stored as 0/1 (sqlite has no boolean affinity) and
+  converted back to :class:`bool` on result rows;
+* ``DATE`` — the engine stores dates as ISO-8601 strings; they are
+  declared ``DATE`` and converted back to the identical string, so
+  sqlite's own date machinery never silently reinterprets them.
+
+Both rely on declared column types plus ``detect_types=PARSE_DECLTYPES``
+with :func:`sqlite3.register_converter`; expression results (aggregates,
+arithmetic) are unaffected because converters only fire for declared
+columns.
 """
 
 from __future__ import annotations
@@ -21,9 +33,13 @@ _SQLITE_TYPES = {
     ColumnType.INTEGER: "INTEGER",
     ColumnType.FLOAT: "REAL",
     ColumnType.TEXT: "TEXT",
-    ColumnType.DATE: "TEXT",
-    ColumnType.BOOLEAN: "INTEGER",
+    ColumnType.DATE: "DATE",
+    ColumnType.BOOLEAN: "BOOLEAN",
 }
+
+sqlite3.register_converter("BOOLEAN", lambda blob: bool(int(blob)))
+# the engine stores DATE as ISO-8601 text; keep the round trip exact
+sqlite3.register_converter("DATE", lambda blob: blob.decode("utf-8"))
 
 
 def _create_sql(table: Table) -> str:
@@ -49,7 +65,8 @@ class SqliteBackend:
     """
 
     def __init__(self, database: Database, path: str = ":memory:"):
-        self.connection = sqlite3.connect(path)
+        self.connection = sqlite3.connect(
+            path, detect_types=sqlite3.PARSE_DECLTYPES)
         self._load(database)
 
     def _load(self, database: Database) -> None:
@@ -61,13 +78,19 @@ class SqliteBackend:
             placeholders = ", ".join("?" for _ in table.columns)
             names = ", ".join(f'"{c.name}"' for c in table.columns)
             stmt = f'INSERT INTO "{table.name}" ({names}) VALUES ({placeholders})'
+            types = [c.type for c in table.columns]
             stores = [table.column_values(c.name) for c in table.columns]
             rows = zip(*stores)
-            cursor.executemany(stmt, (tuple(_to_sqlite(v) for v in row) for row in rows))
+            cursor.executemany(
+                stmt,
+                (tuple(to_sqlite(v, t) for v, t in zip(row, types))
+                 for row in rows),
+            )
         self.connection.commit()
 
     def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
-        """Run a query and fetch all rows."""
+        """Run a query and fetch all rows (declared-type columns come back
+        as engine values: bools as bool, dates as ISO strings)."""
         cursor = self.connection.execute(sql, params)
         return cursor.fetchall()
 
@@ -82,8 +105,34 @@ class SqliteBackend:
         self.close()
 
 
-def _to_sqlite(value):
-    """Map engine values to sqlite storage values (bools become 0/1)."""
+def to_sqlite(value, column_type: ColumnType | None = None):
+    """Map one engine value to its sqlite storage value.
+
+    Booleans become 0/1 (also when a BOOLEAN column holds an int-typed
+    truth value); everything else is already storable.  ``column_type``
+    is advisory — adaptation is value-driven so untyped call sites keep
+    working.
+    """
     if isinstance(value, bool):
         return int(value)
+    if column_type is ColumnType.BOOLEAN and value is not None:
+        return int(value)
     return value
+
+
+def from_sqlite(value, column_type: ColumnType):
+    """Map one sqlite result value back to its engine value.
+
+    ``PARSE_DECLTYPES`` already converts declared columns; this helper is
+    for results fetched positionally without declared types (e.g. raw
+    expression selects) where the caller knows the column type."""
+    if value is None:
+        return None
+    if column_type is ColumnType.BOOLEAN:
+        return bool(value)
+    return value
+
+
+def _to_sqlite(value):
+    """Backwards-compatible alias of :func:`to_sqlite`."""
+    return to_sqlite(value)

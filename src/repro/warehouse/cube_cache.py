@@ -12,11 +12,16 @@ for KDAP."
 * **full-space materialisation** — per (group-by attribute, measure), the
   whole dataspace's per-value aggregates are computed once and reused by
   every query whose roll-up degenerates to ALL;
-* **subspace memoisation** — partition aggregates are memoised by a
-  content key of (fact-row set, attribute, measure, domain restriction),
-  so re-exploring the same interpretation (or comparing measures on it)
-  never recomputes;
-* **statistics** — hit/miss counters so benchmarks can show the effect.
+* **subspace memoisation** — partition aggregates are memoised in a
+  :class:`~repro.plan.cache.PlanCache` keyed by the canonical
+  **fingerprint** of the logical plan that computes them, so any two
+  consumers asking the semantically identical question share one entry
+  (and entries are shared with a bound :class:`~repro.plan.engine.QueryEngine`
+  building the same plans);
+* **bounded memory** — ``max_entries`` is enforced by LRU eviction, with
+  evictions surfaced in :class:`~repro.plan.cache.CacheStats`;
+* **statistics** — hit/miss/eviction counters so benchmarks can show the
+  effect.
 
 The cache is layered *around* :class:`~repro.warehouse.subspace.Subspace`
 (wrap calls in :meth:`partition_aggregates`); nothing else changes.
@@ -24,28 +29,16 @@ The cache is layered *around* :class:`~repro.warehouse.subspace.Subspace`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..plan.builders import subspace_partition_plan
+from ..plan.cache import CacheStats, PlanCache
 from .schema import GroupByAttribute, StarSchema
 from .subspace import Subspace
 
+__all__ = ["AggregateCache", "CacheStats"]
 
-@dataclass
-class CacheStats:
-    """Hit/miss counters."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def total(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when unused)."""
-        return self.hits / self.total if self.total else 0.0
+_MISS = object()
 
 
 class AggregateCache:
@@ -53,28 +46,15 @@ class AggregateCache:
 
     def __init__(self, schema: StarSchema, max_entries: int = 4096):
         self.schema = schema
-        self.max_entries = max_entries
-        self._memo: dict[tuple, dict] = {}
-        self.stats = CacheStats()
+        self._cache = PlanCache(max_entries=max_entries)
 
-    # ------------------------------------------------------------------
-    # keys
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _subspace_key(subspace: Subspace) -> tuple:
-        rows = subspace.fact_rows
-        # content key: cheap but collision-safe enough — length plus a
-        # structural hash of the row tuple
-        return (len(rows), hash(rows))
+    @property
+    def max_entries(self) -> int:
+        return self._cache.max_entries
 
-    def _key(self, subspace: Subspace, gb: GroupByAttribute,
-             measure_name: str, domain) -> tuple:
-        domain_key = None if domain is None else tuple(domain)
-        return (
-            self._subspace_key(subspace),
-            gb.ref.table, gb.ref.column, gb.path_from_fact.fk_names,
-            measure_name, domain_key,
-        )
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
 
     # ------------------------------------------------------------------
     # API
@@ -87,20 +67,17 @@ class AggregateCache:
         domain: Iterable | None = None,
     ) -> dict:
         """Memoised :meth:`Subspace.partition_aggregates`."""
-        domain = None if domain is None else list(domain)
-        key = self._key(subspace, gb, measure_name, domain)
-        cached = self._memo.get(key)
-        if cached is not None:
-            self.stats.hits += 1
+        domain = None if domain is None else tuple(domain)
+        measure = self.schema.measures[measure_name]
+        plan = subspace_partition_plan(self.schema, subspace.fact_rows,
+                                       gb, measure, domain=domain)
+        key = plan.fingerprint()
+        cached = self._cache.get(key, _MISS)
+        if cached is not _MISS:
             return dict(cached)
-        self.stats.misses += 1
         result = subspace.partition_aggregates(gb, measure_name,
                                                domain=domain)
-        if len(self._memo) >= self.max_entries:
-            # simple clear-on-full policy: explore sessions are bursty and
-            # a fresh burst rarely reuses a stale warehouse-wide history
-            self._memo.clear()
-        self._memo[key] = dict(result)
+        self._cache.put(key, dict(result))
         return result
 
     def precompute_full_space(self, measure_name: str,
@@ -127,7 +104,7 @@ class AggregateCache:
 
     def clear(self) -> None:
         """Drop every memoised partition (stats are kept)."""
-        self._memo.clear()
+        self._cache.clear()
 
     def __len__(self) -> int:
-        return len(self._memo)
+        return len(self._cache)

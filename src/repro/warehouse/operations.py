@@ -25,11 +25,19 @@ from .subspace import Subspace
 
 
 def slice_(subspace: Subspace, gb: GroupByAttribute, value) -> Subspace:
-    """Fact rows of ``subspace`` whose ``gb`` attribute equals ``value``."""
-    vector = subspace.schema.groupby_vector(gb)
-    rows = [r for r in subspace.fact_rows if vector[r] == value]
-    return Subspace.of(subspace.schema, rows,
-                       label=f"{subspace.label} / {gb.ref}={value!r}")
+    """Fact rows of ``subspace`` whose ``gb`` attribute equals ``value``.
+
+    Engine-bound subspaces evaluate through the plan layer (and stay
+    bound); unbound ones filter locally over the fact-aligned vector.
+    """
+    label = f"{subspace.label} / {gb.ref}={value!r}"
+    if subspace.engine is not None:
+        rows = subspace.engine.filter_rows(subspace, [(gb, (value,))])
+    else:
+        vector = subspace.schema.groupby_vector(gb)
+        rows = [r for r in subspace.fact_rows if vector[r] == value]
+    return Subspace.of(subspace.schema, rows, label=label,
+                       engine=subspace.engine)
 
 
 def dice(subspace: Subspace,
@@ -37,14 +45,19 @@ def dice(subspace: Subspace,
     """Restrict several attributes simultaneously (value sets are ORed
     within an attribute, ANDed across attributes)."""
     schema = subspace.schema
-    rows = list(subspace.fact_rows)
     label = subspace.label
-    for gb, values in selections.items():
-        wanted = set(values)
-        vector = schema.groupby_vector(gb)
-        rows = [r for r in rows if vector[r] in wanted]
-        label += f" / {gb.ref} IN {sorted(map(str, wanted))}"
-    return Subspace.of(schema, rows, label=label)
+    normalized = [(gb, tuple(values)) for gb, values in selections.items()]
+    for gb, values in normalized:
+        label += f" / {gb.ref} IN {sorted(map(str, set(values)))}"
+    if subspace.engine is not None:
+        rows = subspace.engine.filter_rows(subspace, normalized)
+    else:
+        rows = list(subspace.fact_rows)
+        for gb, values in normalized:
+            wanted = set(values)
+            vector = schema.groupby_vector(gb)
+            rows = [r for r in rows if vector[r] in wanted]
+    return Subspace.of(schema, rows, label=label, engine=subspace.engine)
 
 
 def _level_groupby(schema: StarSchema, gb: GroupByAttribute,
@@ -124,19 +137,29 @@ class PivotTable:
 
 def pivot(subspace: Subspace, rows_gb: GroupByAttribute,
           cols_gb: GroupByAttribute, measure_name: str) -> PivotTable:
-    """Cross-tabulate the measure over two attributes."""
+    """Cross-tabulate the measure over two attributes.
+
+    Engine-bound subspaces compute the cells through a two-key
+    :class:`~repro.plan.nodes.Partition` plan (cached, backend-agnostic);
+    unbound ones accumulate locally.  Rows with a NULL on either axis are
+    dropped in both paths.
+    """
     schema = subspace.schema
-    row_vector = schema.groupby_vector(rows_gb)
-    col_vector = schema.groupby_vector(cols_gb)
-    measure_vector = schema.measure_vector(measure_name)
-    cells: dict = {}
-    for rid in subspace.fact_rows:
-        row = row_vector[rid]
-        col = col_vector[rid]
-        if row is None or col is None:
-            continue
-        key = (row, col)
-        cells[key] = cells.get(key, 0.0) + (measure_vector[rid] or 0.0)
+    if subspace.engine is not None:
+        cells = subspace.engine.pivot_aggregates(
+            subspace, rows_gb, cols_gb, measure_name)
+    else:
+        row_vector = schema.groupby_vector(rows_gb)
+        col_vector = schema.groupby_vector(cols_gb)
+        measure_vector = schema.measure_vector(measure_name)
+        cells = {}
+        for rid in subspace.fact_rows:
+            row = row_vector[rid]
+            col = col_vector[rid]
+            if row is None or col is None:
+                continue
+            key = (row, col)
+            cells[key] = cells.get(key, 0.0) + (measure_vector[rid] or 0.0)
     row_values = tuple(sorted({r for r, _c in cells}, key=str))
     col_values = tuple(sorted({c for _r, c in cells}, key=str))
     return PivotTable(row_values, col_values, cells)

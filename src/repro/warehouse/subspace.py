@@ -2,8 +2,15 @@
 
 The paper's DS' ("sub-dataspace") is exactly a subset of the fact table.
 A :class:`Subspace` is therefore a sorted tuple of fact row ids bound to a
-:class:`~repro.warehouse.schema.StarSchema`; partitioning and aggregation
-are thin loops over the schema's cached fact-aligned vectors.
+:class:`~repro.warehouse.schema.StarSchema`.
+
+A subspace may additionally be *engine-bound* (``engine`` set to a
+:class:`~repro.plan.engine.QueryEngine`): aggregation and partitioning
+then go through the engine's logical-plan layer — picking up plan-level
+caching and whichever execution backend the engine runs — while unbound
+subspaces fall back to the local loops over the schema's cached
+fact-aligned vectors.  Results are identical either way; the binding only
+chooses the evaluation path.
 """
 
 from __future__ import annotations
@@ -20,22 +27,29 @@ class Subspace:
     """A subset DS' of the fact table.
 
     ``label`` is a human-readable description (typically the star net that
-    produced it).
+    produced it).  ``engine`` is excluded from equality/hashing: two
+    subspaces with the same rows are the same DS' regardless of how they
+    will be evaluated.
     """
 
     schema: StarSchema
     fact_rows: tuple[int, ...]
     label: str = ""
+    engine: object | None = field(default=None, compare=False, repr=False)
 
     @staticmethod
-    def of(schema: StarSchema, rows: Iterable[int], label: str = "") -> "Subspace":
+    def of(schema: StarSchema, rows: Iterable[int], label: str = "",
+           engine=None) -> "Subspace":
         """Normalise any row collection into a subspace."""
-        return Subspace(schema, tuple(sorted(set(rows))), label)
+        return Subspace(schema, tuple(sorted(set(rows))), label,
+                        engine=engine)
 
     @staticmethod
-    def full(schema: StarSchema, label: str = "ALL") -> "Subspace":
+    def full(schema: StarSchema, label: str = "ALL",
+             engine=None) -> "Subspace":
         """The whole dataspace DS (every fact row)."""
-        return Subspace(schema, tuple(range(schema.num_fact_rows)), label)
+        return Subspace(schema, tuple(range(schema.num_fact_rows)), label,
+                        engine=engine)
 
     def __len__(self) -> int:
         return len(self.fact_rows)
@@ -52,13 +66,15 @@ class Subspace:
         """Rows in both subspaces."""
         rows = set(self.fact_rows) & set(other.fact_rows)
         return Subspace.of(self.schema, rows,
-                           label=f"({self.label}) AND ({other.label})")
+                           label=f"({self.label}) AND ({other.label})",
+                           engine=self.engine or other.engine)
 
     def union(self, other: "Subspace") -> "Subspace":
         """Rows in either subspace."""
         rows = set(self.fact_rows) | set(other.fact_rows)
         return Subspace.of(self.schema, rows,
-                           label=f"({self.label}) OR ({other.label})")
+                           label=f"({self.label}) OR ({other.label})",
+                           engine=self.engine or other.engine)
 
     def contains(self, other: "Subspace") -> bool:
         """True when ``other`` is a subset of this subspace."""
@@ -69,6 +85,8 @@ class Subspace:
     # ------------------------------------------------------------------
     def aggregate(self, measure_name: str) -> float:
         """G(DS'): the measure aggregated over the whole subspace."""
+        if self.engine is not None:
+            return self.engine.subspace_aggregate(self, measure_name)
         measure = self.schema.measures[measure_name]
         vector = self.schema.measure_vector(measure_name)
         fn = AGGREGATES[measure.aggregate]
@@ -114,6 +132,9 @@ class Subspace:
         restriction of PAR(RUP(DS'), attr) to the segments that also exist
         in PAR(DS', attr).
         """
+        if self.engine is not None:
+            return self.engine.subspace_partition_aggregates(
+                self, gb, measure_name, domain=domain)
         measure = self.schema.measures[measure_name]
         vector = self.schema.measure_vector(measure_name)
         fn = AGGREGATES[measure.aggregate]

@@ -1,0 +1,280 @@
+"""Backend parity on a hand-built schema with NULLs, booleans, and dates.
+
+The two backends must agree bit-for-bit on row materialisation and on
+aggregate results — including the awkward cases: NULL group keys, groups
+whose measure is entirely NULL, dangling foreign keys, boolean and date
+group values, empty row sets, and domain fills.
+"""
+
+import pytest
+
+from repro.plan import (
+    AttrKey,
+    Filter,
+    GroupAggregate,
+    InMemoryBackend,
+    Partition,
+    RowSet,
+    Scan,
+    SemiJoin,
+    SqliteBackend,
+    create_backend,
+)
+from repro.relational import (
+    Database,
+    Table,
+    boolean,
+    date,
+    float_,
+    integer,
+    text,
+)
+from repro.relational.expressions import Col
+from repro.warehouse import (
+    AttributeKind,
+    AttributeRef,
+    Dimension,
+    GroupByAttribute,
+    Measure,
+    StarSchema,
+    path_from_fk_names,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """Fact rows: a/a (amounts 1, 2), b (NULL amount), NULL-named dim,
+    dangling FK."""
+    db = Database("Tiny")
+    dim = Table("Dim", [
+        integer("DimKey", nullable=False),
+        text("Name"),
+        boolean("Flag"),
+        date("Day"),
+    ], primary_key="DimKey")
+    dim.insert_many([
+        {"DimKey": 1, "Name": "a", "Flag": True, "Day": "2020-01-01"},
+        {"DimKey": 2, "Name": "b", "Flag": False, "Day": "2020-01-02"},
+        {"DimKey": 3, "Name": None, "Flag": None, "Day": None},
+    ])
+    db.add_table(dim)
+    fact = Table("Fact", [
+        integer("FactKey", nullable=False),
+        integer("DimKey"),
+        float_("Amount"),
+    ], primary_key="FactKey")
+    fact.insert_many([
+        {"FactKey": 10, "DimKey": 1, "Amount": 1.0},
+        {"FactKey": 11, "DimKey": 1, "Amount": 2.0},
+        {"FactKey": 12, "DimKey": 2, "Amount": None},
+        {"FactKey": 13, "DimKey": 3, "Amount": 4.0},
+        {"FactKey": 14, "DimKey": None, "Amount": 8.0},
+    ])
+    db.add_table(fact)
+    db.add_foreign_key("fk_dim", "Fact", "DimKey", "Dim", "DimKey")
+    path = path_from_fk_names(db, "Fact", ["fk_dim"])
+    dim_d = Dimension(
+        name="D",
+        tables=("Dim",),
+        groupbys=(
+            GroupByAttribute(AttributeRef("Dim", "Name"),
+                             AttributeKind.CATEGORICAL, path),
+            GroupByAttribute(AttributeRef("Dim", "Flag"),
+                             AttributeKind.CATEGORICAL, path),
+            GroupByAttribute(AttributeRef("Dim", "Day"),
+                             AttributeKind.CATEGORICAL, path),
+        ),
+    )
+    return StarSchema(
+        database=db, fact_table="Fact", dimensions=[dim_d],
+        measures=[
+            Measure("amount", Col("Amount"), "sum"),
+            Measure("avg_amount", Col("Amount"), "avg"),
+            Measure("n", Col("FactKey"), "count"),
+        ],
+        searchable={"Dim": ["Name"]},
+    )
+
+
+@pytest.fixture(scope="module")
+def backends(tiny):
+    sqlite = SqliteBackend(tiny)
+    yield InMemoryBackend(tiny), sqlite
+    sqlite.close()
+
+
+def _attr(tiny, column) -> AttrKey:
+    gb = tiny.groupby_attribute("Dim", column)
+    return AttrKey("Dim", column, gb.path_from_fact)
+
+
+def _partition(tiny, source, column, measure="amount", domain=None):
+    return GroupAggregate(
+        Partition(source, (_attr(tiny, column),)),
+        tiny.measures[measure].aggregate,
+        str(tiny.measures[measure].expression),
+        tiny.measures[measure].expression,
+        domain=domain,
+    )
+
+
+class TestMaterialize:
+    def test_scan(self, backends):
+        mem, sq = backends
+        plan = Scan("Fact")
+        assert mem.materialize(plan) == sq.materialize(plan) \
+            == (0, 1, 2, 3, 4)
+
+    def test_semijoin(self, tiny, backends):
+        mem, sq = backends
+        path = tiny.groupby_attribute("Dim", "Name").path_from_fact
+        plan = SemiJoin(Scan("Fact"), "Dim", "Name", ("a",),
+                        path.reversed(), "D")
+        assert mem.materialize(plan) == sq.materialize(plan) == (0, 1)
+
+    def test_semijoin_on_boolean(self, tiny, backends):
+        mem, sq = backends
+        path = tiny.groupby_attribute("Dim", "Flag").path_from_fact
+        plan = SemiJoin(Scan("Fact"), "Dim", "Flag", (False,),
+                        path.reversed(), "D")
+        assert mem.materialize(plan) == sq.materialize(plan) == (2,)
+
+    def test_attr_filter_with_null(self, tiny, backends):
+        """None in the value set keeps rows whose attribute is NULL —
+        including the dangling-FK row."""
+        mem, sq = backends
+        plan = Filter(RowSet("Fact", (0, 1, 2, 3, 4)),
+                      attr=_attr(tiny, "Name"), values=("b", None))
+        assert mem.materialize(plan) == sq.materialize(plan) == (2, 3, 4)
+
+    def test_rowset_subset(self, backends):
+        mem, sq = backends
+        plan = RowSet("Fact", (1, 3))
+        assert mem.materialize(plan) == sq.materialize(plan) == (1, 3)
+
+    def test_empty_rowset(self, backends):
+        mem, sq = backends
+        plan = RowSet("Fact", ())
+        assert mem.materialize(plan) == sq.materialize(plan) == ()
+
+
+class TestAggregates:
+    def test_scalar_sum_ignores_null(self, tiny, backends):
+        mem, sq = backends
+        plan = GroupAggregate(Scan("Fact"), "sum", "Amount",
+                              Col("Amount"))
+        assert mem.execute(plan) == pytest.approx(15.0)
+        assert sq.execute(plan) == pytest.approx(15.0)
+
+    def test_group_sum_with_all_null_group(self, tiny, backends):
+        """Group 'b' has only NULL amounts: both backends report 0 (the
+        in-memory fold's identity), and NULL keys are dropped."""
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Name")
+        want = {"a": 3.0, "b": 0}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+    def test_group_keys_keep_boolean_type(self, tiny, backends):
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Flag")
+        for result in (mem.execute(plan), sq.execute(plan)):
+            assert result == {True: 3.0, False: 0}
+            assert all(isinstance(k, bool) for k in result)
+
+    def test_group_keys_keep_date_strings(self, tiny, backends):
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Day")
+        want = {"2020-01-01": 3.0, "2020-01-02": 0}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+    def test_avg_of_all_null_group_is_none(self, tiny, backends):
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Name",
+                          measure="avg_amount")
+        want = {"a": 1.5, "b": None}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+    def test_count_measure(self, tiny, backends):
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Name",
+                          measure="n")
+        want = {"a": 2, "b": 1}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+    def test_domain_fills_missing_groups(self, tiny, backends):
+        mem, sq = backends
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2, 3, 4)), "Name",
+                          domain=("a", "zzz"))
+        want = {"a": 3.0, "zzz": 0}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+    def test_empty_rowset_aggregates(self, tiny, backends):
+        mem, sq = backends
+        scalar = GroupAggregate(RowSet("Fact", ()), "sum", "Amount",
+                                Col("Amount"))
+        grouped = _partition(tiny, RowSet("Fact", ()), "Name")
+        filled = _partition(tiny, RowSet("Fact", ()), "Name",
+                            domain=("a", "b"))
+        for backend in (mem, sq):
+            assert backend.execute(scalar) == 0
+            assert backend.execute(grouped) == {}
+            assert backend.execute(filled) == {"a": 0, "b": 0}
+
+    def test_multi_key_partition(self, tiny, backends):
+        mem, sq = backends
+        measure = tiny.measures["amount"]
+        plan = GroupAggregate(
+            Partition(RowSet("Fact", (0, 1, 2, 3, 4)),
+                      (_attr(tiny, "Name"), _attr(tiny, "Flag"))),
+            measure.aggregate, str(measure.expression),
+            measure.expression,
+        )
+        want = {("a", True): 3.0, ("b", False): 0}
+        assert mem.execute(plan) == want
+        assert sq.execute(plan) == want
+
+
+class TestCounters:
+    def test_memory_counters_record_ops(self, tiny):
+        mem = InMemoryBackend(tiny)
+        plan = _partition(tiny, RowSet("Fact", (0, 1, 2)), "Name")
+        mem.execute(plan)
+        ops = mem.counters.as_dict()
+        assert ops["Partition"]["calls"] == 1
+        assert ops["GroupAggregate"]["calls"] == 1
+        assert mem.counters.total_calls >= 3
+
+    def test_sqlite_counters_record_sql(self, tiny):
+        with SqliteBackend(tiny) as sq:
+            plan = _partition(tiny, RowSet("Fact", (0, 1, 2)), "Name")
+            sq.execute(plan)
+            ops = sq.counters.as_dict()
+            assert ops["SqlExecute"]["calls"] == 1
+            assert ops["SqlExecute"]["rows"] >= 1
+            assert ops["SqlCompile"]["calls"] == 1
+
+    def test_reset(self, tiny):
+        mem = InMemoryBackend(tiny)
+        mem.materialize(Scan("Fact"))
+        assert mem.counters.total_calls > 0
+        mem.counters.reset()
+        assert mem.counters.total_calls == 0
+
+
+class TestRegistry:
+    def test_create_by_name(self, tiny):
+        assert create_backend(tiny, "memory").name == "memory"
+        assert create_backend(tiny, "sqlite").name == "sqlite"
+
+    def test_instance_passthrough(self, tiny):
+        backend = InMemoryBackend(tiny)
+        assert create_backend(tiny, backend) is backend
+
+    def test_unknown_name(self, tiny):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend(tiny, "duckdb")

@@ -1,0 +1,111 @@
+"""Plan-node fingerprints: canonical, hashable, collision-averse."""
+
+import pytest
+
+from repro.plan import (
+    AttrKey,
+    Filter,
+    GroupAggregate,
+    Partition,
+    RowSet,
+    Scan,
+    SemiJoin,
+    row_source,
+)
+from repro.relational.expressions import Col, Compare, Const
+from repro.warehouse import EMPTY_PATH, path_from_fk_names
+
+
+@pytest.fixture(scope="module")
+def paths(ebiz):
+    product = path_from_fk_names(
+        ebiz.database, "TRANSITEM",
+        ["fk_item_product", "fk_product_group"])
+    store = path_from_fk_names(
+        ebiz.database, "TRANSITEM",
+        ["fk_item_trans", "fk_trans_store", "fk_store_loc"])
+    return product, store
+
+
+def semijoin(path, values=("LCD TVs",), dimension="Product"):
+    return SemiJoin(Scan("TRANSITEM"), "PGROUP", "GroupName",
+                    tuple(values), path.reversed(), dimension)
+
+
+class TestFingerprints:
+    def test_hashable_and_stable(self, paths):
+        product, _ = paths
+        plan = semijoin(product)
+        assert plan.fingerprint() == plan.fingerprint()
+        hash(plan.fingerprint())
+
+    def test_value_order_is_canonical(self, paths):
+        product, _ = paths
+        a = semijoin(product, ("LCD TVs", "VCR"))
+        b = semijoin(product, ("VCR", "LCD TVs"))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_values_differ(self, paths):
+        product, _ = paths
+        assert (semijoin(product, ("VCR",)).fingerprint()
+                != semijoin(product, ("LCD TVs",)).fingerprint())
+
+    def test_different_paths_differ(self, paths):
+        product, store = paths
+        a = SemiJoin(Scan("TRANSITEM"), "LOCATION", "City", ("Seattle",),
+                     store.reversed(), "Store")
+        b = SemiJoin(Scan("TRANSITEM"), "LOCATION", "City", ("Seattle",),
+                     product.reversed(), "Store")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_node_kinds_do_not_collide(self, paths):
+        product, _ = paths
+        scan = Scan("TRANSITEM")
+        nodes = [
+            scan,
+            RowSet("TRANSITEM", (1, 2, 3)),
+            semijoin(product),
+            Filter(scan, predicate=Compare(">", Col("Quantity"),
+                                           Const(2))),
+            GroupAggregate(scan, "sum", "(UnitPrice * Quantity)"),
+        ]
+        fingerprints = [n.fingerprint() for n in nodes]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_rowset_content_key(self):
+        a = RowSet("TRANSITEM", (1, 2, 3))
+        b = RowSet("TRANSITEM", (1, 2, 3))
+        c = RowSet("TRANSITEM", (1, 2, 4))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_domain_distinguishes_aggregates(self):
+        base = Partition(RowSet("TRANSITEM", (1, 2)),
+                         (AttrKey("PGROUP", "GroupName", EMPTY_PATH),))
+        a = GroupAggregate(base, "sum", "1")
+        b = GroupAggregate(base, "sum", "1", domain=("VCR",))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestValidation:
+    def test_filter_requires_exactly_one_flavour(self):
+        scan = Scan("TRANSITEM")
+        with pytest.raises(ValueError):
+            Filter(scan)
+        with pytest.raises(ValueError):
+            Filter(scan,
+                   predicate=Compare(">", Col("Quantity"), Const(2)),
+                   attr=AttrKey("TRANSITEM", "Quantity", EMPTY_PATH),
+                   values=(1,))
+
+    def test_partition_requires_keys(self):
+        with pytest.raises(ValueError):
+            Partition(Scan("TRANSITEM"), ())
+
+    def test_row_source_unwraps(self):
+        scan = Scan("TRANSITEM")
+        part = Partition(scan, (AttrKey("TRANSITEM", "Quantity",
+                                        EMPTY_PATH),))
+        agg = GroupAggregate(part, "sum", "1")
+        assert row_source(agg) is scan
+        assert row_source(scan) is scan

@@ -48,11 +48,36 @@ class TestSqliteBackend:
                 "SELECT Name, Price FROM Items ORDER BY Id")
             assert rows == [("a", 1.5), ("b", 2.5), (None, None)]
 
-    def test_bool_as_int(self, db):
+    def test_bool_fidelity(self, db):
+        """BOOLEAN columns round-trip as Python bools, not 0/1 ints."""
         with SqliteBackend(db) as backend:
             rows = backend.execute(
                 "SELECT Active FROM Items ORDER BY Id")
-            assert [r[0] for r in rows] == [1, 0, None]
+            values = [r[0] for r in rows]
+            assert values == [True, False, None]
+            assert isinstance(values[0], bool)
+            assert isinstance(values[1], bool)
+
+    def test_bool_stored_as_int(self, db):
+        """On disk the column is still 0/1, so plain SQL comparisons work."""
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Id FROM Items WHERE Active = 1")
+            assert rows == [(1,)]
+
+    def test_date_fidelity(self, db):
+        """DATE columns round-trip as the engine's ISO-8601 strings."""
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Added FROM Items ORDER BY Id")
+            assert [r[0] for r in rows] == [
+                "2020-01-01", "2020-01-02", None]
+
+    def test_date_comparisons_still_work(self, db):
+        with SqliteBackend(db) as backend:
+            rows = backend.execute(
+                "SELECT Id FROM Items WHERE Added > '2020-01-01'")
+            assert rows == [(2,)]
 
     def test_aggregation(self, db):
         with SqliteBackend(db) as backend:

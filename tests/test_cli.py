@@ -43,6 +43,30 @@ class TestExplore:
         assert code == 1
 
 
+class TestBackend:
+    def test_sqlite_backend_matches_memory(self, capsys):
+        code = main([*SMALL, "explore", "Road Bikes"])
+        assert code == 0
+        memory_out = capsys.readouterr().out
+        code = main([*SMALL, "--backend", "sqlite", "explore",
+                     "Road Bikes"])
+        assert code == 0
+        assert capsys.readouterr().out == memory_out
+
+    def test_stats_flag_prints_counters(self, capsys):
+        code = main([*SMALL, "--backend", "sqlite", "explore",
+                     "Road Bikes", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: sqlite" in out
+        assert "plan cache" in out
+        assert "SqlExecute" in out
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([*SMALL, "--backend", "duckdb", "explore", "Road Bikes"])
+
+
 class TestSql:
     def test_sql_output(self, capsys):
         code = main([*SMALL, "sql", "Road Bikes"])

@@ -73,7 +73,7 @@ class TestPrecompute:
 
 
 class TestEviction:
-    def test_clear_on_full(self, aw_online, bikes):
+    def test_lru_eviction_bounds_size(self, aw_online, bikes):
         cache = AggregateCache(aw_online, max_entries=2)
         gb_color = aw_online.groupby_attribute("DimProduct", "Color")
         gb_model = aw_online.groupby_attribute("DimProduct", "ModelName")
@@ -82,7 +82,24 @@ class TestEviction:
         cache.partition_aggregates(bikes, gb_model, "revenue")
         assert len(cache) == 2
         cache.partition_aggregates(bikes, gb_month, "revenue")
-        assert len(cache) == 1  # cleared, then stored the new entry
+        assert len(cache) == 2  # LRU entry evicted, size stays bounded
+        assert cache.stats.evictions == 1
+
+    def test_lru_evicts_least_recently_used(self, aw_online, bikes):
+        cache = AggregateCache(aw_online, max_entries=2)
+        gb_color = aw_online.groupby_attribute("DimProduct", "Color")
+        gb_model = aw_online.groupby_attribute("DimProduct", "ModelName")
+        gb_month = aw_online.groupby_attribute("DimDate", "MonthName")
+        cache.partition_aggregates(bikes, gb_color, "revenue")
+        cache.partition_aggregates(bikes, gb_model, "revenue")
+        # touch color so model becomes the LRU entry
+        cache.partition_aggregates(bikes, gb_color, "revenue")
+        cache.partition_aggregates(bikes, gb_month, "revenue")
+        misses = cache.stats.misses
+        cache.partition_aggregates(bikes, gb_color, "revenue")  # still hot
+        assert cache.stats.misses == misses
+        cache.partition_aggregates(bikes, gb_model, "revenue")  # evicted
+        assert cache.stats.misses == misses + 1
 
     def test_manual_clear(self, aw_online, cache, bikes):
         gb = aw_online.groupby_attribute("DimProduct", "Color")

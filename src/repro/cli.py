@@ -18,6 +18,13 @@ import sys
 from typing import Sequence
 
 from .core import ExploreConfig, KdapSession, RankingMethod
+from .relational.errors import (
+    BackendError,
+    BudgetExceeded,
+    DeadlineExceeded,
+    RelationalError,
+)
+from .resilience import Budget, create_resilient_backend
 from .datasets import (
     AW_ONLINE_QUERIES,
     AW_RESELLER_QUERIES,
@@ -65,6 +72,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="query execution backend (logical plans run "
                              "on in-memory row-id chains or a sqlite3 "
                              "mirror)")
+    parser.add_argument("--resilient", action="store_true",
+                        help="wrap the backend in retry-with-backoff and "
+                             "automatic failover to the in-memory "
+                             "interpreter")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="wall-clock deadline per query; on expiry a "
+                             "partial result is returned with diagnostics "
+                             "instead of an error")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="cap on rows scanned by plan operators per "
+                             "query (graceful truncation, like "
+                             "--deadline-ms)")
+    parser.add_argument("--max-interpretations", type=int, default=None,
+                        help="cap on candidate star nets enumerated per "
+                             "query")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query",
@@ -101,23 +123,44 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _session(args) -> KdapSession:
     schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
-    return KdapSession(schema, backend=args.backend)
+    backend = (create_resilient_backend(schema, args.backend)
+               if args.resilient else args.backend)
+    return KdapSession(schema, backend=backend)
+
+
+def _budget(args) -> Budget | None:
+    """A per-query budget when any limit flag was given."""
+    if (args.deadline_ms is None and args.max_rows is None
+            and args.max_interpretations is None):
+        return None
+    return Budget(deadline_ms=args.deadline_ms, max_rows=args.max_rows,
+                  max_interpretations=args.max_interpretations)
+
+
+def _print_diagnostics(result) -> None:
+    if not result.is_partial:
+        return
+    print("\npartial result (budget exhausted):")
+    for line in result.diagnostics.describe():
+        print(f"  {line}")
 
 
 def _cmd_query(args) -> int:
-    session = _session(args)
-    ranked = session.differentiate(args.keywords,
-                                   method=RankingMethod(args.method),
-                                   limit=args.limit)
-    if not ranked:
-        print("no interpretation found")
-        return 1
-    print(render_star_nets(ranked, limit=args.limit))
-    return 0
+    with _session(args) as session:
+        ranked = session.differentiate(args.keywords,
+                                       method=RankingMethod(args.method),
+                                       limit=args.limit,
+                                       budget=_budget(args))
+        if not ranked:
+            print("no interpretation found")
+            return 1
+        print(render_star_nets(ranked, limit=args.limit))
+        return 0
 
 
-def _pick(session, args):
-    ranked = session.differentiate(args.keywords, limit=max(args.pick, 5))
+def _pick(session, args, budget=None):
+    ranked = session.differentiate(args.keywords, limit=max(args.pick, 5),
+                                   budget=budget)
     if len(ranked) < args.pick:
         print(f"only {len(ranked)} interpretations found")
         return None
@@ -127,31 +170,34 @@ def _pick(session, args):
 def _cmd_explore(args) -> int:
     from .core import BELLWETHER, SURPRISE
 
-    session = _session(args)
-    net = _pick(session, args)
-    if net is None:
-        return 1
-    measure = SURPRISE if args.measure == "surprise" else BELLWETHER
-    result = session.explore(net, interestingness=measure)
-    print(f"interpretation: {net}")
-    print(f"{len(result.subspace)} fact rows, total = "
-          f"{result.total_aggregate:,.2f}\n")
-    print(render_facets(result.interface))
-    if args.stats:
-        from .evalkit import render_counters
+    with _session(args) as session:
+        budget = _budget(args)
+        net = _pick(session, args, budget=budget)
+        if net is None:
+            return 1
+        measure = SURPRISE if args.measure == "surprise" else BELLWETHER
+        result = session.explore(net, interestingness=measure,
+                                 budget=budget)
+        print(f"interpretation: {net}")
+        print(f"{len(result.subspace)} fact rows, total = "
+              f"{result.total_aggregate:,.2f}\n")
+        print(render_facets(result.interface))
+        _print_diagnostics(result)
+        if args.stats:
+            from .evalkit import render_counters
 
-        print()
-        print(render_counters(session.engine))
-    return 0
+            print()
+            print(render_counters(session.engine))
+        return 0
 
 
 def _cmd_sql(args) -> int:
-    session = _session(args)
-    net = _pick(session, args)
-    if net is None:
-        return 1
-    print(net.to_sql(session.schema, "revenue"))
-    return 0
+    with _session(args) as session:
+        net = _pick(session, args)
+        if net is None:
+            return 1
+        print(net.to_sql(session.schema, "revenue"))
+        return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -198,11 +244,37 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
 }
 
+# Exit codes per error-taxonomy branch (argparse itself exits with 2 on
+# usage errors; 1 means "ran fine, found nothing").
+EXIT_NO_RESULT = 1
+EXIT_DEADLINE = 3
+EXIT_BUDGET = 4
+EXIT_BACKEND = 5
+EXIT_ENGINE = 6
+
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Engine errors surface as one-line stderr messages with distinct exit
+    codes, never tracebacks: deadline → 3, budget → 4, backend failure
+    (after retries/failover) → 5, any other engine error → 6.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except DeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
+    except BudgetExceeded as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except BackendError as exc:
+        print(f"backend failure: {exc}", file=sys.stderr)
+        return EXIT_BACKEND
+    except RelationalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ENGINE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..relational.errors import ResourceExhausted
+from ..resilience.budget import current_budget
 from ..warehouse.graph import JoinPath
 from ..warehouse.rollup import generalize_values
 from ..warehouse.schema import (
@@ -342,46 +344,106 @@ def build_facets(
     if subspace is None:
         subspace = (engine.evaluate(star_net) if engine is not None
                     else star_net.evaluate(schema))
+    budget = current_budget()
     if rollups is None:
-        rollups = rollup_subspaces(schema, star_net, engine=engine)
+        try:
+            rollups = rollup_subspaces(schema, star_net, engine=engine)
+        except ResourceExhausted as exc:
+            if budget is None:
+                raise
+            budget.record_truncation(
+                "rollup", exc.reason,
+                "no facets built: roll-up spaces exceeded the budget")
+            return FacetedInterface(
+                subspace=subspace,
+                total_aggregate=_safe_total(subspace, config, budget),
+                facets=(),
+            )
     rollups = list(rollups)
     if engine is not None:
         rollups = [engine.bind(r) for r in rollups]
     facets: list[DynamicFacet] = []
-    for dim in sorted(schema.dimensions, key=lambda d: d.name):
-        promoted = _promoted_attributes(schema, star_net, dim.name)
-        promoted_refs = {gb.ref for gb in promoted}
-        others = [gb for gb in dim.groupbys if gb.ref not in promoted_refs]
-        remaining_slots = max(config.top_k_attributes - len(promoted), 0)
-        ranked_others = rank_groupby_attributes(
-            subspace, rollups, others, config.measure_name,
-            interestingness, top_k=remaining_slots,
-            num_buckets=config.num_buckets,
-        ) if remaining_slots and others else []
-
-        selected: list[tuple[GroupByAttribute, float, bool]] = [
-            (gb, float("inf"), True) for gb in promoted
-        ]
-        selected.extend((r.attribute, r.score, False) for r in ranked_others)
-        if not selected:
-            continue
-
-        attributes = []
-        for gb, score, is_promoted in selected:
-            if gb.kind is AttributeKind.NUMERICAL:
-                entries = _numerical_entries(subspace, rollups, gb, config)
-            else:
-                entries = _categorical_entries(subspace, rollups, gb, config)
-            if not entries:
-                continue
-            attributes.append(
-                FacetAttribute(gb, score, is_promoted, entries)
-            )
-        if attributes:
-            facets.append(DynamicFacet(dim.name, tuple(attributes)))
+    dims = sorted(schema.dimensions, key=lambda d: d.name)
+    for position, dim in enumerate(dims):
+        try:
+            facet = _build_dimension_facet(
+                schema, star_net, dim, subspace, rollups,
+                interestingness, config)
+        except ResourceExhausted as exc:
+            if budget is None:
+                raise
+            skipped = [d.name for d in dims[position:]]
+            budget.record_truncation(
+                f"facet:{dim.name}", exc.reason,
+                f"facet building stopped; dimensions skipped: "
+                f"{', '.join(skipped)}")
+            break
+        if facet is not None:
+            facets.append(facet)
 
     return FacetedInterface(
         subspace=subspace,
-        total_aggregate=subspace.aggregate(config.measure_name),
+        total_aggregate=_safe_total(subspace, config, budget),
         facets=tuple(facets),
     )
+
+
+def _build_dimension_facet(
+    schema: StarSchema,
+    star_net: StarNet,
+    dim,
+    subspace: Subspace,
+    rollups: Sequence[Subspace],
+    interestingness: InterestingnessMeasure,
+    config: ExploreConfig,
+) -> DynamicFacet | None:
+    """One dimension's facet (None when nothing qualifies)."""
+    promoted = _promoted_attributes(schema, star_net, dim.name)
+    promoted_refs = {gb.ref for gb in promoted}
+    others = [gb for gb in dim.groupbys if gb.ref not in promoted_refs]
+    remaining_slots = max(config.top_k_attributes - len(promoted), 0)
+    ranked_others = rank_groupby_attributes(
+        subspace, rollups, others, config.measure_name,
+        interestingness, top_k=remaining_slots,
+        num_buckets=config.num_buckets,
+    ) if remaining_slots and others else []
+
+    selected: list[tuple[GroupByAttribute, float, bool]] = [
+        (gb, float("inf"), True) for gb in promoted
+    ]
+    selected.extend((r.attribute, r.score, False) for r in ranked_others)
+    if not selected:
+        return None
+
+    attributes = []
+    for gb, score, is_promoted in selected:
+        if gb.kind is AttributeKind.NUMERICAL:
+            entries = _numerical_entries(subspace, rollups, gb, config)
+        else:
+            entries = _categorical_entries(subspace, rollups, gb, config)
+        if not entries:
+            continue
+        attributes.append(
+            FacetAttribute(gb, score, is_promoted, entries)
+        )
+    if not attributes:
+        return None
+    return DynamicFacet(dim.name, tuple(attributes))
+
+
+def _safe_total(subspace: Subspace, config: ExploreConfig,
+                budget) -> float:
+    """G(DS') even under an exhausted budget: fall back to the local
+    unbudgeted fold over the already-materialised rows (one cheap pass)
+    so a partial interface still reports its subspace total."""
+    try:
+        return subspace.aggregate(config.measure_name)
+    except ResourceExhausted as exc:
+        if budget is None:
+            raise
+        budget.record_truncation(
+            "total", exc.reason,
+            "subspace total computed locally outside the engine")
+        unbound = Subspace(subspace.schema, subspace.fact_rows,
+                           subspace.label)
+        return unbound.aggregate(config.measure_name)

@@ -22,6 +22,8 @@ import itertools
 import logging
 from dataclasses import dataclass
 
+from ..relational.errors import ResourceExhausted
+from ..resilience.budget import current_budget
 from ..textindex.index import AttributeTextIndex, SearchHit
 from ..warehouse.graph import EMPTY_PATH, JoinPath
 from ..warehouse.schema import StarSchema
@@ -165,11 +167,20 @@ def generate_star_seeds(
     if not per_keyword:
         return []
 
+    budget = current_budget()
     seeds: list[StarSeed] = []
     seen: set[tuple] = set()
     for combo in itertools.islice(
         itertools.product(*per_keyword), config.max_seeds * 4
     ):
+        if budget is not None:
+            try:
+                budget.check_deadline("generation")
+            except ResourceExhausted as exc:
+                budget.record_truncation(
+                    "generation", exc.reason,
+                    f"seed enumeration stopped after {len(seeds)} seeds")
+                break
         merged = merge_seed_groups(tuple(combo), index)
         merged = tuple(rescore_group(g, index, query) for g in merged)
         key = tuple(sorted((g.domain, g.values) for g in merged))
@@ -196,6 +207,7 @@ def generate_candidates(
         return [StarNet(schema.fact_table, (),
                         measure_predicates=measure_predicates)]
     seeds = generate_star_seeds(schema, index, query, config)
+    budget = current_budget()
     candidates: list[StarNet] = []
     seen: set[tuple] = set()
     for seed in seeds:
@@ -221,6 +233,16 @@ def generate_candidates(
             if key in seen:
                 continue
             seen.add(key)
+            if budget is not None:
+                try:
+                    budget.check_deadline("generation")
+                    budget.charge_interpretations(1)
+                except ResourceExhausted as exc:
+                    budget.record_truncation(
+                        "generation", exc.reason,
+                        f"star-net enumeration stopped after "
+                        f"{len(candidates)} candidates")
+                    return candidates
             candidates.append(
                 StarNet(schema.fact_table, rays,
                         measure_predicates=measure_predicates)

@@ -14,7 +14,11 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 
+from ..plan.backends import ExecutionBackend
 from ..plan.engine import QueryEngine
+from ..relational.errors import ResourceExhausted
+from ..resilience.budget import Budget, budget_scope, current_budget
+from ..resilience.diagnostics import Diagnostics
 from ..textindex.index import AttributeTextIndex
 from ..warehouse.operations import drill_down as _drill_subspace
 from ..warehouse.schema import GroupByAttribute, StarSchema
@@ -28,16 +32,27 @@ from .starnet import StarNet
 
 @dataclass(frozen=True)
 class ExploreResult:
-    """Outcome of the explore phase for one chosen star net."""
+    """Outcome of the explore phase for one chosen star net.
+
+    Under a :class:`~repro.resilience.budget.Budget` the result may be
+    *partial*: ``diagnostics`` then records which stages were truncated,
+    why, and how much work was done before the budget ran out.
+    """
 
     star_net: StarNet
     subspace: Subspace
     interface: FacetedInterface
+    diagnostics: Diagnostics | None = None
 
     @property
     def total_aggregate(self) -> float:
         """The aggregated measure over the whole subspace."""
         return self.interface.total_aggregate
+
+    @property
+    def is_partial(self) -> bool:
+        """True when a budget truncated part of this result."""
+        return self.diagnostics is not None and self.diagnostics.partial
 
 
 logger = logging.getLogger(__name__)
@@ -63,7 +78,7 @@ class KdapSession:
 
     def __init__(self, schema: StarSchema,
                  index: AttributeTextIndex | None = None,
-                 backend: str = "memory"):
+                 backend: str | ExecutionBackend = "memory"):
         self.schema = schema
         if index is None:
             index = AttributeTextIndex()
@@ -75,10 +90,24 @@ class KdapSession:
         # cache holds the row tuples; this memo only avoids re-building
         # frozensets for the intersection loop in subspace_size.
         self._ray_cache: dict[tuple, frozenset[int]] = {}
+        self._closed = False
 
     def close(self) -> None:
-        """Release backend resources (e.g. the sqlite mirror)."""
+        """Release backend resources (e.g. the sqlite mirror); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self.engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "KdapSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # cached subspace sizing
@@ -127,26 +156,52 @@ class KdapSession:
         limit: int | None = 10,
         config: GenerationConfig = DEFAULT_CONFIG,
         preview_sizes: bool = False,
+        budget: Budget | None = None,
     ) -> list[ScoredStarNet]:
         """Ranked candidate interpretations of a keyword query.
 
         With ``preview_sizes`` each returned candidate carries the number
         of fact rows its subspace would contain (computed with per-ray
         caching, so the cost is one semi-join chain per distinct ray).
+
+        Under a ``budget`` (explicit, or ambient via
+        :func:`~repro.resilience.budget.budget_scope`) enumeration is
+        truncated cooperatively instead of raising: the ranked prefix
+        produced so far is returned and the truncation is recorded on the
+        budget's diagnostics.
         """
-        candidates = generate_candidates(self.schema, self.index, query, config)
-        ranked = rank_candidates(candidates, method)
-        logger.info("differentiate %r: %d candidates (%s)", query,
-                    len(candidates), method.value)
-        if limit is not None:
-            ranked = ranked[:limit]
-        if preview_sizes:
-            ranked = [
-                ScoredStarNet(s.star_net, s.score,
-                              self.subspace_size(s.star_net))
-                for s in ranked
-            ]
-        return ranked
+        budget = budget or current_budget()
+        with budget_scope(budget):
+            candidates = generate_candidates(self.schema, self.index,
+                                             query, config)
+            ranked = rank_candidates(candidates, method)
+            logger.info("differentiate %r: %d candidates (%s)", query,
+                        len(candidates), method.value)
+            if limit is not None:
+                ranked = ranked[:limit]
+            if preview_sizes:
+                ranked = self._preview_sizes(ranked, budget)
+            return ranked
+
+    def _preview_sizes(self, ranked: list[ScoredStarNet],
+                       budget: Budget | None) -> list[ScoredStarNet]:
+        """Attach subspace sizes, stopping (not failing) on exhaustion."""
+        previewed: list[ScoredStarNet] = []
+        for position, scored in enumerate(ranked):
+            try:
+                size = self.subspace_size(scored.star_net)
+            except ResourceExhausted as exc:
+                if budget is None:
+                    raise
+                budget.record_truncation(
+                    "preview", exc.reason,
+                    f"subspace sizes missing for {len(ranked) - position} "
+                    f"of {len(ranked)} candidates")
+                previewed.extend(ranked[position:])
+                break
+            previewed.append(
+                ScoredStarNet(scored.star_net, scored.score, size))
+        return previewed
 
     # ------------------------------------------------------------------
     # phase 2: explore
@@ -156,6 +211,7 @@ class KdapSession:
         star_net: StarNet,
         interestingness: InterestingnessMeasure = SURPRISE,
         config: ExploreConfig = ExploreConfig(),
+        budget: Budget | None = None,
     ) -> ExploreResult:
         """Aggregate a chosen star net's subspace and build its facets.
 
@@ -163,16 +219,39 @@ class KdapSession:
         compiles to a logical plan, the subspace comes back engine-bound,
         and every facet aggregation over it is a fingerprint-cached plan
         on the configured backend.
+
+        Under a ``budget`` this never raises on exhaustion: it degrades
+        to a partial :class:`ExploreResult` whose ``diagnostics`` records
+        the truncated stages (empty subspace + no facets in the worst
+        case of a deadline hit during materialisation).
         """
-        subspace = self.engine.evaluate(star_net)
-        logger.info("explore %s: %d fact rows (%s backend)", star_net,
-                    len(subspace), self.engine.backend_name)
-        interface = build_facets(
-            self.schema, star_net, subspace=subspace,
-            interestingness=interestingness, config=config,
-            engine=self.engine,
-        )
-        return ExploreResult(star_net, subspace, interface)
+        budget = budget or current_budget()
+        with budget_scope(budget):
+            try:
+                subspace = self.engine.evaluate(star_net)
+            except ResourceExhausted as exc:
+                if budget is None:
+                    raise
+                budget.record_truncation(
+                    "subspace", exc.reason,
+                    "subspace not materialised; facets skipped")
+                subspace = Subspace(self.schema, (), label=str(star_net),
+                                    engine=self.engine)
+                interface = FacetedInterface(subspace, 0.0, ())
+                return ExploreResult(star_net, subspace, interface,
+                                     diagnostics=Diagnostics.from_budget(
+                                         budget))
+            logger.info("explore %s: %d fact rows (%s backend)", star_net,
+                        len(subspace), self.engine.backend_name)
+            interface = build_facets(
+                self.schema, star_net, subspace=subspace,
+                interestingness=interestingness, config=config,
+                engine=self.engine,
+            )
+            diagnostics = (Diagnostics.from_budget(budget)
+                           if budget is not None else None)
+            return ExploreResult(star_net, subspace, interface,
+                                 diagnostics=diagnostics)
 
     def drill_down(
         self,
@@ -208,15 +287,18 @@ class KdapSession:
         method: RankingMethod = RankingMethod.STANDARD,
         explore_config: ExploreConfig = ExploreConfig(),
         generation_config: GenerationConfig = DEFAULT_CONFIG,
+        budget: Budget | None = None,
     ) -> ExploreResult | None:
         """Differentiate, pick the top star net, and explore it.
 
-        Returns None when the query has no interpretation.
+        Returns None when the query has no interpretation.  A ``budget``
+        covers both phases (it is one per-query contract).
         """
         ranked = self.differentiate(query, method=method, limit=1,
-                                    config=generation_config)
+                                    config=generation_config,
+                                    budget=budget)
         if not ranked:
             return None
         return self.explore(ranked[0].star_net,
                             interestingness=interestingness,
-                            config=explore_config)
+                            config=explore_config, budget=budget)

@@ -82,6 +82,13 @@ def render_counters(engine) -> str:
         f"plan cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions",
     ]
+    resilience = getattr(engine.backend, "resilience", None)
+    if resilience is not None:
+        lines.append(
+            f"resilience: {resilience.retries} retries, "
+            f"{resilience.failovers} failovers, "
+            f"{resilience.transient_errors} transient errors"
+        )
     ops = engine.counters.as_dict()
     if ops:
         rows = [

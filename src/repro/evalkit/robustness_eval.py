@@ -38,13 +38,18 @@ def misspell_keyword(keyword: str, rng: random.Random) -> str:
             chars = list(keyword)
             chars[i], chars[j] = chars[j], chars[i]
             return "".join(chars)
-    # substitute one letter with a different one
+    # substitute one letter with a different one, resampling until the
+    # keyword actually changes (case-restoring the replacement could
+    # otherwise reproduce the original character)
     i = rng.choice(letters)
-    replacement = rng.choice(
-        [c for c in string.ascii_lowercase if c != keyword[i].lower()])
+    original = keyword[i]
     chars = list(keyword)
-    chars[i] = replacement if keyword[i].islower() else replacement.upper()
-    return "".join(chars)
+    while True:
+        replacement = rng.choice(string.ascii_lowercase)
+        candidate = replacement.upper() if original.isupper() else replacement
+        if candidate != original:
+            chars[i] = candidate
+            return "".join(chars)
 
 
 def corrupt_query(query: BenchmarkQuery,

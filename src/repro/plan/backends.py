@@ -30,6 +30,7 @@ from ..relational.errors import SchemaError
 from ..relational.operators import AGGREGATES
 from ..relational.sqlite_backend import SqliteBackend as SqliteMirror
 from ..relational.types import ColumnType
+from ..resilience.budget import charge_groups, charge_rows, check_deadline
 from ..warehouse.rollup import select_rows_by_values, slice_facts
 from ..warehouse.schema import AttributeRef, StarSchema
 from .compile import compile_plan
@@ -105,14 +106,17 @@ class InMemoryBackend:
             with self.counters.timed("Scan") as out:
                 rows = list(range(len(self.schema.database.table(node.table))))
                 out[0] = len(rows)
+            charge_rows(len(rows), "Scan")
             return rows
         if isinstance(node, RowSet):
             self.counters.record("RowSet", len(node.rows))
+            charge_rows(len(node.rows), "RowSet")
             return list(node.rows)
         if isinstance(node, SemiJoin):
             child_rows = self._rows(node.child)
             if not child_rows:
                 return child_rows
+            check_deadline("SemiJoin")
             with self.counters.timed("SemiJoin") as out:
                 ref = AttributeRef(node.source_table, node.column)
                 selected = select_rows_by_values(self.schema, ref,
@@ -121,11 +125,13 @@ class InMemoryBackend:
                                     selected, node.path)
                 rows = [r for r in child_rows if r in facts]
                 out[0] = len(rows)
+            charge_rows(len(rows), "SemiJoin")
             return rows
         if isinstance(node, Filter):
             child_rows = self._rows(node.child)
             if not child_rows:
                 return child_rows
+            check_deadline("Filter")
             with self.counters.timed("Filter") as out:
                 if node.predicate is not None:
                     table = self.schema.database.table(
@@ -139,6 +145,7 @@ class InMemoryBackend:
                     wanted = set(node.values)
                     rows = [r for r in child_rows if vector[r] in wanted]
                 out[0] = len(rows)
+            charge_rows(len(rows), "Filter")
             return rows
         raise SchemaError(f"not a row-producing plan node: {node!r}")
 
@@ -157,9 +164,11 @@ class InMemoryBackend:
         fn = AGGREGATES[plan.aggregate]
         measure = self._measure_values(plan)
         if not keys:
+            check_deadline("GroupAggregate")
             with self.counters.timed("GroupAggregate") as out:
                 out[0] = len(rows)
                 return fn(measure[r] for r in rows)
+        check_deadline("Partition")
         with self.counters.timed("Partition") as out:
             vectors = [self.schema.fact_vector(k.path, k.column)
                        for k in keys]
@@ -177,6 +186,7 @@ class InMemoryBackend:
                         continue
                     groups.setdefault(key, []).append(r)
             out[0] = len(groups)
+        charge_groups(len(groups), "Partition")
         with self.counters.timed("GroupAggregate") as out:
             out[0] = len(groups)
             if plan.domain is not None:
@@ -263,6 +273,8 @@ class SqliteBackend:
             return _empty_result(plan)
         query = self._compile(plan)
         result_rows = self._run(query.to_sql())
+        if plan.grouped:
+            charge_groups(len(result_rows), "GroupAggregate")
         if not plan.grouped:
             value = result_rows[0][0]
             return self._restore_aggregate(plan, value)
@@ -286,9 +298,11 @@ class SqliteBackend:
         return query
 
     def _run(self, sql: str) -> list[tuple]:
+        check_deadline("SqlExecute")
         with self.counters.timed("SqlExecute") as out:
             rows = self.mirror.execute(sql)
             out[0] = len(rows)
+        charge_rows(len(rows), "SqlExecute")
         return rows
 
     @staticmethod

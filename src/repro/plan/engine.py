@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..relational.operators import AGGREGATES
+from ..resilience.budget import check_deadline
 from ..warehouse.subspace import Subspace
 from .backends import ExecutionBackend, create_backend
 from .builders import (
@@ -75,6 +76,9 @@ class QueryEngine:
         cached = self.cache.get(fingerprint, _MISS)
         if cached is not _MISS:
             return cached
+        check_deadline("materialize")
+        # a failing backend call leaves the cache untouched: partial or
+        # poisoned entries must never be served to later callers
         rows = self.backend.materialize(plan)
         self.cache.put(fingerprint, rows)
         return rows
@@ -85,6 +89,7 @@ class QueryEngine:
         fingerprint = plan.fingerprint()
         cached = self.cache.get(fingerprint, _MISS)
         if cached is _MISS:
+            check_deadline("execute")
             cached = self.backend.execute(plan)
             self.cache.put(fingerprint, cached)
         return dict(cached) if isinstance(cached, dict) else cached
@@ -95,6 +100,7 @@ class QueryEngine:
     def evaluate(self, star_net) -> Subspace:
         """SUP(N): the subspace selected by a star net, engine-bound so
         later aggregation over it routes back through this engine."""
+        check_deadline("evaluate")
         rows = self.materialize(star_net.to_plan(self.schema))
         return Subspace(self.schema, rows, label=str(star_net), engine=self)
 

@@ -1,8 +1,20 @@
-"""Exception hierarchy for the in-memory relational engine.
+"""Engine-wide exception taxonomy.
 
-Every error raised by :mod:`repro.relational` derives from
-:class:`RelationalError`, so callers can catch engine failures without
-accidentally swallowing unrelated bugs.
+Every error raised by the engine derives from :class:`RelationalError`,
+so callers can catch engine failures without accidentally swallowing
+unrelated bugs.  The taxonomy has three branches:
+
+* schema/type/expression errors — a query or definition is malformed;
+* :class:`ResourceExhausted` — a query ran out of its resource budget
+  (:class:`BudgetExceeded`) or wall-clock deadline
+  (:class:`DeadlineExceeded`); raised cooperatively by the plan layer,
+  both execution backends, star-net enumeration, and facet building;
+* :class:`BackendError` — an execution backend misbehaved;
+  :class:`TransientBackendError` marks failures worth retrying, and
+  :class:`BackendUnavailableError` reports that retries *and* failover
+  were exhausted.
+
+The CLI maps each branch to a distinct non-zero exit code.
 """
 
 from __future__ import annotations
@@ -51,3 +63,42 @@ class IntegrityError(RelationalError):
 
 class ExpressionError(RelationalError):
     """An expression tree references unknown columns or is malformed."""
+
+
+class ResourceExhausted(RelationalError):
+    """A query exceeded a resource budget or its wall-clock deadline.
+
+    ``stage`` names where the limit was hit (``"scan"``, ``"generation"``,
+    ``"facet:Customer"``, ...), ``reason`` which limit
+    (``"deadline"``, ``"rows"``, ``"groups"``, ``"interpretations"``).
+    """
+
+    def __init__(self, message: str, stage: str = "", reason: str = ""):
+        super().__init__(message)
+        self.stage = stage
+        self.reason = reason
+
+
+class BudgetExceeded(ResourceExhausted):
+    """A row / group / interpretation budget was exhausted."""
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed before the query finished."""
+
+    def __init__(self, message: str, stage: str = ""):
+        super().__init__(message, stage=stage, reason="deadline")
+
+
+class BackendError(RelationalError):
+    """An execution backend failed while evaluating a plan."""
+
+
+class TransientBackendError(BackendError):
+    """A backend failure that is worth retrying (lock contention, injected
+    fault, flaky I/O)."""
+
+
+class BackendUnavailableError(BackendError):
+    """Retries and failover were exhausted; no backend could serve the
+    plan."""

@@ -1,0 +1,198 @@
+"""Resource budgets and deadlines, checked cooperatively across the engine.
+
+A :class:`Budget` bounds one query's work by contract rather than by
+luck: a wall-clock deadline plus caps on rows scanned, groups built, and
+interpretations enumerated.  The budget is *ambient* — installed with
+:func:`budget_scope`, read with :func:`current_budget` — so deep layers
+(backend operator loops, star-net enumeration, facet building) can check
+it without every call signature threading a budget through.
+
+Checks are cooperative and operator-grained: each charge either succeeds
+or raises a typed :class:`~repro.relational.errors.BudgetExceeded` /
+:class:`~repro.relational.errors.DeadlineExceeded`.  Layers that can
+degrade gracefully catch the error at their own loop boundary, record a
+:class:`~repro.resilience.diagnostics.TruncationEvent` via
+:meth:`Budget.record_truncation`, and return what they have; anything
+escaping to :class:`~repro.core.session.KdapSession` is converted into a
+partial result there.
+
+The module-level helpers (:func:`check_deadline`, :func:`charge_rows`,
+:func:`charge_groups`) are no-ops when no budget is active, so the
+unbudgeted hot path pays one context-variable read per operator.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from ..relational.errors import BudgetExceeded, DeadlineExceeded
+from .diagnostics import TruncationEvent
+
+_ACTIVE: ContextVar["Budget | None"] = ContextVar("kdap_budget",
+                                                  default=None)
+
+
+class Budget:
+    """Consumable resource limits for one query (all limits optional).
+
+    Parameters
+    ----------
+    deadline_ms:
+        Wall-clock deadline, measured from construction.
+    max_rows:
+        Cap on rows produced by plan operators (work done, not result
+        size: a row flowing through two operators counts twice).
+    max_groups:
+        Cap on groups built by partition/aggregate operators.
+    max_interpretations:
+        Cap on candidate star nets enumerated during differentiation.
+    clock:
+        Injectable monotonic clock (tests pin time).
+    """
+
+    def __init__(self, deadline_ms: float | None = None,
+                 max_rows: int | None = None,
+                 max_groups: int | None = None,
+                 max_interpretations: int | None = None,
+                 clock=time.monotonic):
+        self.deadline_ms = deadline_ms
+        self.max_rows = max_rows
+        self.max_groups = max_groups
+        self.max_interpretations = max_interpretations
+        self._clock = clock
+        self._started = clock()
+        self.rows_scanned = 0
+        self.groups_seen = 0
+        self.interpretations = 0
+        self.events: list[TruncationEvent] = []
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._started) * 1000.0
+
+    def remaining_ms(self) -> float | None:
+        """Milliseconds until the deadline (None without one)."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms - self.elapsed_ms()
+
+    def check_deadline(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` once the deadline has passed."""
+        remaining = self.remaining_ms()
+        if remaining is not None and remaining < 0:
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline_ms:g} ms exceeded "
+                f"({self.elapsed_ms():.0f} ms elapsed)", stage=stage)
+
+    # ------------------------------------------------------------------
+    # consumable charges
+    # ------------------------------------------------------------------
+    def charge_rows(self, rows: int, stage: str = "scan") -> None:
+        """Count operator output rows; raise once over ``max_rows``."""
+        self.rows_scanned += rows
+        if self.max_rows is not None and self.rows_scanned > self.max_rows:
+            raise BudgetExceeded(
+                f"row budget of {self.max_rows} exceeded "
+                f"({self.rows_scanned} rows scanned)",
+                stage=stage, reason="rows")
+
+    def charge_groups(self, groups: int, stage: str = "aggregate") -> None:
+        """Count groups built; raise once over ``max_groups``."""
+        self.groups_seen += groups
+        if (self.max_groups is not None
+                and self.groups_seen > self.max_groups):
+            raise BudgetExceeded(
+                f"group budget of {self.max_groups} exceeded "
+                f"({self.groups_seen} groups built)",
+                stage=stage, reason="groups")
+
+    def charge_interpretations(self, count: int = 1,
+                               stage: str = "generation") -> None:
+        """Count enumerated candidates; raise once over the cap."""
+        self.interpretations += count
+        if (self.max_interpretations is not None
+                and self.interpretations > self.max_interpretations):
+            raise BudgetExceeded(
+                f"interpretation budget of {self.max_interpretations} "
+                f"exceeded", stage=stage, reason="interpretations")
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def record_truncation(self, stage: str, reason: str,
+                          detail: str = "") -> None:
+        """Note that ``stage`` gave up work because of ``reason``."""
+        self.events.append(TruncationEvent(stage, reason, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True once any layer recorded a truncation."""
+        return bool(self.events)
+
+    def limits(self) -> dict[str, float]:
+        """The configured (non-None) limits by name."""
+        pairs = {
+            "deadline_ms": self.deadline_ms,
+            "max_rows": self.max_rows,
+            "max_groups": self.max_groups,
+            "max_interpretations": self.max_interpretations,
+        }
+        return {name: value for name, value in pairs.items()
+                if value is not None}
+
+    def __repr__(self) -> str:
+        limits = ", ".join(f"{k}={v:g}" for k, v in self.limits().items())
+        return f"Budget({limits or 'unlimited'})"
+
+
+# ----------------------------------------------------------------------
+# ambient scope
+# ----------------------------------------------------------------------
+@contextmanager
+def budget_scope(budget: Budget | None):
+    """Install ``budget`` as the ambient budget for the duration.
+
+    ``None`` is accepted (and installs nothing) so callers can write one
+    ``with budget_scope(maybe_budget):`` regardless of whether a budget
+    was requested.
+    """
+    if budget is None:
+        yield None
+        return
+    token = _ACTIVE.set(budget)
+    try:
+        yield budget
+    finally:
+        _ACTIVE.reset(token)
+
+
+def current_budget() -> Budget | None:
+    """The ambient budget, or None outside any :func:`budget_scope`."""
+    return _ACTIVE.get()
+
+
+def check_deadline(stage: str = "") -> None:
+    """Deadline check against the ambient budget (no-op without one)."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.check_deadline(stage)
+
+
+def charge_rows(rows: int, stage: str = "scan") -> None:
+    """Charge rows to the ambient budget (no-op without one)."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.check_deadline(stage)
+        budget.charge_rows(rows, stage)
+
+
+def charge_groups(groups: int, stage: str = "aggregate") -> None:
+    """Charge groups to the ambient budget (no-op without one)."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.check_deadline(stage)
+        budget.charge_groups(groups, stage)

@@ -1,0 +1,85 @@
+"""Degradation diagnostics: *what* was truncated, *why*, and *how much*.
+
+When a query runs under a :class:`~repro.resilience.budget.Budget`, every
+layer that gives up work cooperatively (candidate enumeration, facet
+building, subspace materialisation) records a :class:`TruncationEvent`
+instead of raising to the user.  :class:`Diagnostics` snapshots those
+events together with the budget's consumption counters, and rides on the
+partial :class:`~repro.core.session.ExploreResult` so callers — and the
+CLI — can explain a degraded answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TruncationEvent:
+    """One place where work was cut short.
+
+    ``stage`` names the layer (``"generation"``, ``"subspace"``,
+    ``"facet:Customer"``, ...), ``reason`` the exhausted limit
+    (``"deadline"``, ``"rows"``, ``"groups"``, ``"interpretations"``),
+    ``detail`` a human-readable elaboration.
+    """
+
+    stage: str
+    reason: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.stage}: {self.reason}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass(frozen=True)
+class Diagnostics:
+    """How a budgeted query was degraded, and how much it consumed."""
+
+    partial: bool
+    truncations: tuple[TruncationEvent, ...]
+    rows_scanned: int
+    groups_seen: int
+    interpretations: int
+    elapsed_ms: float
+    limits: tuple[tuple[str, float], ...]
+    """The budget's configured limits as sorted ``(name, value)`` pairs."""
+
+    @staticmethod
+    def from_budget(budget) -> "Diagnostics":
+        """Snapshot a budget's events and consumption counters."""
+        return Diagnostics(
+            partial=bool(budget.events),
+            truncations=tuple(budget.events),
+            rows_scanned=budget.rows_scanned,
+            groups_seen=budget.groups_seen,
+            interpretations=budget.interpretations,
+            elapsed_ms=budget.elapsed_ms(),
+            limits=tuple(sorted(budget.limits().items())),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (for the chaos-mode counter artifact)."""
+        return {
+            "partial": self.partial,
+            "truncations": [
+                {"stage": t.stage, "reason": t.reason, "detail": t.detail}
+                for t in self.truncations
+            ],
+            "rows_scanned": self.rows_scanned,
+            "groups_seen": self.groups_seen,
+            "interpretations": self.interpretations,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "limits": dict(self.limits),
+        }
+
+    def describe(self) -> list[str]:
+        """One line per truncation plus a consumption summary (CLI)."""
+        lines = [str(event) for event in self.truncations]
+        lines.append(
+            f"scanned {self.rows_scanned} rows, {self.groups_seen} groups, "
+            f"{self.interpretations} interpretations in "
+            f"{self.elapsed_ms:.0f} ms"
+        )
+        return lines

@@ -1,0 +1,108 @@
+"""Deterministic fault injection for chaos testing.
+
+:class:`FaultInjectingBackend` wraps any
+:class:`~repro.plan.backends.ExecutionBackend` and misbehaves on a
+seeded, reproducible schedule: a configurable error rate, injected
+latency, and fail-on-the-Nth-call triggers.  Injected failures are
+:class:`~repro.relational.errors.TransientBackendError` by default, so
+the :class:`~repro.resilience.resilient.ResilientBackend` retry/failover
+ladder treats them exactly like real backend flakiness.
+
+The same seed always produces the same fault schedule, which is what
+lets ``tests/resilience/`` and ``benchmarks/chaos_smoke.py`` assert
+hard outcomes ("call 3 fails, the retry succeeds") instead of
+probabilistic ones.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Collection
+
+from ..relational.errors import TransientBackendError
+
+
+class FaultInjectingBackend:
+    """A misbehaving :class:`ExecutionBackend` wrapper (seeded).
+
+    Parameters
+    ----------
+    inner:
+        The real backend serving calls that survive injection.
+    error_rate:
+        Probability in [0, 1] that any call raises (drawn from the
+        seeded RNG, so the schedule is deterministic).
+    latency_s:
+        Injected delay per call, before the fault decision.
+    fail_nth:
+        Fail every Nth call (1-based; ``fail_nth=3`` fails calls
+        3, 6, 9, ...).
+    fail_calls:
+        Exact 1-based call numbers to fail (for scripted scenarios like
+        "first call fails, retry succeeds").
+    error_factory:
+        Builds the raised exception from a message; defaults to
+        :class:`TransientBackendError`.
+    sleep:
+        Injectable sleep used for latency injection.
+    """
+
+    def __init__(self, inner, error_rate: float = 0.0,
+                 latency_s: float = 0.0, fail_nth: int | None = None,
+                 fail_calls: Collection[int] = (), seed: int = 0,
+                 error_factory=TransientBackendError, sleep=time.sleep):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        self.inner = inner
+        self.error_rate = error_rate
+        self.latency_s = latency_s
+        self.fail_nth = fail_nth
+        self.fail_calls = frozenset(fail_calls)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._error_factory = error_factory
+        self._sleep = sleep
+        self.calls = 0
+        self.faults_injected = 0
+
+    # -- ExecutionBackend protocol -------------------------------------
+    @property
+    def name(self) -> str:
+        return f"faulty({self.inner.name})"
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    def materialize(self, plan):
+        self._maybe_fail("materialize")
+        return self.inner.materialize(plan)
+
+    def execute(self, plan):
+        self._maybe_fail("execute")
+        return self.inner.execute(plan)
+
+    def close(self) -> None:
+        """Close is never fault-injected: cleanup must stay reliable."""
+        self.inner.close()
+
+    # -- the fault schedule --------------------------------------------
+    def _maybe_fail(self, op: str) -> None:
+        self.calls += 1
+        if self.latency_s:
+            self._sleep(self.latency_s)
+        # one RNG draw per call, regardless of the other triggers, so the
+        # random schedule depends only on (seed, call number)
+        draw = self._rng.random() if self.error_rate > 0.0 else 1.0
+        triggered = (
+            self.calls in self.fail_calls
+            or (self.fail_nth is not None
+                and self.calls % self.fail_nth == 0)
+            or draw < self.error_rate
+        )
+        if triggered:
+            self.faults_injected += 1
+            raise self._error_factory(
+                f"injected fault on call #{self.calls} ({op}, "
+                f"seed={self.seed})")

@@ -31,6 +31,20 @@ class TestMisspell:
         assert misspell_keyword("California", random.Random(5)) == \
             misspell_keyword("California", random.Random(5))
 
+    def test_substitution_never_returns_original(self):
+        """Seeded regression: across many seeds and tricky keywords
+        (uppercase, repeated letters, mixed case) every eligible keyword
+        must come back changed — the substitution branch resamples its
+        replacement character until the edit sticks."""
+        words = ("California", "MOUNTAIN", "aaaaa", "AAAAA", "BbBbB",
+                 "bikes2001x", "Mississippi")
+        for seed in range(200):
+            rng = random.Random(seed)
+            for word in words:
+                corrupted = misspell_keyword(word, rng)
+                assert corrupted != word, (seed, word)
+                assert len(corrupted) == len(word)
+
 
 class TestCorruptQuery:
     def test_longest_keyword_changed(self):

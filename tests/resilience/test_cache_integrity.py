@@ -1,0 +1,84 @@
+"""PlanCache interaction with failures: errors must not poison the cache.
+
+A backend error (or a budget/deadline abort) during evaluation must
+leave the cache exactly as it was — no cached partial/None results — and
+the hit/miss statistics must stay consistent so observability does not
+drift under faults.
+"""
+
+import pytest
+
+from repro.plan import (
+    InMemoryBackend,
+    QueryEngine,
+    Scan,
+    subspace_aggregate_plan,
+)
+from repro.relational.errors import DeadlineExceeded, TransientBackendError
+from repro.resilience import Budget, FaultInjectingBackend, budget_scope
+
+
+@pytest.fixture()
+def engine(ebiz):
+    """An engine whose backend fails on exactly its first call."""
+    faulty = FaultInjectingBackend(InMemoryBackend(ebiz), fail_calls={1})
+    return QueryEngine(ebiz, backend=faulty)
+
+
+class TestBackendErrors:
+    def test_failed_materialize_caches_nothing(self, engine, ebiz):
+        plan = Scan(ebiz.fact_table)
+        with pytest.raises(TransientBackendError):
+            engine.materialize(plan)
+        assert len(engine.cache) == 0
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_stats.hits == 0
+
+    def test_retry_after_failure_caches_cleanly(self, engine, ebiz):
+        plan = Scan(ebiz.fact_table)
+        with pytest.raises(TransientBackendError):
+            engine.materialize(plan)
+        rows = engine.materialize(plan)  # call 2 succeeds
+        assert rows == tuple(range(ebiz.num_fact_rows))
+        assert len(engine.cache) == 1
+        # third lookup must be served from cache, not the backend
+        backend_calls = engine.backend.calls
+        assert engine.materialize(plan) == rows
+        assert engine.backend.calls == backend_calls
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_stats.misses == 2
+
+    def test_failed_execute_caches_nothing(self, engine, ebiz):
+        plan = subspace_aggregate_plan(ebiz, (0, 1, 2),
+                                       ebiz.measures["revenue"])
+        with pytest.raises(TransientBackendError):
+            engine.execute(plan)
+        assert len(engine.cache) == 0
+        value = engine.execute(plan)
+        assert value == pytest.approx(
+            sum(ebiz.measure_vector("revenue")[r] for r in (0, 1, 2)))
+        assert len(engine.cache) == 1
+
+
+class TestBudgetAborts:
+    def test_deadline_abort_does_not_poison_cache(self, ebiz):
+        engine = QueryEngine(ebiz, backend=InMemoryBackend(ebiz))
+        plan = Scan(ebiz.fact_table)
+        with budget_scope(Budget(deadline_ms=0)):
+            with pytest.raises(DeadlineExceeded):
+                engine.materialize(plan)
+        assert len(engine.cache) == 0
+        # the same plan evaluates cleanly once the deadline pressure ends
+        rows = engine.materialize(plan)
+        assert len(rows) == ebiz.num_fact_rows
+        assert len(engine.cache) == 1
+
+    def test_row_budget_abort_does_not_poison_cache(self, ebiz):
+        engine = QueryEngine(ebiz, backend=InMemoryBackend(ebiz))
+        plan = Scan(ebiz.fact_table)
+        budget = Budget(max_rows=10)
+        with budget_scope(budget):
+            with pytest.raises(Exception):
+                engine.materialize(plan)
+        assert len(engine.cache) == 0
+        assert engine.materialize(plan)  # clean re-evaluation

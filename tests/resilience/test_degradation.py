@@ -1,0 +1,108 @@
+"""Graceful degradation: budgeted sessions return partials, never raise."""
+
+import pytest
+
+from repro.core import KdapSession
+from repro.resilience import Budget, budget_scope, current_budget
+
+
+@pytest.fixture()
+def session(ebiz):
+    with KdapSession(ebiz) as s:
+        yield s
+
+
+class TestExploreDegradation:
+    def test_unbudgeted_result_has_no_diagnostics(self, session):
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        result = session.explore(net)
+        assert result.diagnostics is None
+        assert not result.is_partial
+
+    def test_generous_budget_is_complete_and_identical(self, session):
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        plain = session.explore(net)
+        budgeted = session.explore(net, budget=Budget(max_rows=10**9))
+        assert not budgeted.is_partial
+        assert budgeted.diagnostics is not None
+        assert budgeted.diagnostics.rows_scanned >= 0
+        assert budgeted.interface.facets == plain.interface.facets
+        assert budgeted.total_aggregate == plain.total_aggregate
+
+    def test_expired_deadline_returns_partial_not_raise(self, session):
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        result = session.explore(net, budget=Budget(deadline_ms=0))
+        assert result.is_partial
+        stages = {t.stage for t in result.diagnostics.truncations}
+        assert "subspace" in stages
+        assert result.interface.facets == ()
+        assert len(result.subspace) == 0
+
+    def test_tiny_row_budget_returns_partial_with_diagnostics(self,
+                                                              session):
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        result = session.explore(net, budget=Budget(max_rows=1))
+        assert result.is_partial
+        diag = result.diagnostics
+        assert diag.truncations
+        assert diag.rows_scanned >= 1
+        assert diag.limits == (("max_rows", 1),)
+        reasons = {t.reason for t in diag.truncations}
+        assert "rows" in reasons
+
+    def test_moderate_row_budget_keeps_subspace_drops_facets(self, ebiz):
+        # enough rows to materialise the subspace, not enough for the
+        # full facet build: the partial keeps the subspace and total
+        with KdapSession(ebiz) as session:
+            net = session.differentiate("Columbus", limit=1)[0].star_net
+            full = session.explore(net)
+        with KdapSession(ebiz) as session:
+            net = session.differentiate("Columbus", limit=1)[0].star_net
+            budget = Budget(max_rows=ebiz.num_fact_rows * 3)
+            result = session.explore(net, budget=budget)
+        assert result.subspace.fact_rows == full.subspace.fact_rows
+        assert result.total_aggregate == pytest.approx(
+            full.total_aggregate)
+        if result.is_partial:
+            assert len(result.interface.facets) <= \
+                len(full.interface.facets)
+
+    def test_ambient_budget_scope_is_honoured(self, session):
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        with budget_scope(Budget(deadline_ms=0)):
+            result = session.explore(net)
+        assert result.is_partial
+        assert current_budget() is None
+
+
+class TestDifferentiateDegradation:
+    def test_interpretation_cap_truncates_not_raises(self, session):
+        budget = Budget(max_interpretations=1)
+        ranked = session.differentiate("Columbus LCD", limit=10,
+                                       budget=budget)
+        assert len(ranked) <= 1
+        assert budget.truncated
+        assert any(t.reason == "interpretations" for t in budget.events)
+
+    def test_expired_deadline_yields_empty_ranking(self, session):
+        budget = Budget(deadline_ms=0)
+        ranked = session.differentiate("Columbus LCD", budget=budget)
+        assert ranked == []
+        assert budget.truncated
+
+    def test_preview_sizes_survive_row_budget(self, session):
+        budget = Budget(max_rows=1)
+        ranked = session.differentiate("Columbus", limit=3,
+                                       preview_sizes=True, budget=budget)
+        # ranking itself needs no scans; previews stop at the budget but
+        # candidates are still returned
+        assert ranked
+        assert budget.truncated or all(
+            s.subspace_size is not None for s in ranked)
+
+
+class TestSearchDegradation:
+    def test_search_with_budget_never_raises(self, session):
+        result = session.search("Columbus", budget=Budget(max_rows=1))
+        assert result is not None
+        assert result.is_partial

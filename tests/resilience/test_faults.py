@@ -1,0 +1,133 @@
+"""The fault-injecting backend: seeded, deterministic misbehavior."""
+
+import pytest
+
+from repro.plan import PlanCounters
+from repro.relational.errors import TransientBackendError
+from repro.resilience import FaultInjectingBackend
+
+
+class StubBackend:
+    """A trivially well-behaved backend for wrapping."""
+
+    name = "stub"
+
+    def __init__(self):
+        self.counters = PlanCounters()
+        self.materialized = 0
+        self.executed = 0
+        self.closed = False
+
+    def materialize(self, plan):
+        self.materialized += 1
+        return (1, 2, 3)
+
+    def execute(self, plan):
+        self.executed += 1
+        return {"a": 1.0}
+
+    def close(self):
+        self.closed = True
+
+
+def fault_schedule(backend: FaultInjectingBackend, calls: int) -> list[bool]:
+    """Which of ``calls`` consecutive calls raise."""
+    outcomes = []
+    for _ in range(calls):
+        try:
+            backend.materialize(None)
+            outcomes.append(False)
+        except TransientBackendError:
+            outcomes.append(True)
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.5, seed=11),
+            50)
+        second = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.5, seed=11),
+            50)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_differ(self):
+        first = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.5, seed=1),
+            50)
+        second = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.5, seed=2),
+            50)
+        assert first != second
+
+    def test_scripted_triggers_do_not_shift_random_schedule(self):
+        plain = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.4, seed=3),
+            30)
+        scripted = fault_schedule(
+            FaultInjectingBackend(StubBackend(), error_rate=0.4, seed=3,
+                                  fail_calls={1}),
+            30)
+        # call 1 is forced to fail; every later call keeps its fate
+        assert scripted[0] is True
+        assert scripted[1:] == plain[1:]
+
+
+class TestTriggers:
+    def test_error_rate_zero_never_fails(self):
+        backend = FaultInjectingBackend(StubBackend(), error_rate=0.0,
+                                        seed=4)
+        assert fault_schedule(backend, 20) == [False] * 20
+        assert backend.faults_injected == 0
+
+    def test_error_rate_one_always_fails(self):
+        backend = FaultInjectingBackend(StubBackend(), error_rate=1.0,
+                                        seed=4)
+        assert fault_schedule(backend, 5) == [True] * 5
+        assert backend.faults_injected == 5
+
+    def test_fail_nth(self):
+        backend = FaultInjectingBackend(StubBackend(), fail_nth=3)
+        assert fault_schedule(backend, 9) == [
+            False, False, True, False, False, True, False, False, True]
+
+    def test_fail_calls(self):
+        backend = FaultInjectingBackend(StubBackend(), fail_calls={1, 4})
+        assert fault_schedule(backend, 5) == [
+            True, False, False, True, False]
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjectingBackend(StubBackend(), error_rate=1.5)
+
+
+class TestLatencyAndDelegation:
+    def test_latency_injected_via_sleep(self):
+        naps = []
+        backend = FaultInjectingBackend(StubBackend(), latency_s=0.25,
+                                        sleep=naps.append)
+        backend.materialize(None)
+        backend.execute(None)
+        assert naps == [0.25, 0.25]
+
+    def test_execute_and_materialize_delegate(self):
+        inner = StubBackend()
+        backend = FaultInjectingBackend(inner)
+        assert backend.materialize(None) == (1, 2, 3)
+        assert backend.execute(None) == {"a": 1.0}
+        assert backend.name == "faulty(stub)"
+        assert backend.counters is inner.counters
+
+    def test_close_never_faulted(self):
+        inner = StubBackend()
+        backend = FaultInjectingBackend(inner, error_rate=1.0, seed=9)
+        backend.close()
+        assert inner.closed
+
+    def test_error_message_names_call_and_seed(self):
+        backend = FaultInjectingBackend(StubBackend(), fail_calls={1},
+                                        seed=77)
+        with pytest.raises(TransientBackendError, match=r"#1.*seed=77"):
+            backend.materialize(None)

@@ -1,0 +1,47 @@
+"""Session lifecycle: idempotent close and context-manager use."""
+
+import pytest
+
+from repro.core import KdapSession
+from repro.plan import SqliteBackend
+
+
+class TestClose:
+    def test_close_is_idempotent(self, ebiz):
+        session = KdapSession(ebiz)
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # second close is a no-op, not an error
+        assert session.closed
+
+    def test_close_releases_sqlite_mirror(self, ebiz):
+        session = KdapSession(ebiz, backend="sqlite")
+        session.differentiate("Columbus", limit=1)
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        session.explore(net)
+        assert session.engine.backend._mirror is not None
+        session.close()
+        assert session.engine.backend._mirror is None
+        session.close()
+        assert session.engine.backend._mirror is None
+
+
+class TestContextManager:
+    def test_with_block_closes_on_exit(self, ebiz):
+        with KdapSession(ebiz, backend="sqlite") as session:
+            assert session is not None
+            assert not session.closed
+        assert session.closed
+
+    def test_with_block_closes_on_error(self, ebiz):
+        with pytest.raises(RuntimeError):
+            with KdapSession(ebiz) as session:
+                raise RuntimeError("boom")
+        assert session.closed
+
+    def test_backend_instance_sessions_close_cleanly(self, ebiz):
+        backend = SqliteBackend(ebiz)
+        with KdapSession(ebiz, backend=backend) as session:
+            session.differentiate("Columbus", limit=1)
+        assert backend._mirror is None

@@ -2,7 +2,14 @@
 
 import pytest
 
+from repro import cli
 from repro.cli import main
+from repro.relational.errors import (
+    BackendUnavailableError,
+    BudgetExceeded,
+    DeadlineExceeded,
+    SchemaError,
+)
 
 SMALL = ["--facts", "2000", "--warehouse", "online"]
 
@@ -65,6 +72,67 @@ class TestBackend:
     def test_unknown_backend_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main([*SMALL, "--backend", "duckdb", "explore", "Road Bikes"])
+
+
+class TestResilience:
+    def test_resilient_flag_reports_in_stats(self, capsys):
+        code = main([*SMALL, "--backend", "sqlite", "--resilient",
+                     "explore", "Road Bikes", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: resilient(sqlite)" in out
+        assert "resilience: 0 retries, 0 failovers" in out
+
+    def test_row_budget_prints_partial_diagnostics(self, capsys):
+        code = main([*SMALL, "--max-rows", "1", "explore", "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partial result" in out
+        assert "scanned" in out
+
+    def test_generous_budget_output_matches_unbudgeted(self, capsys):
+        code = main([*SMALL, "explore", "Road Bikes"])
+        assert code == 0
+        plain = capsys.readouterr().out
+        code = main([*SMALL, "--deadline-ms", "600000", "--max-rows",
+                     "1000000000", "explore", "Road Bikes"])
+        assert code == 0
+        assert capsys.readouterr().out == plain
+
+    def test_expired_deadline_still_exits_cleanly(self, capsys):
+        code = main([*SMALL, "--deadline-ms", "0", "query", "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no interpretation" in out
+
+
+class TestExitCodes:
+    """The error taxonomy maps to distinct exit codes and one-line
+    stderr messages — never tracebacks."""
+
+    @pytest.mark.parametrize("error,expected", [
+        (DeadlineExceeded("too slow"), cli.EXIT_DEADLINE),
+        (BudgetExceeded("too much"), cli.EXIT_BUDGET),
+        (BackendUnavailableError("all backends down"), cli.EXIT_BACKEND),
+        (SchemaError("unknown column"), cli.EXIT_ENGINE),
+    ])
+    def test_taxonomy_exit_codes(self, monkeypatch, capsys, error,
+                                 expected):
+        def boom(args):
+            raise error
+
+        monkeypatch.setitem(cli._COMMANDS, "query", boom)
+        code = main([*SMALL, "query", "whatever"])
+        captured = capsys.readouterr()
+        assert code == expected
+        assert str(error) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_exit_codes_are_distinct(self):
+        codes = {cli.EXIT_NO_RESULT, cli.EXIT_DEADLINE, cli.EXIT_BUDGET,
+                 cli.EXIT_BACKEND, cli.EXIT_ENGINE}
+        assert len(codes) == 5
+        assert 0 not in codes and 2 not in codes  # success / usage
 
 
 class TestSql:

@@ -12,6 +12,7 @@ ModelName surfaces the Mountain-* models.
 
 from repro.core import ExploreConfig, build_facets
 from repro.evalkit import render_facets
+from repro.plan import QueryEngine
 
 
 def test_table2_facets(benchmark, online_session_full):
@@ -44,3 +45,29 @@ def test_table2_facets(benchmark, online_session_full):
         model = next(a for a in product.attributes
                      if a.attribute.ref.column == "ModelName")
         assert any(e.label.startswith("Mountain-") for e in model.entries)
+
+
+def test_table2_facets_engine_fused(benchmark, online_session_full):
+    """The same workload through an engine, asserting fusion engaged:
+    many group-bys per fused query, so whole scans (or SQL round-trips)
+    were saved relative to the per-attribute path."""
+    session = online_session_full
+    ranked = session.differentiate("California Mountain Bikes", limit=1)
+    net = ranked[0].star_net
+    config = ExploreConfig(top_k_attributes=4, top_k_instances=4,
+                           display_intervals=3)
+    engine = QueryEngine(session.schema, backend="memory")
+
+    def run():
+        engine.cache.clear()
+        return build_facets(session.schema, net, config=config,
+                            engine=engine)
+
+    interface = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    assert interface.facet("Product").attributes
+    fusion = engine.fusion
+    assert fusion.fused_queries > 0, "facet workload must fuse"
+    assert fusion.attributes_fused > fusion.fused_queries, \
+        "each fused query must cover several group-by attributes"
+    assert fusion.scans_saved > 0

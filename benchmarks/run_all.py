@@ -1,0 +1,278 @@
+"""One-shot benchmark suite with a committed JSON baseline.
+
+Runs the paper-artifact workloads (Table 1, Table 2, Figures 4-7) plus
+the engine primitives as plain wall-clock benchmarks — no pytest — and
+writes per-benchmark medians to ``BENCH_kdap.json``.  The committed
+baseline lets any later change diff its numbers against this PR's.
+
+The run doubles as the fused-aggregation acceptance gate: the Table 2
+facet workload is timed with partition fusion on and off, per backend,
+and the process exits non-zero when the fused path is not faster — so CI
+catches a fusion regression as a hard failure, not a silent slowdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --smoke --out BENCH_kdap.json
+    PYTHONPATH=src python benchmarks/run_all.py --repeats 5   # full scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+from repro.core import ExploreConfig, KdapSession, build_facets
+from repro.datasets import (
+    AW_ONLINE_QUERIES,
+    build_aw_online,
+    build_aw_reseller,
+)
+from repro.evalkit import (
+    evaluate_annealing,
+    evaluate_buckets_online,
+    evaluate_buckets_reseller,
+    evaluate_ranking,
+)
+from repro.plan import FusionStats, QueryEngine
+
+QUERY = "California Mountain Bikes"
+
+FACET_CONFIG = ExploreConfig(top_k_attributes=4, top_k_instances=4,
+                             display_intervals=3)
+
+
+def _timed(fn, repeats: int) -> dict:
+    """Median wall-clock of ``fn`` over ``repeats`` runs (all recorded)."""
+    runs = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        runs.append(time.perf_counter() - started)
+    return {
+        "median_s": round(statistics.median(runs), 6),
+        "runs_s": [round(r, 6) for r in runs],
+        "result": result,
+    }
+
+
+class Suite:
+    def __init__(self, smoke: bool, repeats: int):
+        self.smoke = smoke
+        self.repeats = repeats
+        self.benchmarks: dict[str, dict] = {}
+        if smoke:
+            self.online = build_aw_online(num_customers=300,
+                                          num_facts=8000, seed=42)
+            self.reseller = build_aw_reseller(num_resellers=120,
+                                              num_employees=40,
+                                              num_facts=8000, seed=43)
+        else:
+            self.online = build_aw_online()
+            self.reseller = build_aw_reseller()
+        self.session = KdapSession(self.online)
+        self.reseller_session = KdapSession(self.reseller)
+
+    def record(self, name: str, fn, repeats: int | None = None,
+               meta: dict | None = None):
+        timing = _timed(fn, repeats or self.repeats)
+        result = timing.pop("result")
+        if meta:
+            timing["meta"] = meta
+        self.benchmarks[name] = timing
+        print(f"  {name}: {timing['median_s']:.4f} s "
+              f"(median of {len(timing['runs_s'])})")
+        return result
+
+    # ------------------------------------------------------------------
+    # paper artifacts
+    # ------------------------------------------------------------------
+    def bench_table1(self):
+        ranked = self.record(
+            "table1_differentiate",
+            lambda: self.session.differentiate(QUERY, limit=10))
+        assert ranked, "table1 query must have interpretations"
+        self.net = ranked[0].star_net
+
+    def bench_table2(self) -> dict:
+        """The facet workload, fused vs per-attribute, per backend.
+
+        Every timed run starts from a cold plan cache so the comparison
+        measures execution strategy, not memoisation.  Both modes get one
+        untimed warm-up (priming shared schema vectors / the sqlite
+        mirror) and the timed runs are interleaved fused/unfused so
+        machine drift cannot bias either side.  The gate compares the
+        *minimum* run of each mode (the deterministic workload's best
+        case is its true cost; medians still carry scheduler noise) with
+        a 3% guard band, because on the in-memory backend the facet
+        wall-clock is dominated by numerical bucketing the fused path
+        does not touch — the fusion win there is a few percent
+        end-to-end, while a genuine fusion regression shows up far
+        above the band.
+        """
+        check: dict[str, dict] = {}
+        repeats = max(self.repeats, 7)
+        for backend in ("memory", "sqlite"):
+            engines = {
+                fuse: QueryEngine(self.online, backend=backend,
+                                  fuse_partitions=fuse)
+                for fuse in (True, False)
+            }
+
+            def run(engine):
+                engine.cache.clear()
+                return build_facets(self.online, self.net,
+                                    config=FACET_CONFIG, engine=engine)
+
+            for engine in engines.values():
+                run(engine)
+            engines[True].fusion = FusionStats()
+            runs: dict[bool, list[float]] = {True: [], False: []}
+            for _ in range(repeats):
+                for fuse in (True, False):
+                    started = time.perf_counter()
+                    run(engines[fuse])
+                    runs[fuse].append(time.perf_counter() - started)
+            for fuse, mode in ((True, "fused"), (False, "unfused")):
+                name = f"table2_facets_{mode}_{backend}"
+                self.benchmarks[name] = {
+                    "median_s": round(statistics.median(runs[fuse]), 6),
+                    "min_s": round(min(runs[fuse]), 6),
+                    "runs_s": [round(r, 6) for r in runs[fuse]],
+                    "meta": {"backend": backend, "fused": fuse},
+                }
+                print(f"  {name}: "
+                      f"{self.benchmarks[name]['median_s']:.4f} s "
+                      f"(median of {repeats}, interleaved)")
+            stats = engines[True].fusion
+            fusion = {   # accumulated over the timed runs: per-run share
+                "fused_queries": stats.fused_queries // repeats,
+                "attributes_fused": stats.attributes_fused // repeats,
+                "scans_saved": stats.scans_saved // repeats,
+            }
+            for engine in engines.values():
+                engine.close()
+            fused = self.benchmarks[f"table2_facets_fused_{backend}"]
+            unfused = self.benchmarks[f"table2_facets_unfused_{backend}"]
+            check[backend] = {
+                "fused_s": fused["median_s"],
+                "unfused_s": unfused["median_s"],
+                "fused_min_s": fused["min_s"],
+                "unfused_min_s": unfused["min_s"],
+                "speedup": round(unfused["median_s"]
+                                 / max(fused["median_s"], 1e-9), 3),
+                "fusion": fusion,
+            }
+        return check
+
+    def bench_figures(self):
+        queries = AW_ONLINE_QUERIES[:8] if self.smoke else AW_ONLINE_QUERIES
+        self.record(
+            "figure4_ranking",
+            lambda: evaluate_ranking(self.session, queries),
+            repeats=1, meta={"queries": len(queries)})
+        buckets = [5, 10, 20] if self.smoke else [5, 20, 40, 80]
+        self.record(
+            "figure5_buckets_online",
+            lambda: evaluate_buckets_online(self.online,
+                                            bucket_counts=buckets),
+            repeats=1, meta={"bucket_counts": buckets})
+        self.record(
+            "figure6_buckets_reseller",
+            lambda: evaluate_buckets_reseller(self.reseller,
+                                              bucket_counts=buckets),
+            repeats=1, meta={"bucket_counts": buckets})
+        iterations = 100 if self.smoke else 500
+        self.record(
+            "figure7_annealing",
+            lambda: evaluate_annealing(self.session, "France Clothing",
+                                       "DimCustomer", "YearlyIncome",
+                                       iterations=iterations),
+            repeats=1, meta={"iterations": iterations})
+
+    # ------------------------------------------------------------------
+    # engine primitives
+    # ------------------------------------------------------------------
+    def bench_primitives(self):
+        session = self.session
+        schema = self.online
+        self.record("primitive_text_probe",
+                    lambda: session.index.search("California", 30))
+        self.record("primitive_star_join",
+                    lambda: self.net.evaluate(schema))
+        subspace = self.net.evaluate(schema)
+        gb = schema.groupby_attribute("DimDate", "MonthName")
+        gbs = [schema.groupby_attribute("DimDate", "MonthName"),
+               schema.groupby_attribute("DimGeography", "CountryRegionName"),
+               schema.groupby_attribute("DimProduct", "Color")]
+        schema.groupby_vector(gb)
+        self.record(
+            "primitive_partition_aggregation",
+            lambda: subspace.partition_aggregates(gb, "revenue"))
+        self.record(
+            "primitive_multi_partition_aggregation",
+            lambda: subspace.multi_partition_aggregates(gbs, "revenue"),
+            meta={"group_bys": len(gbs)})
+
+    def close(self):
+        self.session.close()
+        self.reseller_session.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced dataset sizes and workloads (CI)")
+    parser.add_argument("--out", default="BENCH_kdap.json",
+                        help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per benchmark "
+                             "(default: 3 smoke, 5 full)")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.smoke else 5)
+
+    print(f"kdap benchmark suite ({'smoke' if args.smoke else 'full'} "
+          f"scale, {repeats} repeats)")
+    suite = Suite(args.smoke, repeats)
+    try:
+        suite.bench_table1()
+        fusion_check = suite.bench_table2()
+        suite.bench_figures()
+        suite.bench_primitives()
+    finally:
+        suite.close()
+
+    # best-run comparison with a 3% noise band: a real fusion regression
+    # (fused path degenerating to worse-than-N-singles) lands far outside
+    fusion_ok = all(entry["fused_min_s"] <= entry["unfused_min_s"] * 1.03
+                    for entry in fusion_check.values())
+    report = {
+        "suite": "kdap",
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "benchmarks": suite.benchmarks,
+        "fusion_check": {**fusion_check, "pass": fusion_ok},
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    for backend, entry in fusion_check.items():
+        print(f"fusion[{backend}]: fused {entry['fused_s']:.4f}s vs "
+              f"unfused {entry['unfused_s']:.4f}s "
+              f"({entry['speedup']:.2f}x, "
+              f"{entry['fusion']['scans_saved']} scans saved)")
+    if not fusion_ok:
+        print("FUSION CHECK FAILED: fused facet workload slower than "
+              "per-attribute path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

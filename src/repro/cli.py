@@ -87,6 +87,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-interpretations", type=int, default=None,
                         help="cap on candidate star nets enumerated per "
                              "query")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads for parallel phases (per-ray "
+                             "prefetch during differentiation); default "
+                             "min(4, cpu count), 1 disables threading")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query",
@@ -125,7 +129,7 @@ def _session(args) -> KdapSession:
     schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
     backend = (create_resilient_backend(schema, args.backend)
                if args.resilient else args.backend)
-    return KdapSession(schema, backend=backend)
+    return KdapSession(schema, backend=backend, workers=args.workers)
 
 
 def _budget(args) -> Budget | None:

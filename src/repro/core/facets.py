@@ -42,7 +42,7 @@ from .attribute_ranking import (
 )
 from .bucketing import Interval
 from .hits import HitGroup
-from .instance_ranking import RankedInstance, rank_instances
+from .instance_ranking import RankedInstance, rank_instances_batch
 from .interestingness import InterestingnessMeasure, SURPRISE
 from .starnet import Ray, StarNet
 
@@ -203,20 +203,6 @@ def _promoted_attributes(schema: StarSchema, star_net: StarNet,
                 )
             )
     return promoted
-
-
-def _categorical_entries(
-    subspace: Subspace,
-    rollups: Sequence[Subspace],
-    gb: GroupByAttribute,
-    config: ExploreConfig,
-) -> tuple[FacetEntry, ...]:
-    ranked = rank_instances(subspace, rollups, gb, config.measure_name,
-                            top_k=config.top_k_instances)
-    return tuple(
-        FacetEntry(str(r.value), r.value, r.aggregate, r.score)
-        for r in ranked
-    )
 
 
 def _numerical_entries(
@@ -415,12 +401,24 @@ def _build_dimension_facet(
     if not selected:
         return None
 
+    # all selected categorical attributes rank their instances in one
+    # fused multi-partition query per space (DS' + each roll-up)
+    categorical = [gb for gb, _, _ in selected
+                   if gb.kind is not AttributeKind.NUMERICAL]
+    instance_lists = rank_instances_batch(
+        subspace, rollups, categorical, config.measure_name,
+        top_k=config.top_k_instances,
+    ) if categorical else {}
+
     attributes = []
     for gb, score, is_promoted in selected:
         if gb.kind is AttributeKind.NUMERICAL:
             entries = _numerical_entries(subspace, rollups, gb, config)
         else:
-            entries = _categorical_entries(subspace, rollups, gb, config)
+            entries = tuple(
+                FacetEntry(str(r.value), r.value, r.aggregate, r.score)
+                for r in instance_lists[gb]
+            )
         if not entries:
             continue
         attributes.append(

@@ -11,7 +11,10 @@
 
 from __future__ import annotations
 
+import contextvars
 import logging
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..plan.backends import ExecutionBackend
@@ -74,12 +77,22 @@ class KdapSession:
         query evaluation — star-net materialisation, facet aggregation,
         drill-down — goes through one :class:`~repro.plan.engine.QueryEngine`
         on this backend, with plan-fingerprint caching.
+    workers:
+        Worker-thread cap for parallel phases (currently the per-ray
+        semi-join prefetch behind size previews).  Defaults to
+        ``min(4, cpu count)``; 1 disables threading entirely.  The
+        sqlite backend opens one mirror connection per worker thread.
     """
 
     def __init__(self, schema: StarSchema,
                  index: AttributeTextIndex | None = None,
-                 backend: str | ExecutionBackend = "memory"):
+                 backend: str | ExecutionBackend = "memory",
+                 workers: int | None = None):
         self.schema = schema
+        self.workers = (workers if workers is not None
+                        else min(4, os.cpu_count() or 1))
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
         if index is None:
             index = AttributeTextIndex()
             index.index_database(schema.database, schema.searchable)
@@ -183,9 +196,46 @@ class KdapSession:
                 ranked = self._preview_sizes(ranked, budget)
             return ranked
 
+    def _prefetch_rays(self, ranked: list[ScoredStarNet]) -> None:
+        """Evaluate the distinct uncached rays of ``ranked`` in parallel.
+
+        Candidates of one query share most rays, so sizing N candidates
+        serially leaves the per-ray semi-joins — the expensive part — on
+        one thread.  This warms :attr:`_ray_cache` (and the engine's plan
+        cache) with a bounded pool; the serial sizing loop then runs on
+        hits.  Each task runs in its own copied context so the ambient
+        budget propagates to (and is charged from) worker threads; a
+        task that exhausts the budget is swallowed here — the serial
+        loop re-hits the exhaustion and records the truncation exactly
+        as in the unthreaded path.
+        """
+        rays: dict[tuple, object] = {}
+        for scored in ranked:
+            for ray in scored.star_net.rays:
+                key = (ray.hit_group.domain, ray.hit_group.values,
+                       ray.path_to_fact.fk_names)
+                if key not in self._ray_cache:
+                    rays.setdefault(key, ray)
+        if len(rays) < 2 or self.workers < 2:
+            return
+        with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(rays)),
+                thread_name_prefix="kdap-ray") as pool:
+            futures = [
+                pool.submit(contextvars.copy_context().run,
+                            self._ray_facts, ray)
+                for ray in rays.values()
+            ]
+            for future in futures:
+                try:
+                    future.result()
+                except ResourceExhausted:
+                    pass
+
     def _preview_sizes(self, ranked: list[ScoredStarNet],
                        budget: Budget | None) -> list[ScoredStarNet]:
         """Attach subspace sizes, stopping (not failing) on exhaustion."""
+        self._prefetch_rays(ranked)
         previewed: list[ScoredStarNet] = []
         for position, scored in enumerate(ranked):
             try:

@@ -82,6 +82,13 @@ def render_counters(engine) -> str:
         f"plan cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions",
     ]
+    fusion = getattr(engine, "fusion", None)
+    if fusion is not None and fusion.fused_queries:
+        lines.append(
+            f"fusion: {fusion.attributes_fused} group-bys in "
+            f"{fusion.fused_queries} fused queries "
+            f"({fusion.scans_saved} scans saved)"
+        )
     resilience = getattr(engine.backend, "resilience", None)
     if resilience is not None:
         lines.append(

@@ -20,9 +20,9 @@ Public surface::
         QueryEngine, ExecutionBackend, InMemoryBackend, SqliteBackend,
         BACKENDS, create_backend,
         PlanNode, Scan, RowSet, SemiJoin, Filter, Partition,
-        GroupAggregate, AttrKey,
-        PlanCache, CacheStats, PlanCounters, OpStats,
-        compile_plan,
+        GroupAggregate, MultiGroupAggregate, AttrKey,
+        PlanCache, CacheStats, PlanCounters, OpStats, FusionStats,
+        compile_plan, compile_multi_plan,
     )
 """
 
@@ -36,6 +36,7 @@ from .backends import (
 from .builders import (
     aggregate_plan,
     attr_key,
+    multi_partition_plan,
     partition_plan,
     pivot_plan,
     rowset,
@@ -43,13 +44,14 @@ from .builders import (
     subspace_partition_plan,
 )
 from .cache import CacheStats, PlanCache
-from .compile import compile_plan
+from .compile import compile_multi_plan, compile_plan
 from .counters import OpStats, PlanCounters
-from .engine import QueryEngine
+from .engine import FusionStats, QueryEngine
 from .nodes import (
     AttrKey,
     Filter,
     GroupAggregate,
+    MultiGroupAggregate,
     Partition,
     PlanNode,
     RowSet,
@@ -64,8 +66,10 @@ __all__ = [
     "CacheStats",
     "ExecutionBackend",
     "Filter",
+    "FusionStats",
     "GroupAggregate",
     "InMemoryBackend",
+    "MultiGroupAggregate",
     "OpStats",
     "Partition",
     "PlanCache",
@@ -78,8 +82,10 @@ __all__ = [
     "SqliteBackend",
     "aggregate_plan",
     "attr_key",
+    "compile_multi_plan",
     "compile_plan",
     "create_backend",
+    "multi_partition_plan",
     "partition_plan",
     "pivot_plan",
     "row_source",

@@ -26,18 +26,22 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+import threading
+
 from ..relational.errors import SchemaError
-from ..relational.operators import AGGREGATES
+from ..relational.operators import AGGREGATES, fused_group_aggregates
 from ..relational.sqlite_backend import SqliteBackend as SqliteMirror
+from ..relational.sqlite_backend import from_sqlite
 from ..relational.types import ColumnType
 from ..resilience.budget import charge_groups, charge_rows, check_deadline
 from ..warehouse.rollup import select_rows_by_values, slice_facts
 from ..warehouse.schema import AttributeRef, StarSchema
-from .compile import compile_plan
+from .compile import compile_multi_plan, compile_plan
 from .counters import PlanCounters
 from .nodes import (
     Filter,
     GroupAggregate,
+    MultiGroupAggregate,
     Partition,
     PlanNode,
     RowSet,
@@ -82,6 +86,29 @@ def _empty_result(plan: GroupAggregate):
             return {value: fill for value in plan.domain}
         return {}
     return AGGREGATES[plan.aggregate](())
+
+
+def _empty_multi_result(plan: MultiGroupAggregate) -> dict:
+    """A fused aggregate over zero rows: every key's dict is its domain
+    fill (identical to the single-key empty result, per key)."""
+    fill = AGGREGATES[plan.aggregate](())
+    return {
+        key.fingerprint(): ({} if domain is None
+                            else {value: fill for value in domain})
+        for key, domain in plan.branches()
+    }
+
+
+def _fill_domains(plan: MultiGroupAggregate, results: dict) -> dict:
+    """Apply each key's domain restriction/fill to its raw group dict."""
+    fill = AGGREGATES[plan.aggregate](())
+    out: dict = {}
+    for key, domain in plan.branches():
+        groups = results[key.fingerprint()]
+        if domain is not None:
+            groups = {value: groups.get(value, fill) for value in domain}
+        out[key.fingerprint()] = groups
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +178,8 @@ class InMemoryBackend:
 
     # -- aggregates ----------------------------------------------------
     def execute(self, plan: GroupAggregate):
+        if isinstance(plan, MultiGroupAggregate):
+            return self._execute_multi(plan)
         if not isinstance(plan, GroupAggregate):
             raise SchemaError("execute() takes a GroupAggregate plan")
         child = plan.child
@@ -199,6 +228,29 @@ class InMemoryBackend:
                 for value, group_rows in groups.items()
             }
 
+    def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
+        """The fused kernel: one pass over the child's rows updating one
+        accumulator dict per key (instead of ``len(keys)`` passes)."""
+        rows = self._rows(plan.child)
+        if not rows:
+            return _empty_multi_result(plan)
+        check_deadline("MultiGroupAggregate")
+        measure = self._measure_values(plan)
+        keys = [key for key, _ in plan.branches()]
+        with self.counters.timed("MultiGroupAggregate") as out:
+            vectors = [self.schema.fact_vector(k.path, k.column)
+                       for k in keys]
+            folded = fused_group_aggregates(
+                rows, vectors, measure, plan.aggregate,
+                on_chunk=lambda: check_deadline("MultiGroupAggregate"),
+            )
+            results = {key.fingerprint(): groups
+                       for key, groups in zip(keys, folded)}
+            out[0] = sum(len(groups) for groups in folded)
+        charge_groups(sum(len(groups) for groups in folded),
+                      "MultiGroupAggregate")
+        return _fill_domains(plan, results)
+
     def _measure_values(self, plan: GroupAggregate) -> list:
         """Per-fact-row measure values, memoised by canonical measure SQL."""
         key = plan.measure_sql
@@ -237,13 +289,18 @@ class SqliteBackend:
         self.path = path
         self.counters = PlanCounters()
         self._mirror: SqliteMirror | None = None
+        self._mirror_lock = threading.Lock()
 
     @property
     def mirror(self) -> SqliteMirror:
-        """The sqlite3 mirror, loading it on first access."""
+        """The sqlite3 mirror, loading it on first access (lock-guarded:
+        worker threads may race to the first query)."""
         if self._mirror is None:
-            with self.counters.timed("MirrorLoad"):
-                self._mirror = SqliteMirror(self.schema.database, self.path)
+            with self._mirror_lock:
+                if self._mirror is None:
+                    with self.counters.timed("MirrorLoad"):
+                        self._mirror = SqliteMirror(self.schema.database,
+                                                    self.path)
         return self._mirror
 
     # -- rows ----------------------------------------------------------
@@ -266,6 +323,8 @@ class SqliteBackend:
 
     # -- aggregates ----------------------------------------------------
     def execute(self, plan: GroupAggregate):
+        if isinstance(plan, MultiGroupAggregate):
+            return self._execute_multi(plan)
         if not isinstance(plan, GroupAggregate):
             raise SchemaError("execute() takes a GroupAggregate plan")
         leaf = _leaf(plan)
@@ -277,17 +336,44 @@ class SqliteBackend:
             charge_groups(len(result_rows), "GroupAggregate")
         if not plan.grouped:
             value = result_rows[0][0]
-            return self._restore_aggregate(plan, value)
+            return self._restore_aggregate(plan.aggregate, value)
         num_keys = len(plan.child.keys)
         result: dict = {}
         for row in result_rows:
             key = row[0] if num_keys == 1 else tuple(row[:num_keys])
-            result[key] = self._restore_aggregate(plan, row[num_keys])
+            result[key] = self._restore_aggregate(plan.aggregate,
+                                                  row[num_keys])
         if plan.domain is not None:
             fill = AGGREGATES[plan.aggregate](())
             for value in plan.domain:
                 result.setdefault(value, fill)
         return result
+
+    def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
+        """One batched round-trip: a shared filtered CTE feeding one
+        grouped select per key (instead of ``len(keys)`` full queries,
+        each re-evaluating the row-set filter)."""
+        leaf = _leaf(plan)
+        if isinstance(leaf, RowSet) and not leaf.rows:
+            return _empty_multi_result(plan)
+        with self.counters.timed("SqlCompile"):
+            sql = compile_multi_plan(plan, self.schema.database)
+        self.counters.record("MultiGroupAggregate")
+        result_rows = self._run(sql)
+        charge_groups(len(result_rows), "MultiGroupAggregate")
+        branches = plan.branches()
+        # UNION ALL loses declared column types, so converters never fire
+        # — restore engine values (booleans, dates) per key column
+        key_types = [
+            self.schema.database.table(key.table).column(key.column).type
+            for key, _ in branches
+        ]
+        raw: dict = {key.fingerprint(): {} for key, _ in branches}
+        for index, value, agg in result_rows:
+            key, _ = branches[index]
+            raw[key.fingerprint()][from_sqlite(value, key_types[index])] = \
+                self._restore_aggregate(plan.aggregate, agg)
+        return _fill_domains(plan, raw)
 
     # -- helpers -------------------------------------------------------
     def _compile(self, plan: PlanNode):
@@ -306,11 +392,11 @@ class SqliteBackend:
         return rows
 
     @staticmethod
-    def _restore_aggregate(plan: GroupAggregate, value):
+    def _restore_aggregate(aggregate: str, value):
         """Align sqlite aggregate results with the in-memory fold: SUM of
         no (or all-NULL) inputs is 0 in memory, NULL in SQL."""
-        if value is None and plan.aggregate in ("sum", "count"):
-            return AGGREGATES[plan.aggregate](())
+        if value is None and aggregate in ("sum", "count"):
+            return AGGREGATES[aggregate](())
         return value
 
     def close(self) -> None:

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .nodes import AttrKey, GroupAggregate, Partition, PlanNode, RowSet
+from .nodes import (
+    AttrKey,
+    GroupAggregate,
+    MultiGroupAggregate,
+    Partition,
+    PlanNode,
+    RowSet,
+)
 
 
 def attr_key(gb) -> AttrKey:
@@ -58,6 +65,28 @@ def subspace_partition_plan(schema, rows: Iterable[int], gb, measure,
     """value → aggregate for one group-by attribute over a subspace."""
     return partition_plan(rowset(schema, rows), (attr_key(gb),), measure,
                           domain=domain)
+
+
+def multi_partition_plan(
+    schema,
+    rows: Iterable[int],
+    gbs: Sequence,
+    measure,
+    domains: Sequence[tuple | None] | None = None,
+) -> MultiGroupAggregate:
+    """One fused plan computing ``value → aggregate`` for *every* given
+    group-by attribute over the same subspace rows (one scan instead of
+    ``len(gbs)`` :func:`subspace_partition_plan` evaluations)."""
+    return MultiGroupAggregate(
+        child=rowset(schema, rows),
+        keys=tuple(attr_key(gb) for gb in gbs),
+        aggregate=measure.aggregate,
+        measure_sql=str(measure.expression),
+        measure_expr=measure.expression,
+        domains=(None if domains is None
+                 else tuple(None if d is None else tuple(d)
+                            for d in domains)),
+    )
 
 
 def pivot_plan(schema, rows: Iterable[int], rows_gb, cols_gb,

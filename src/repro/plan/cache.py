@@ -9,6 +9,7 @@ consumers that build semantically identical plans share one entry.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -47,34 +48,41 @@ class PlanCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: OrderedDict = OrderedDict()
+        # LRU reordering mutates the OrderedDict on *reads*, so lookups
+        # from engine worker threads (parallel differentiate) must not
+        # interleave with each other or with inserts
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def get(self, fingerprint, default=None):
         """The cached result, or ``default``; refreshes LRU order and counts
         the lookup as a hit or miss.  Pass a private sentinel as ``default``
         when None is a legitimate cached value."""
-        value = self._entries.get(fingerprint, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(fingerprint)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(fingerprint, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return value
 
     def put(self, fingerprint, value) -> None:
         """Store a result, evicting the LRU entry when full."""
-        if fingerprint in self._entries:
-            self._entries.move_to_end(fingerprint)
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                self._entries[fingerprint] = value
+                return
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
             self._entries[fingerprint] = value
-            return
-        while len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[fingerprint] = value
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -19,13 +19,20 @@ from __future__ import annotations
 from ..relational.catalog import Database
 from ..relational.errors import SchemaError
 from ..relational.expressions import Col, In, IsNull, Not, Or, Predicate, isin
-from ..relational.sql import AliasFilter, JoinEdge, JoinQuery, qualify_measure
+from ..relational.sql import (
+    AliasFilter,
+    JoinEdge,
+    JoinQuery,
+    qualify_measure,
+    render_batched_sql,
+)
 from ..relational.table import Table
 from ..relational.types import ColumnType
 from .nodes import (
     AttrKey,
     Filter,
     GroupAggregate,
+    MultiGroupAggregate,
     Partition,
     PlanNode,
     RowSet,
@@ -193,3 +200,44 @@ def rowset_predicate(table: Table, rows: tuple[int, ...]) -> Predicate | None:
 def compile_plan(plan: PlanNode, database: Database) -> JoinQuery:
     """Render a logical plan as a fact-rooted join query."""
     return _Compiler(database).compile(plan)
+
+
+_BASE_CTE = "kdap_base"
+"""Name of the shared filtered CTE in batched multi-aggregate SQL."""
+
+
+def compile_multi_plan(plan: MultiGroupAggregate,
+                       database: Database) -> str:
+    """Render a fused multi-aggregate plan as **one** batched statement.
+
+    The child's row selection compiles once into a CTE (``SELECT f.*``
+    with the child's joins/filters — the expensive part, e.g. a large
+    row-id IN list, is evaluated a single time); each key then becomes
+    one grouped select over the CTE, UNION-ALL'ed with a leading branch
+    index so the caller can route result rows back to their keys.
+    Branch order is the plan's canonical (fingerprint-sorted) order.
+    """
+    base = _Compiler(database).compile(plan.child)
+    select_rows = f"{base.fact_alias}.*"
+    if base.edges:
+        # semi-join edges are many-to-one fact → dimension, but DISTINCT
+        # keeps the CTE a row *set* even for unexpected join shapes
+        select_rows = "DISTINCT " + select_rows
+    cte_sql = base.render_sql([select_rows])
+    branches: list[str] = []
+    for index, (key, domain) in enumerate(plan.branches()):
+        single = GroupAggregate(
+            child=Partition(Scan(_BASE_CTE), (key,)),
+            aggregate=plan.aggregate,
+            measure_sql=plan.measure_sql,
+            measure_expr=plan.measure_expr,
+            domain=domain,
+        )
+        query = _Compiler(database).compile(single)
+        alias, column = query.group_by[0]
+        branches.append(query.render_sql(
+            [f"{index} AS branch", f"{alias}.{column} AS key",
+             f"{query.aggregate.upper()}({query.measure_sql}) AS agg"],
+            [f"{alias}.{column}"],
+        ))
+    return render_batched_sql(_BASE_CTE, cte_sql, branches)

@@ -7,6 +7,7 @@ benchmarks can attribute cost to plan nodes rather than to whole queries.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -31,13 +32,16 @@ class PlanCounters:
     """Per-operator counters of one backend."""
 
     ops: dict[str, OpStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, op: str, rows: int = 0, seconds: float = 0.0) -> None:
-        """Add one execution of ``op``."""
-        stats = self.ops.get(op)
-        if stats is None:
-            stats = self.ops[op] = OpStats()
-        stats.record(rows, seconds)
+        """Add one execution of ``op`` (safe from backend worker threads)."""
+        with self._lock:
+            stats = self.ops.get(op)
+            if stats is None:
+                stats = self.ops[op] = OpStats()
+            stats.record(rows, seconds)
 
     @contextmanager
     def timed(self, op: str):

@@ -16,6 +16,8 @@ hits instead of recomputing, on either backend.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..relational.operators import AGGREGATES
@@ -24,6 +26,7 @@ from ..warehouse.subspace import Subspace
 from .backends import ExecutionBackend, create_backend
 from .builders import (
     attr_key,
+    multi_partition_plan,
     pivot_plan,
     rowset,
     subspace_aggregate_plan,
@@ -35,14 +38,47 @@ from .nodes import Filter, GroupAggregate, PlanNode, Scan, SemiJoin
 _MISS = object()
 
 
+@dataclass
+class FusionStats:
+    """How much work multi-aggregate fusion saved.
+
+    ``scans_saved`` is the headline number: each fused query answers
+    ``attributes_fused`` group-bys in one pass where the unfused path
+    would have run one scan (or one SQL round-trip) per attribute.
+    """
+
+    fused_queries: int = 0
+    attributes_fused: int = 0
+
+    def record(self, attributes: int) -> None:
+        self.fused_queries += 1
+        self.attributes_fused += attributes
+
+    @property
+    def scans_saved(self) -> int:
+        return self.attributes_fused - self.fused_queries
+
+
 class QueryEngine:
-    """Evaluate logical plans with caching over a pluggable backend."""
+    """Evaluate logical plans with caching over a pluggable backend.
+
+    ``fuse_partitions`` controls whether
+    :meth:`multi_partition_aggregates` actually fuses: with the default
+    True, N group-bys over one subspace become a single
+    ``MultiGroupAggregate`` plan (one scan in memory, one batched
+    statement on sqlite); False falls back to N independent single-key
+    queries — kept for benchmarking the fusion win and as an escape
+    hatch.
+    """
 
     def __init__(self, schema, backend: str | ExecutionBackend = "memory",
-                 max_cache_entries: int = 4096):
+                 max_cache_entries: int = 4096, fuse_partitions: bool = True):
         self.schema = schema
         self.backend = create_backend(schema, backend)
         self.cache = PlanCache(max_entries=max_cache_entries)
+        self.fuse_partitions = fuse_partitions
+        self.fusion = FusionStats()
+        self._fusion_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # identity
@@ -159,6 +195,107 @@ class QueryEngine:
         plan = subspace_partition_plan(self.schema, subspace.fact_rows,
                                        gb, measure, domain=domain_key)
         return self.execute(plan)
+
+    def multi_partition_aggregates(
+        self,
+        subspace: Subspace,
+        gbs: Sequence,
+        measure_name: str,
+        domains: Sequence[Iterable | None] | None = None,
+    ) -> list[dict]:
+        """One value→aggregate dict per group-by, over one subspace.
+
+        Semantically identical to calling
+        :meth:`subspace_partition_aggregates` once per ``gb``, but with
+        :attr:`fuse_partitions` on the engine executes a single
+        ``MultiGroupAggregate`` plan: the subspace's rows are scanned
+        (memory) or shipped to SQL (sqlite) **once** for all group-bys
+        instead of once per group-by.  ``domains``, when given, aligns
+        with ``gbs`` (None entries meaning unrestricted).
+        """
+        gbs = list(gbs)
+        if domains is None:
+            domain_keys: list[tuple | None] = [None] * len(gbs)
+        else:
+            domain_keys = [None if d is None else tuple(d) for d in domains]
+            if len(domain_keys) != len(gbs):
+                raise ValueError("domains must align one-to-one with gbs")
+        if not gbs:
+            return []
+        measure = self.schema.measures[measure_name]
+        if subspace.is_empty:
+            fill = AGGREGATES[measure.aggregate](())
+            return [
+                {} if dk is None else {value: fill for value in dk}
+                for dk in domain_keys
+            ]
+        if not self.fuse_partitions:
+            return [
+                self.subspace_partition_aggregates(
+                    subspace, gb, measure_name, domain=dk)
+                for gb, dk in zip(gbs, domain_keys)
+            ]
+        results: list[dict | None] = [None] * len(gbs)
+        # key fingerprint -> (gb, domain, single fp, result slots);
+        # duplicates of the same attribute share a branch when domains agree
+        fused: dict[tuple, tuple] = {}
+        singles: list[int] = []
+        for index, (gb, dk) in enumerate(zip(gbs, domain_keys)):
+            if dk is not None and not dk:
+                # an empty domain aggregates over nothing; answering it
+                # here also keeps ``IN ()`` out of the SQL path
+                results[index] = {}
+                continue
+            fingerprint = attr_key(gb).fingerprint()
+            entry = fused.get(fingerprint)
+            if entry is None:
+                # a branch already answered as a *single* partition plan
+                # (by an earlier single or fused call) is served from
+                # cache rather than re-fused: fusion never loses the
+                # cross-call sharing the single path would have had
+                single = subspace_partition_plan(
+                    self.schema, subspace.fact_rows, gb, measure,
+                    domain=dk)
+                cached = self.cache.get(single.fingerprint(), _MISS)
+                if cached is not _MISS:
+                    results[index] = dict(cached)
+                    continue
+                fused[fingerprint] = (gb, dk, single.fingerprint(),
+                                      [index])
+            elif entry[1] == dk:
+                entry[3].append(index)
+            else:  # same attribute, different domain: separate query
+                singles.append(index)
+        if len(fused) == 1:
+            # a lone branch is just a single partition query; routing it
+            # through the single-key path shares that cache entry
+            (gb, dk, _, slots), = fused.values()
+            groups = self.subspace_partition_aggregates(
+                subspace, gb, measure_name, domain=dk)
+            for slot in slots:
+                results[slot] = dict(groups)
+        elif fused:
+            plan_items = list(fused.values())
+            plan = multi_partition_plan(
+                self.schema, subspace.fact_rows,
+                [gb for gb, _, _, _ in plan_items], measure,
+                domains=[dk for _, dk, _, _ in plan_items])
+            executed = self.execute(plan)
+            with self._fusion_lock:
+                self.fusion.record(len(plan_items))
+            for fingerprint, (gb, dk, single_fp, slots) in fused.items():
+                groups = executed[fingerprint]
+                # seed the equivalent single-plan entry so later
+                # single-key (or partially-overlapping fused) calls hit
+                self.cache.put(single_fp, groups)
+                for slot in slots:
+                    # inner dicts belong to the cache entry: copy out
+                    results[slot] = dict(groups)
+        for index in singles:
+            results[index] = self.subspace_partition_aggregates(
+                subspace, gbs[index], measure_name,
+                domain=domain_keys[index])
+        return results
 
     def pivot_aggregates(self, subspace: Subspace, rows_gb, cols_gb,
                          measure_name: str) -> dict:

@@ -14,7 +14,10 @@ a partition — is expressed as a small tree of logical nodes:
 * :class:`Partition` — group the child's rows by one or more fact-aligned
   attributes (NULL keys dropped);
 * :class:`GroupAggregate` — fold a measure over the child (scalar when the
-  child produces rows, a per-group mapping when it is a partition).
+  child produces rows, a per-group mapping when it is a partition);
+* :class:`MultiGroupAggregate` — fold a measure per group for several
+  group-by attributes over one shared child in a single scan (the fused
+  form of N single-key aggregations).
 
 Plans are *logical*: they name tables, join paths, and predicates, but
 prescribe no execution strategy.  Backends (:mod:`repro.plan.backends`)
@@ -217,9 +220,63 @@ class GroupAggregate(PlanNode):
         )
 
 
+@dataclass(frozen=True)
+class MultiGroupAggregate(PlanNode):
+    """Fold one measure per group for *several* group-by attributes over
+    the same child rows — the fused form of N single-key
+    :class:`GroupAggregate` plans sharing one row source.
+
+    Backends evaluate the child **once**: the in-memory kernel walks the
+    rows a single time while updating one accumulator dict per key; the
+    SQL compiler emits one batched query (a shared filtered CTE feeding a
+    UNION ALL of grouped selects).  The result maps each key's
+    fingerprint to that key's ``value → aggregate`` dict.
+
+    ``domains`` (optional, aligned with ``keys``) restricts each key's
+    computed groups exactly like :class:`GroupAggregate.domain`: listed
+    values that select no rows aggregate over the empty set (0 for
+    sum/count, None for avg/min/max).
+
+    The fingerprint is **order-insensitive** in the key set — two
+    consumers asking for the same attributes in different orders share
+    one cache entry — and tagged distinctly from ``GroupAggregate`` so a
+    fused result can never be served for a single-key plan (or vice
+    versa).
+    """
+
+    child: PlanNode
+    keys: tuple[AttrKey, ...]
+    aggregate: str
+    measure_sql: str
+    measure_expr: Expression | None = None
+    domains: tuple[tuple | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("MultiGroupAggregate needs at least one key")
+        if len({k.fingerprint() for k in self.keys}) != len(self.keys):
+            raise ValueError("MultiGroupAggregate keys must be distinct")
+        if self.domains is not None and len(self.domains) != len(self.keys):
+            raise ValueError("domains must align with keys")
+
+    def branches(self) -> tuple[tuple[AttrKey, tuple | None], ...]:
+        """(key, domain) pairs in canonical (fingerprint-sorted) order."""
+        domains = self.domains or (None,) * len(self.keys)
+        return tuple(sorted(zip(self.keys, domains),
+                            key=lambda kd: kd[0].fingerprint()))
+
+    def fingerprint(self) -> Fingerprint:
+        return (
+            "multigroupagg", self.child.fingerprint(), self.aggregate,
+            self.measure_sql,
+            tuple((key.fingerprint(), domain)
+                  for key, domain in self.branches()),
+        )
+
+
 def row_source(plan: PlanNode) -> PlanNode:
     """The row-producing subtree of a plan (skips a Partition wrapper)."""
-    if isinstance(plan, GroupAggregate):
+    if isinstance(plan, (GroupAggregate, MultiGroupAggregate)):
         plan = plan.child
     if isinstance(plan, Partition):
         plan = plan.child

@@ -174,3 +174,96 @@ AGGREGATES: dict[str, Callable] = {
     "max": aggregate_max,
 }
 """Aggregate functions addressable by name (used by measures and SQL gen)."""
+
+
+def fused_group_aggregates(
+    rows: Iterable[int],
+    vectors: Sequence[Sequence],
+    measure_values: Sequence,
+    aggregate: str,
+    on_chunk: Callable[[], None] | None = None,
+    chunk_size: int = 8192,
+) -> list[dict]:
+    """Per-group aggregates for N key vectors in **one pass** over ``rows``.
+
+    The fused equivalent of N separate partition-then-fold evaluations:
+    each row is visited once, updating one accumulator dict per key
+    vector.  NULL keys are dropped per key (a row excluded from one
+    partitioning still counts in the others) and NULL measures are
+    ignored inside every group, exactly matching the per-key
+    :data:`AGGREGATES` folds — sum/count of an all-NULL group are 0,
+    avg/min/max are None.
+
+    ``on_chunk`` (if given) runs every ``chunk_size`` rows so long scans
+    can cooperatively honour deadlines/budgets.
+    """
+    if aggregate not in AGGREGATES:
+        raise KeyError(aggregate)
+    if not isinstance(rows, (list, tuple)):
+        rows = list(rows)
+    states: list[dict] = [{} for _ in vectors]
+    # the (vector, accumulator) pairing is hoisted out of the row loop —
+    # the inner loop must stay allocation-free for fusion to beat N
+    # independent folds
+    pairs = list(zip(vectors, states))
+    chunks = range(0, len(rows), chunk_size)
+    if aggregate in ("sum", "count"):
+        counting = aggregate == "count"
+        for start in chunks:
+            if on_chunk is not None:
+                on_chunk()
+            for r in rows[start:start + chunk_size]:
+                m = measure_values[r]
+                if m is None:
+                    # a NULL measure still creates its groups, so an
+                    # all-NULL group yields 0, not absence
+                    for vector, groups in pairs:
+                        value = vector[r]
+                        if value is not None and value not in groups:
+                            groups[value] = 0
+                    continue
+                if counting:
+                    m = 1
+                for vector, groups in pairs:
+                    value = vector[r]
+                    if value is not None:
+                        groups[value] = groups.get(value, 0) + m
+        return states
+    if aggregate == "avg":
+        for start in chunks:
+            if on_chunk is not None:
+                on_chunk()
+            for r in rows[start:start + chunk_size]:
+                m = measure_values[r]
+                for vector, groups in pairs:
+                    value = vector[r]
+                    if value is None:
+                        continue
+                    state = groups.get(value)
+                    if state is None:
+                        state = groups[value] = [0, 0]
+                    if m is not None:
+                        state[0] += m
+                        state[1] += 1
+        return [{value: (s[0] / s[1] if s[1] else None)
+                 for value, s in groups.items()} for groups in states]
+    # min / max: keep the best non-NULL measure per group (None when the
+    # whole group's measure is NULL)
+    prefer_smaller = aggregate == "min"
+    for start in chunks:
+        if on_chunk is not None:
+            on_chunk()
+        for r in rows[start:start + chunk_size]:
+            m = measure_values[r]
+            for vector, groups in pairs:
+                value = vector[r]
+                if value is None:
+                    continue
+                if value not in groups:
+                    groups[value] = m
+                elif m is not None:
+                    best = groups[value]
+                    if best is None or (m < best if prefer_smaller
+                                        else m > best):
+                        groups[value] = m
+    return states

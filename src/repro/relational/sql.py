@@ -110,6 +110,22 @@ class JoinQuery:
         return "\n".join(lines)
 
 
+def render_batched_sql(cte_name: str, cte_sql: str,
+                       branch_sqls: Sequence[str]) -> str:
+    """Assemble one batched statement from a shared CTE and N grouped
+    selects over it.
+
+    The fused-aggregation shape: the (potentially expensive) row
+    selection is evaluated once into ``cte_name``, and every branch —
+    one grouped aggregate per group-by attribute — reads from it,
+    UNION-ALL'ed into a single result set tagged by branch index.
+    """
+    if not branch_sqls:
+        raise ValueError("batched SQL needs at least one branch")
+    body = "\nUNION ALL\n".join(branch_sqls)
+    return f"WITH {cte_name} AS (\n{cte_sql}\n)\n{body}"
+
+
 def _qualify(predicate_sql: str, alias: str) -> str:
     """Qualify bare column names in a rendered predicate with ``alias``.
 

@@ -22,7 +22,9 @@ columns.
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 from typing import Iterable, Sequence
 
 from .catalog import Database
@@ -55,6 +57,10 @@ def _create_sql(table: Table) -> str:
     return f'CREATE TABLE "{table.name}" (' + ", ".join(parts) + ")"
 
 
+_MEMORY_MIRROR_SEQ = itertools.count()
+"""Distinct shared-cache names for concurrently-alive in-memory mirrors."""
+
+
 class SqliteBackend:
     """A sqlite3 mirror of a :class:`Database`.
 
@@ -62,12 +68,51 @@ class SqliteBackend:
 
         backend = SqliteBackend(db)
         rows = backend.execute("SELECT COUNT(*) FROM DimProduct")
+
+    The mirror is safe to query from worker threads: every thread other
+    than the creator transparently gets its **own connection** to the
+    same database (sqlite3 connections must not be shared across
+    threads).  For the default in-memory mirror this uses a named
+    shared-cache database — a plain ``:memory:`` connection would be a
+    private, empty database per connection — anchored by the creator's
+    connection so it lives exactly as long as the mirror.
     """
 
     def __init__(self, database: Database, path: str = ":memory:"):
-        self.connection = sqlite3.connect(
-            path, detect_types=sqlite3.PARSE_DECLTYPES)
+        if path == ":memory:":
+            name = next(_MEMORY_MIRROR_SEQ)
+            self._uri = f"file:kdap-mirror-{name}?mode=memory&cache=shared"
+            self._is_uri = True
+        else:
+            self._uri = path
+            self._is_uri = False
+        self._local = threading.local()
+        self._thread_connections: list[sqlite3.Connection] = []
+        self._lock = threading.Lock()
+        self._owner = threading.get_ident()
+        self.connection = self._connect()
         self._load(database)
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False only relaxes sqlite3's ownership check;
+        # each connection is still used by exactly one thread (and closed
+        # by whichever thread runs close())
+        return sqlite3.connect(self._uri, uri=self._is_uri,
+                               detect_types=sqlite3.PARSE_DECLTYPES,
+                               check_same_thread=False)
+
+    def connection_for_thread(self) -> sqlite3.Connection:
+        """This thread's connection to the mirror (the creator keeps the
+        primary; other threads lazily open their own)."""
+        if threading.get_ident() == self._owner:
+            return self.connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._connect()
+            self._local.connection = connection
+            with self._lock:
+                self._thread_connections.append(connection)
+        return connection
 
     def _load(self, database: Database) -> None:
         cursor = self.connection.cursor()
@@ -91,11 +136,18 @@ class SqliteBackend:
     def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
         """Run a query and fetch all rows (declared-type columns come back
         as engine values: bools as bool, dates as ISO strings)."""
-        cursor = self.connection.execute(sql, params)
+        cursor = self.connection_for_thread().execute(sql, params)
         return cursor.fetchall()
 
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Close the primary connection and any per-thread ones."""
+        with self._lock:
+            extras, self._thread_connections = self._thread_connections, []
+        for connection in extras:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort cleanup
+                pass
         self.connection.close()
 
     def __enter__(self) -> "SqliteBackend":

@@ -23,6 +23,7 @@ unbudgeted hot path pays one context-variable read per operator.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -63,6 +64,9 @@ class Budget:
         self.max_interpretations = max_interpretations
         self._clock = clock
         self._started = clock()
+        # one budget may be charged from several engine worker threads
+        # (parallel differentiate); charges must stay read-check atomic
+        self._lock = threading.Lock()
         self.rows_scanned = 0
         self.groups_seen = 0
         self.interpretations = 0
@@ -93,29 +97,38 @@ class Budget:
     # ------------------------------------------------------------------
     def charge_rows(self, rows: int, stage: str = "scan") -> None:
         """Count operator output rows; raise once over ``max_rows``."""
-        self.rows_scanned += rows
-        if self.max_rows is not None and self.rows_scanned > self.max_rows:
+        with self._lock:
+            self.rows_scanned += rows
+            over = (self.max_rows is not None
+                    and self.rows_scanned > self.max_rows)
+            scanned = self.rows_scanned
+        if over:
             raise BudgetExceeded(
                 f"row budget of {self.max_rows} exceeded "
-                f"({self.rows_scanned} rows scanned)",
+                f"({scanned} rows scanned)",
                 stage=stage, reason="rows")
 
     def charge_groups(self, groups: int, stage: str = "aggregate") -> None:
         """Count groups built; raise once over ``max_groups``."""
-        self.groups_seen += groups
-        if (self.max_groups is not None
-                and self.groups_seen > self.max_groups):
+        with self._lock:
+            self.groups_seen += groups
+            over = (self.max_groups is not None
+                    and self.groups_seen > self.max_groups)
+            seen = self.groups_seen
+        if over:
             raise BudgetExceeded(
                 f"group budget of {self.max_groups} exceeded "
-                f"({self.groups_seen} groups built)",
+                f"({seen} groups built)",
                 stage=stage, reason="groups")
 
     def charge_interpretations(self, count: int = 1,
                                stage: str = "generation") -> None:
         """Count enumerated candidates; raise once over the cap."""
-        self.interpretations += count
-        if (self.max_interpretations is not None
-                and self.interpretations > self.max_interpretations):
+        with self._lock:
+            self.interpretations += count
+            over = (self.max_interpretations is not None
+                    and self.interpretations > self.max_interpretations)
+        if over:
             raise BudgetExceeded(
                 f"interpretation budget of {self.max_interpretations} "
                 f"exceeded", stage=stage, reason="interpretations")
@@ -126,7 +139,8 @@ class Budget:
     def record_truncation(self, stage: str, reason: str,
                           detail: str = "") -> None:
         """Note that ``stage`` gave up work because of ``reason``."""
-        self.events.append(TruncationEvent(stage, reason, detail))
+        with self._lock:
+            self.events.append(TruncationEvent(stage, reason, detail))
 
     @property
     def truncated(self) -> bool:

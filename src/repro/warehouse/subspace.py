@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..relational.operators import AGGREGATES
+from ..relational.operators import AGGREGATES, fused_group_aggregates
 from .schema import GroupByAttribute, StarSchema
 
 
@@ -128,9 +128,10 @@ class Subspace:
         """value → aggregated measure for each group.
 
         When ``domain`` is given, only those categories are computed and
-        missing categories aggregate to 0 — this implements the paper's
-        restriction of PAR(RUP(DS'), attr) to the segments that also exist
-        in PAR(DS', attr).
+        missing categories aggregate over zero rows (0 for sum/count,
+        None for avg/min/max) — this implements the paper's restriction
+        of PAR(RUP(DS'), attr) to the segments that also exist in
+        PAR(DS', attr).
         """
         if self.engine is not None:
             return self.engine.subspace_partition_aggregates(
@@ -148,3 +149,44 @@ class Subspace:
             value: fn(vector[r] for r in groups.get(value, ()))
             for value in domain
         }
+
+    def multi_partition_aggregates(
+        self,
+        gbs: Iterable[GroupByAttribute],
+        measure_name: str,
+        domains: Iterable | None = None,
+    ) -> list[dict]:
+        """One :meth:`partition_aggregates` dict per group-by, fused.
+
+        Engine-bound subspaces route through
+        :meth:`~repro.plan.engine.QueryEngine.multi_partition_aggregates`
+        (one plan, one scan or one batched SQL statement for all
+        group-bys); unbound subspaces run the same one-pass fused kernel
+        locally over the schema's fact-aligned vectors.  ``domains``
+        aligns with ``gbs`` when given (None entries unrestricted).
+        """
+        gbs = list(gbs)
+        if self.engine is not None:
+            return self.engine.multi_partition_aggregates(
+                self, gbs, measure_name, domains=domains)
+        domain_keys = ([None] * len(gbs) if domains is None
+                       else [None if d is None else tuple(d)
+                             for d in domains])
+        if len(domain_keys) != len(gbs):
+            raise ValueError("domains must align one-to-one with gbs")
+        measure = self.schema.measures[measure_name]
+        fill = AGGREGATES[measure.aggregate](())
+        if self.is_empty or not gbs:
+            return [
+                {} if dk is None else {value: fill for value in dk}
+                for dk in domain_keys
+            ]
+        vectors = [self.schema.groupby_vector(gb) for gb in gbs]
+        measure_values = self.schema.measure_vector(measure_name)
+        fused = fused_group_aggregates(
+            self.fact_rows, vectors, measure_values, measure.aggregate)
+        return [
+            groups if dk is None
+            else {value: groups.get(value, fill) for value in dk}
+            for groups, dk in zip(fused, domain_keys)
+        ]

@@ -82,3 +82,47 @@ class TestBudgetAborts:
                 engine.materialize(plan)
         assert len(engine.cache) == 0
         assert engine.materialize(plan)  # clean re-evaluation
+
+
+class TestFusedPlans:
+    """The no-poison invariant extends to fused multi-aggregate plans."""
+
+    def _gbs(self, ebiz):
+        return [ebiz.groupby_attribute("PGROUP", "GroupName"),
+                ebiz.groupby_attribute("LOCATION", "City")]
+
+    def test_failed_fused_execute_caches_nothing(self, ebiz):
+        from repro.plan import multi_partition_plan
+        from repro.resilience import FaultInjectingBackend
+
+        faulty = FaultInjectingBackend(InMemoryBackend(ebiz),
+                                       fail_calls={1})
+        engine = QueryEngine(ebiz, backend=faulty)
+        plan = multi_partition_plan(ebiz, (0, 1, 2), self._gbs(ebiz),
+                                    ebiz.measures["revenue"])
+        with pytest.raises(TransientBackendError):
+            engine.execute(plan)
+        assert len(engine.cache) == 0
+        assert engine.cache_stats.misses == 1
+        # the retry caches exactly one clean entry, then serves hits
+        result = engine.execute(plan)
+        assert len(engine.cache) == 1
+        assert engine.execute(plan) == result
+        assert engine.cache_stats.hits == 1
+
+    def test_group_budget_abort_leaves_fused_plan_uncached(self, ebiz):
+        from repro.relational.errors import BudgetExceeded
+        from repro.warehouse import Subspace
+
+        engine = QueryEngine(ebiz, backend=InMemoryBackend(ebiz))
+        sub = Subspace.full(ebiz, engine=engine)
+        gbs = self._gbs(ebiz)
+        with budget_scope(Budget(max_groups=1)):
+            with pytest.raises(BudgetExceeded):
+                engine.multi_partition_aggregates(sub, gbs, "revenue")
+        # nothing cached for the aborted fused plan (child row-set
+        # materialisation may legitimately have been cached)
+        fresh = QueryEngine(ebiz, backend=InMemoryBackend(ebiz))
+        want = fresh.multi_partition_aggregates(
+            fresh.bind(sub), gbs, "revenue")
+        assert engine.multi_partition_aggregates(sub, gbs, "revenue") == want

@@ -10,7 +10,7 @@ measures the warm plan-cache path, which should be backend-independent.
 import pytest
 
 from repro.core import KdapSession
-from repro.plan import BACKENDS, QueryEngine
+from repro.plan import BACKENDS
 
 QUERY = "California Mountain Bikes"
 

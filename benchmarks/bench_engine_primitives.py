@@ -11,7 +11,6 @@ paths are visible:
 * fact-aligned attribute resolution, cold cache (the underlying scan).
 """
 
-from repro.warehouse.schema import StarSchema
 
 
 def test_text_probe(benchmark, online_session_full):

@@ -13,7 +13,6 @@ iterations; by ~100 iterations the merged partition is almost as good as
 the basic-interval partition; smaller K tends to converge more slowly.
 """
 
-import pytest
 
 from repro.evalkit import evaluate_annealing, render_series
 

@@ -5,10 +5,16 @@ the engine primitives as plain wall-clock benchmarks — no pytest — and
 writes per-benchmark medians to ``BENCH_kdap.json``.  The committed
 baseline lets any later change diff its numbers against this PR's.
 
-The run doubles as the fused-aggregation acceptance gate: the Table 2
-facet workload is timed with partition fusion on and off, per backend,
-and the process exits non-zero when the fused path is not faster — so CI
-catches a fusion regression as a hard failure, not a silent slowdown.
+The run doubles as two acceptance gates, each exiting non-zero on
+failure so CI catches a regression as a hard failure, not a silent
+slowdown:
+
+* **fusion** — the Table 2 facet workload is timed with partition fusion
+  on and off, per backend; the fused path must not be slower;
+* **vectorization** — the scan-aggregate microbenchmark
+  (:mod:`bench_scan_aggregate`) compares the vectorized in-memory
+  backend against the seed row-at-a-time interpreter; the vectorized
+  path must win by at least 2x.
 
 Usage::
 
@@ -38,6 +44,8 @@ from repro.evalkit import (
     evaluate_ranking,
 )
 from repro.plan import FusionStats, QueryEngine
+
+from bench_scan_aggregate import MIN_SPEEDUP, compare as compare_scan
 
 QUERY = "California Mountain Bikes"
 
@@ -194,6 +202,18 @@ class Suite:
                                        iterations=iterations),
             repeats=1, meta={"iterations": iterations})
 
+    def bench_scan_aggregate(self) -> dict:
+        """Vectorized vs row-at-a-time scan-aggregate (interleaved runs,
+        min-run gate — see :mod:`bench_scan_aggregate`)."""
+        benchmarks, check = compare_scan(self.online,
+                                         max(self.repeats, 7))
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['median_s']:.4f} s "
+                  f"(median of {len(entry['runs_s'])}, interleaved)")
+        return check
+
     # ------------------------------------------------------------------
     # engine primitives
     # ------------------------------------------------------------------
@@ -241,6 +261,7 @@ def main(argv=None) -> int:
     try:
         suite.bench_table1()
         fusion_check = suite.bench_table2()
+        scan_check = suite.bench_scan_aggregate()
         suite.bench_figures()
         suite.bench_primitives()
     finally:
@@ -250,6 +271,7 @@ def main(argv=None) -> int:
     # (fused path degenerating to worse-than-N-singles) lands far outside
     fusion_ok = all(entry["fused_min_s"] <= entry["unfused_min_s"] * 1.03
                     for entry in fusion_check.values())
+    scan_ok = scan_check["speedup"] >= MIN_SPEEDUP
     report = {
         "suite": "kdap",
         "smoke": args.smoke,
@@ -257,6 +279,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "benchmarks": suite.benchmarks,
         "fusion_check": {**fusion_check, "pass": fusion_ok},
+        "scan_check": {**scan_check, "pass": scan_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -267,9 +290,16 @@ def main(argv=None) -> int:
               f"unfused {entry['unfused_s']:.4f}s "
               f"({entry['speedup']:.2f}x, "
               f"{entry['fusion']['scans_saved']} scans saved)")
+    print(f"vectorized scan-aggregate: {scan_check['speedup']:.2f}x over "
+          f"row-at-a-time (required {MIN_SPEEDUP:.1f}x)")
     if not fusion_ok:
         print("FUSION CHECK FAILED: fused facet workload slower than "
               "per-attribute path", file=sys.stderr)
+        return 1
+    if not scan_ok:
+        print("VECTORIZATION CHECK FAILED: vectorized scan-aggregate "
+              f"below {MIN_SPEEDUP:.1f}x over the row-at-a-time "
+              "interpreter", file=sys.stderr)
         return 1
     return 0
 

@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core import ExploreConfig, KdapSession, RankingMethod
+from .core import KdapSession, RankingMethod
 from .relational.errors import (
     BackendError,
     BudgetExceeded,

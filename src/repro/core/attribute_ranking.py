@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..warehouse.schema import AttributeKind, GroupByAttribute, StarSchema
+from ..relational import vector
+from ..warehouse.schema import AttributeKind, GroupByAttribute
 from ..warehouse.subspace import Subspace
 from .bucketing import (
     Bucketization,
@@ -133,8 +134,8 @@ def numerical_series(
                 f"attribute {gb.ref} has no non-null values in the subspace"
             )
         buckets = equal_width(min(domain_values), max(domain_values), num_buckets)
-    sub_weights = [measure_vector[r] for r in subspace.fact_rows]
-    roll_weights = [measure_vector[r] for r in rollup.fact_rows]
+    sub_weights = vector.take(measure_vector, subspace.fact_rows)
+    roll_weights = vector.take(measure_vector, rollup.fact_rows)
     x = bucket_series(sub_values, sub_weights, buckets)
     y = bucket_series(roll_values, roll_weights, buckets)
     # Restrict to segments that exist in DS' by *merging* each DS'-empty

@@ -19,9 +19,10 @@ level (or drops them when no parent level exists).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
+from ..relational import vector
 from ..relational.errors import ResourceExhausted
 from ..resilience.budget import current_budget
 from ..warehouse.graph import JoinPath
@@ -36,13 +37,12 @@ from ..warehouse.subspace import Subspace
 from .annealing import AnnealingConfig, anneal_splits, merge_series
 from .attribute_ranking import (
     DEFAULT_NUM_BUCKETS,
-    RankedAttribute,
     numerical_series,
     rank_groupby_attributes,
 )
 from .bucketing import Interval
 from .hits import HitGroup
-from .instance_ranking import RankedInstance, rank_instances_batch
+from .instance_ranking import rank_instances_batch
 from .interestingness import InterestingnessMeasure, SURPRISE
 from .starnet import Ray, StarNet
 
@@ -280,9 +280,10 @@ def expand_interval(
     intervals are fitted over that narrower domain.
     """
     schema = subspace.schema
-    vector = schema.groupby_vector(gb)
-    rows = [r for r in subspace.fact_rows
-            if vector[r] is not None and interval.contains(vector[r])]
+    values = schema.groupby_vector(gb)
+    rows = vector.select_range(values, interval.low, interval.high,
+                               subspace.fact_rows,
+                               inclusive_high=interval.closed_right)
     inner = Subspace.of(schema, rows,
                         label=f"{subspace.label} / {gb.ref} in {interval}",
                         engine=subspace.engine)
@@ -291,8 +292,9 @@ def expand_interval(
     inner_rollups = [
         Subspace.of(
             schema,
-            [r for r in rollup.fact_rows
-             if vector[r] is not None and interval.contains(vector[r])],
+            vector.select_range(values, interval.low, interval.high,
+                                rollup.fact_rows,
+                                inclusive_high=interval.closed_right),
             label=f"{rollup.label} / {gb.ref} in {interval}",
             engine=rollup.engine,
         )

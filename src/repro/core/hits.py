@@ -8,7 +8,7 @@ group is the unit star nets are assembled from: it stands for the predicate
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..textindex.index import AttributeTextIndex, SearchHit
 

@@ -57,6 +57,13 @@ class MeasurePredicate:
             return False
         return _OPS[self.op](measured, self.value)
 
+    def select(self, values) -> set[int]:
+        """Row ids whose aligned value satisfies the comparison — one
+        batch pass with the operator resolved outside the loop."""
+        op, bound = _OPS[self.op], self.value
+        return {rid for rid, v in enumerate(values)
+                if v is not None and op(v, bound)}
+
 
 def parse_measure_keyword(schema: StarSchema,
                           keyword: str) -> MeasurePredicate | None:
@@ -92,7 +99,7 @@ def measure_fact_rows(schema: StarSchema,
     else:
         fact = schema.database.table(schema.fact_table)
         values = fact.column_values(predicate.target)
-    return {rid for rid, v in enumerate(values) if predicate.holds(v)}
+    return predicate.select(values)
 
 
 def predicate_sql(schema: StarSchema, predicate: MeasurePredicate,

@@ -25,7 +25,6 @@ from typing import Sequence
 from .annealing import (
     AnnealingResult,
     is_valid_splitting,
-    merge_series,
     merged_correlation,
 )
 from .interestingness import pearson_correlation

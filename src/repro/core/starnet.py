@@ -18,7 +18,7 @@ The OLAP-specific join semantics of §4.2 are implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import reduce
 
 from ..plan.compile import compile_plan

@@ -30,7 +30,6 @@ Currency as its own mini-dimension), AW_RESELLER is 7 dimensions /
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass
 
 from ..relational.catalog import Database
 from ..relational.expressions import Arith, Col

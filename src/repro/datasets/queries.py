@@ -17,7 +17,7 @@ A few queries are lightly adapted to this repo's analyzer, recorded inline:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.starnet import StarNet
 

@@ -20,7 +20,7 @@ import datetime as _dt
 from ..relational.catalog import Database
 from ..relational.expressions import Col
 from ..relational.table import Table
-from ..relational.types import date, float_, integer, text
+from ..relational.types import date, integer, text
 from ..warehouse.graph import path_from_fk_names
 from ..warehouse.schema import (
     AttributeKind,

@@ -11,7 +11,6 @@ from __future__ import annotations
 import time
 
 from ..core.facets import ExploreConfig, build_facets
-from ..core.ranking import RankingMethod
 from ..core.session import KdapSession
 from ..datasets import AW_ONLINE_QUERIES, AW_RESELLER_QUERIES
 from ..warehouse.schema import StarSchema

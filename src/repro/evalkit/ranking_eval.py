@@ -9,7 +9,7 @@ appears within the top-x results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.generation import DEFAULT_CONFIG, GenerationConfig, generate_candidates

@@ -99,9 +99,11 @@ def render_counters(engine) -> str:
     ops = engine.counters.as_dict()
     if ops:
         rows = [
-            (op, s["calls"], s["rows"], f"{s['seconds']:.4f}")
+            (op, s["calls"], s["rows"], s.get("batches", 0),
+             s.get("rows_per_batch", 0), f"{s['seconds']:.4f}")
             for op, s in ops.items()
         ]
-        lines.append(render_table(["operator", "calls", "rows", "seconds"],
-                                  rows))
+        lines.append(render_table(
+            ["operator", "calls", "rows", "batches", "rows/batch",
+             "seconds"], rows))
     return "\n".join(lines)

@@ -28,6 +28,7 @@ from typing import Protocol, runtime_checkable
 
 import threading
 
+from ..relational import vector
 from ..relational.errors import SchemaError
 from ..relational.operators import AGGREGATES, fused_group_aggregates
 from ..relational.sqlite_backend import SqliteBackend as SqliteMirror
@@ -115,12 +116,25 @@ def _fill_domains(plan: MultiGroupAggregate, results: dict) -> dict:
 # in-memory backend
 # ----------------------------------------------------------------------
 class InMemoryBackend:
-    """Row-id operator chains over the schema's fact-aligned vectors."""
+    """Columnar batch execution over the schema's fact-aligned vectors.
+
+    Row-producing plans flow as *selection vectors* processed in batches
+    of ``batch_size`` rows: each operator narrows its child's selection
+    with one batch kernel per batch (vectorized ``IN`` probes, predicate
+    ``select_batch``, semi-join membership refinement) instead of one
+    interpreted ``Expression.evaluate`` call per row.  Budgets are
+    charged per batch, so a row/deadline limit interrupts a scan at
+    batch — not whole-operator — granularity, and
+    :class:`~repro.plan.counters.PlanCounters` records how many batches
+    each operator executed.
+    """
 
     name = "memory"
 
-    def __init__(self, schema: StarSchema):
+    def __init__(self, schema: StarSchema,
+                 batch_size: int = vector.DEFAULT_BATCH_SIZE):
         self.schema = schema
+        self.batch_size = batch_size
         self.counters = PlanCounters()
         self._measure_vectors: dict[str, list] = {}
 
@@ -130,13 +144,18 @@ class InMemoryBackend:
 
     def _rows(self, node: PlanNode) -> list[int]:
         if isinstance(node, Scan):
+            table = self.schema.database.table(node.table)
             with self.counters.timed("Scan") as out:
-                rows = list(range(len(self.schema.database.table(node.table))))
+                rows: list[int] = []
+                for batch in vector.batches(range(len(table)),
+                                            self.batch_size):
+                    charge_rows(len(batch), "Scan")
+                    rows.extend(batch)
+                    out[1] += 1
                 out[0] = len(rows)
-            charge_rows(len(rows), "Scan")
             return rows
         if isinstance(node, RowSet):
-            self.counters.record("RowSet", len(node.rows))
+            self.counters.record("RowSet", len(node.rows), batches=1)
             charge_rows(len(node.rows), "RowSet")
             return list(node.rows)
         if isinstance(node, SemiJoin):
@@ -150,9 +169,13 @@ class InMemoryBackend:
                                                  node.values)
                 facts = slice_facts(self.schema, node.source_table,
                                     selected, node.path)
-                rows = [r for r in child_rows if r in facts]
+                rows = []
+                for batch in vector.batches(child_rows, self.batch_size):
+                    kept = vector.refine_members(batch, facts)
+                    charge_rows(len(kept), "SemiJoin")
+                    rows.extend(kept)
+                    out[1] += 1
                 out[0] = len(rows)
-            charge_rows(len(rows), "SemiJoin")
             return rows
         if isinstance(node, Filter):
             child_rows = self._rows(node.child)
@@ -160,19 +183,30 @@ class InMemoryBackend:
                 return child_rows
             check_deadline("Filter")
             with self.counters.timed("Filter") as out:
+                rows = []
                 if node.predicate is not None:
                     table = self.schema.database.table(
                         _leaf(node).table)
                     node.predicate.validate(table)
-                    rows = [r for r in child_rows
-                            if node.predicate.evaluate(table, r)]
+                    for batch in vector.batches(child_rows,
+                                                self.batch_size):
+                        kept = node.predicate.select_batch(table, batch)
+                        charge_rows(len(kept), "Filter")
+                        rows.extend(kept)
+                        out[1] += 1
                 else:
-                    vector = self.schema.fact_vector(node.attr.path,
+                    values = self.schema.fact_vector(node.attr.path,
                                                      node.attr.column)
                     wanted = set(node.values)
-                    rows = [r for r in child_rows if vector[r] in wanted]
+                    for batch in vector.batches(child_rows,
+                                                self.batch_size):
+                        # None in the value set selects NULL-attribute rows
+                        kept = vector.select_in(values, wanted, batch,
+                                                keep_null=True)
+                        charge_rows(len(kept), "Filter")
+                        rows.extend(kept)
+                        out[1] += 1
                 out[0] = len(rows)
-            charge_rows(len(rows), "Filter")
             return rows
         raise SchemaError(f"not a row-producing plan node: {node!r}")
 
@@ -196,37 +230,54 @@ class InMemoryBackend:
             check_deadline("GroupAggregate")
             with self.counters.timed("GroupAggregate") as out:
                 out[0] = len(rows)
-                return fn(measure[r] for r in rows)
+                out[1] = 1
+                return fn(vector.take(measure, rows))
+        groups = self._partition_groups(keys, rows)
+        charge_groups(len(groups), "Partition")
+        with self.counters.timed("GroupAggregate") as out:
+            out[0] = len(groups)
+            out[1] = 1
+            if plan.domain is not None:
+                return {
+                    value: fn(vector.take(measure, groups.get(value, ())))
+                    for value in plan.domain
+                }
+            return {
+                value: fn(vector.take(measure, group_rows))
+                for value, group_rows in groups.items()
+            }
+
+    def _partition_groups(self, keys, rows: list[int]) -> dict:
+        """key value → selection vector, built batch-at-a-time.
+
+        Single-key plans group over the raw fact-aligned vector; composite
+        keys are dictionary-encoded (:func:`~repro.relational.vector.
+        pack_keys`) so the fold hashes small tuples exactly once per
+        distinct key per batch.
+        """
         check_deadline("Partition")
         with self.counters.timed("Partition") as out:
             vectors = [self.schema.fact_vector(k.path, k.column)
                        for k in keys]
             groups: dict = {}
-            if len(vectors) == 1:
-                vector = vectors[0]
-                for r in rows:
-                    value = vector[r]
-                    if value is not None:
-                        groups.setdefault(value, []).append(r)
-            else:
-                for r in rows:
-                    key = tuple(v[r] for v in vectors)
-                    if None in key:
-                        continue
-                    groups.setdefault(key, []).append(r)
+            for batch in vector.batches(rows, self.batch_size):
+                check_deadline("Partition")
+                if len(vectors) == 1:
+                    part = vector.group_rows(vectors[0], batch)
+                else:
+                    part = vector.group_rows_packed(vectors, batch)
+                if groups:
+                    for value, ids in part.items():
+                        known = groups.get(value)
+                        if known is None:
+                            groups[value] = ids
+                        else:
+                            known.extend(ids)
+                else:
+                    groups = part
+                out[1] += 1
             out[0] = len(groups)
-        charge_groups(len(groups), "Partition")
-        with self.counters.timed("GroupAggregate") as out:
-            out[0] = len(groups)
-            if plan.domain is not None:
-                return {
-                    value: fn(measure[r] for r in groups.get(value, ()))
-                    for value in plan.domain
-                }
-            return {
-                value: fn(measure[r] for r in group_rows)
-                for value, group_rows in groups.items()
-            }
+        return groups
 
     def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
         """The fused kernel: one pass over the child's rows updating one
@@ -237,22 +288,33 @@ class InMemoryBackend:
         check_deadline("MultiGroupAggregate")
         measure = self._measure_values(plan)
         keys = [key for key, _ in plan.branches()]
-        with self.counters.timed("MultiGroupAggregate") as out:
+
+        def on_chunk(chunk_rows: int) -> None:
+            check_deadline("MultiGroupAggregate")
+            counters_out[1] += 1
+
+        with self.counters.timed("MultiGroupAggregate") as counters_out:
             vectors = [self.schema.fact_vector(k.path, k.column)
                        for k in keys]
             folded = fused_group_aggregates(
                 rows, vectors, measure, plan.aggregate,
-                on_chunk=lambda: check_deadline("MultiGroupAggregate"),
+                on_chunk=on_chunk, chunk_size=self.batch_size,
             )
             results = {key.fingerprint(): groups
                        for key, groups in zip(keys, folded)}
-            out[0] = sum(len(groups) for groups in folded)
+            counters_out[0] = sum(len(groups) for groups in folded)
         charge_groups(sum(len(groups) for groups in folded),
                       "MultiGroupAggregate")
         return _fill_domains(plan, results)
 
     def _measure_values(self, plan: GroupAggregate) -> list:
-        """Per-fact-row measure values, memoised by canonical measure SQL."""
+        """Per-fact-row measure values, memoised by canonical measure SQL.
+
+        The vector is computed through the expression batch seam
+        (:meth:`~repro.relational.expressions.Expression.evaluate_batch`)
+        — the same kernels the filter path uses — so there is exactly one
+        measure-extraction code path.
+        """
         key = plan.measure_sql
         cached = self._measure_vectors.get(key)
         if cached is not None:
@@ -262,8 +324,7 @@ class InMemoryBackend:
             values = [1] * len(fact)
         else:
             plan.measure_expr.validate(fact)
-            values = [plan.measure_expr.evaluate(fact, rid)
-                      for rid in range(len(fact))]
+            values = plan.measure_expr.evaluate_batch(fact)
         self._measure_vectors[key] = values
         return values
 

@@ -20,11 +20,20 @@ class OpStats:
     calls: int = 0
     rows: int = 0
     seconds: float = 0.0
+    batches: int = 0
 
-    def record(self, rows: int, seconds: float) -> None:
+    def record(self, rows: int, seconds: float, batches: int = 0) -> None:
         self.calls += 1
         self.rows += rows
         self.seconds += seconds
+        self.batches += batches
+
+    @property
+    def rows_per_batch(self) -> float:
+        """Mean rows produced per executed batch (0 when unbatched)."""
+        if not self.batches:
+            return 0.0
+        return self.rows / self.batches
 
 
 @dataclass
@@ -35,33 +44,37 @@ class PlanCounters:
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
-    def record(self, op: str, rows: int = 0, seconds: float = 0.0) -> None:
+    def record(self, op: str, rows: int = 0, seconds: float = 0.0,
+               batches: int = 0) -> None:
         """Add one execution of ``op`` (safe from backend worker threads)."""
         with self._lock:
             stats = self.ops.get(op)
             if stats is None:
                 stats = self.ops[op] = OpStats()
-            stats.record(rows, seconds)
+            stats.record(rows, seconds, batches)
 
     @contextmanager
     def timed(self, op: str):
         """Context manager recording one timed execution of ``op``.
 
-        The yielded one-slot list receives the produced row count
-        (defaults to 0 when the caller leaves it untouched).
+        The yielded two-slot list receives the produced row count and the
+        number of batches executed (both default to 0 when the caller
+        leaves them untouched).
         """
-        out = [0]
+        out = [0, 0]
         start = time.perf_counter()
         try:
             yield out
         finally:
-            self.record(op, out[0], time.perf_counter() - start)
+            self.record(op, out[0], time.perf_counter() - start, out[1])
 
     def as_dict(self) -> dict:
         """JSON-serialisable snapshot, sorted by operator name."""
         return {
             op: {"calls": s.calls, "rows": s.rows,
-                 "seconds": round(s.seconds, 6)}
+                 "seconds": round(s.seconds, 6),
+                 "batches": s.batches,
+                 "rows_per_batch": round(s.rows_per_batch, 1)}
             for op, s in sorted(self.ops.items())
         }
 

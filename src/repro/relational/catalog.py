@@ -11,7 +11,7 @@ schema joins ``Account`` to ``Trans`` on both ``BuyerKey`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator
 
 from .errors import (
     DuplicateTableError,

@@ -1,10 +1,17 @@
 """Predicate and scalar expression trees.
 
-Expressions are evaluated per row against a :class:`~repro.relational.table.Table`.
-They are intentionally tiny — comparisons, boolean combinators, ``IN`` sets,
-ranges, and arithmetic over columns — which covers everything KDAP's star
-joins and measures need, while staying printable as SQL for the
-:mod:`repro.relational.sql` generator.
+Expressions evaluate against a :class:`~repro.relational.table.Table` in
+two modes: the scalar :meth:`Expression.evaluate` (one row at a time —
+the reference semantics) and the batch :meth:`Expression.evaluate_batch`
+/ :meth:`Predicate.select_batch` kernels that move whole selection
+vectors through :mod:`repro.relational.vector` at C-comprehension speed.
+Both modes are result-identical by construction; the randomized parity
+suite pins that equivalence.
+
+The trees are intentionally tiny — comparisons, boolean combinators,
+``IN`` sets, ranges, and arithmetic over columns — which covers
+everything KDAP's star joins and measures need, while staying printable
+as SQL for the :mod:`repro.relational.sql` generator.
 """
 
 from __future__ import annotations
@@ -12,16 +19,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from . import vector
 from .errors import ExpressionError
 from .table import Table
+
+
+def _resolve_ids(table: Table,
+                 row_ids: Sequence[int] | None) -> Sequence[int]:
+    """The candidate selection: all rows when ``row_ids`` is None."""
+    return range(len(table)) if row_ids is None else row_ids
 
 
 class Expression:
     """Base class for all expressions."""
 
     def evaluate(self, table: Table, row_id: int):
-        """Value of this expression on one row."""
+        """Value of this expression on one row (reference semantics)."""
         raise NotImplementedError
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        """Values of this expression over a selection vector.
+
+        The base implementation is the per-row reference loop; concrete
+        nodes override it with columnar kernels.  All overrides must be
+        value-identical to this loop.
+        """
+        return [self.evaluate(table, r) for r in _resolve_ids(table, row_ids)]
 
     def columns(self) -> set[str]:
         """Names of all columns this expression reads."""
@@ -49,6 +73,10 @@ class Col(Expression):
     def evaluate(self, table: Table, row_id: int):
         return table.value(row_id, self.name)
 
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        return vector.take(table.column_values(self.name), row_ids)
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -64,6 +92,10 @@ class Const(Expression):
 
     def evaluate(self, table: Table, row_id: int):
         return self.value
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        return [self.value] * len(_resolve_ids(table, row_ids))
 
     def columns(self) -> set[str]:
         return set()
@@ -102,6 +134,14 @@ class Arith(Expression):
             return None
         return _ARITH_OPS[self.op](lhs, rhs)
 
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        op = _ARITH_OPS[self.op]
+        lhs = self.left.evaluate_batch(table, row_ids)
+        rhs = self.right.evaluate_batch(table, row_ids)
+        return [None if a is None or b is None else op(a, b)
+                for a, b in zip(lhs, rhs)]
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -115,6 +155,18 @@ class Arith(Expression):
 class Predicate(Expression):
     """An expression evaluating to bool (SQL three-valued logic collapsed:
     NULL comparisons evaluate to False)."""
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        """Selection vector of candidate rows satisfying this predicate.
+
+        Result-identical to filtering ``row_ids`` with per-row
+        :meth:`evaluate`; concrete predicates override with columnar
+        kernels (``IN`` probes a set over the raw column, ``AND``
+        narrows the selection one conjunct at a time).
+        """
+        ids = _resolve_ids(table, row_ids)
+        return vector.compress(self.evaluate_batch(table, ids), ids)
 
 
 _CMP_OPS = {
@@ -146,6 +198,14 @@ class Compare(Predicate):
             return False
         return _CMP_OPS[self.op](lhs, rhs)
 
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        op = _CMP_OPS[self.op]
+        lhs = self.left.evaluate_batch(table, row_ids)
+        rhs = self.right.evaluate_batch(table, row_ids)
+        return [a is not None and b is not None and op(a, b)
+                for a, b in zip(lhs, rhs)]
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -169,6 +229,22 @@ class In(Predicate):
     def evaluate(self, table: Table, row_id: int) -> bool:
         value = self.expr.evaluate(table, row_id)
         return value is not None and value in self.values
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        wanted = self.values
+        return [v is not None and v in wanted
+                for v in self.expr.evaluate_batch(table, row_ids)]
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        # the workhorse fast path: IN over a bare column probes the set
+        # against the raw vector, skipping the mask materialisation
+        if isinstance(self.expr, Col):
+            column = table.column_values(self.expr.name)
+            return vector.select_in(column, self.values, row_ids)
+        ids = _resolve_ids(table, row_ids)
+        return vector.compress(self.evaluate_batch(table, ids), ids)
 
     def columns(self) -> set[str]:
         return self.expr.columns()
@@ -195,6 +271,23 @@ class Between(Predicate):
         if self.inclusive_high:
             return self.low <= value <= self.high
         return self.low <= value < self.high
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        values = self.expr.evaluate_batch(table, row_ids)
+        low, high = self.low, self.high
+        if self.inclusive_high:
+            return [v is not None and low <= v <= high for v in values]
+        return [v is not None and low <= v < high for v in values]
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        if isinstance(self.expr, Col):
+            column = table.column_values(self.expr.name)
+            return vector.select_range(column, self.low, self.high, row_ids,
+                                       inclusive_high=self.inclusive_high)
+        ids = _resolve_ids(table, row_ids)
+        return vector.compress(self.evaluate_batch(table, ids), ids)
 
     def columns(self) -> set[str]:
         return self.expr.columns()
@@ -225,6 +318,23 @@ class And(Predicate):
 
     def evaluate(self, table: Table, row_id: int) -> bool:
         return all(p.evaluate(table, row_id) for p in self.parts)
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        ids = _resolve_ids(table, row_ids)
+        selected = set(self.select_batch(table, ids))
+        return [r in selected for r in ids]
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        # selection-vector refinement: each conjunct only tests the rows
+        # that survived the previous one
+        selection = _resolve_ids(table, row_ids)
+        for part in self.parts:
+            if not selection:
+                break
+            selection = part.select_batch(table, selection)
+        return list(selection)
 
     def columns(self) -> set[str]:
         out: set[str] = set()
@@ -258,6 +368,23 @@ class Or(Predicate):
     def evaluate(self, table: Table, row_id: int) -> bool:
         return any(p.evaluate(table, row_id) for p in self.parts)
 
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        if not self.parts:
+            return [False] * len(_resolve_ids(table, row_ids))
+        masks = [p.evaluate_batch(table, row_ids) for p in self.parts]
+        return [any(hits) for hits in zip(*masks)]
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        # each disjunct selects over the full candidate set; the union is
+        # rebuilt in candidate order so the output stays a selection
+        ids = _resolve_ids(table, row_ids)
+        hit: set[int] = set()
+        for part in self.parts:
+            hit.update(part.select_batch(table, ids))
+        return [r for r in ids if r in hit]
+
     def columns(self) -> set[str]:
         out: set[str] = set()
         for part in self.parts:
@@ -277,6 +404,16 @@ class Not(Predicate):
     def evaluate(self, table: Table, row_id: int) -> bool:
         return not self.inner.evaluate(table, row_id)
 
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        return [not hit for hit in self.inner.evaluate_batch(table, row_ids)]
+
+    def select_batch(self, table: Table,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        ids = _resolve_ids(table, row_ids)
+        hit = set(self.inner.select_batch(table, ids))
+        return [r for r in ids if r not in hit]
+
     def columns(self) -> set[str]:
         return self.inner.columns()
 
@@ -292,6 +429,11 @@ class IsNull(Predicate):
 
     def evaluate(self, table: Table, row_id: int) -> bool:
         return self.expr.evaluate(table, row_id) is None
+
+    def evaluate_batch(self, table: Table,
+                       row_ids: Sequence[int] | None = None) -> list:
+        return [v is None
+                for v in self.expr.evaluate_batch(table, row_ids)]
 
     def columns(self) -> set[str]:
         return self.expr.columns()

@@ -5,6 +5,12 @@ tables, most functions take and return row-id collections against named base
 tables.  That is precisely the shape KDAP needs — a subspace is a set of fact
 rows, and star joins are chains of semi-joins from dimension selections down
 to the fact table.
+
+Execution is columnar: every operator moves whole selection vectors
+through the batch kernels of :mod:`repro.relational.vector` (and the
+predicates' ``select_batch`` API) instead of dispatching one interpreted
+``Expression.evaluate`` call per row.  The scalar evaluation path stays
+available as the reference semantics; the two are result-identical.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Sequence
 
+from . import vector
 from .expressions import Predicate
 from .table import Table
 
@@ -20,11 +27,14 @@ def select(table: Table, predicate: Predicate,
            row_ids: Iterable[int] | None = None) -> list[int]:
     """Row ids of ``table`` satisfying ``predicate``.
 
-    When ``row_ids`` is given, only those rows are tested (filter refinement).
+    When ``row_ids`` is given, only those rows are tested (filter
+    refinement).  The predicate runs as one batch kernel over the
+    candidate selection, not per row.
     """
     predicate.validate(table)
-    candidates = range(len(table)) if row_ids is None else row_ids
-    return [rid for rid in candidates if predicate.evaluate(table, rid)]
+    if row_ids is not None and not isinstance(row_ids, (list, tuple, range)):
+        row_ids = list(row_ids)
+    return predicate.select_batch(table, row_ids)
 
 
 def semi_join(
@@ -39,14 +49,16 @@ def semi_join(
     row in ``parent_row_ids`` — i.e. ``child SEMIJOIN parent``.
 
     This is the primitive used to push a dimension selection towards the
-    fact table along one foreign-key edge.
+    fact table along one foreign-key edge; the probe side is one
+    vectorized set-membership pass over the child's key column.
     """
     parent_values = parent.column_values(parent_key)
     keys = {parent_values[rid] for rid in parent_row_ids}
     keys.discard(None)
-    child_values = child.column_values(child_key)
-    candidates = range(len(child)) if child_row_ids is None else child_row_ids
-    return [rid for rid in candidates if child_values[rid] in keys]
+    if not keys:
+        return []
+    return vector.select_in(child.column_values(child_key), keys,
+                            child_row_ids)
 
 
 def hash_join(
@@ -57,22 +69,28 @@ def hash_join(
     left_row_ids: Iterable[int] | None = None,
     right_row_ids: Iterable[int] | None = None,
 ) -> list[tuple[int, int]]:
-    """Equi-join returning ``(left_row_id, right_row_id)`` pairs."""
-    right_index: dict[Hashable, list[int]] = defaultdict(list)
+    """Equi-join returning ``(left_row_id, right_row_id)`` pairs.
+
+    Build side: the right key column is dictionary-grouped in one pass;
+    probe side: the left key column is gathered as a batch and probed
+    against the index.
+    """
     right_values = right.column_values(right_key)
-    right_candidates = range(len(right)) if right_row_ids is None else right_row_ids
-    for rid in right_candidates:
-        value = right_values[rid]
-        if value is not None:
-            right_index[value].append(rid)
-    out: list[tuple[int, int]] = []
+    right_index = vector.group_rows(right_values, right_row_ids)
+    if not right_index:
+        return []
     left_values = left.column_values(left_key)
-    left_candidates = range(len(left)) if left_row_ids is None else left_row_ids
-    for lid in left_candidates:
-        value = left_values[lid]
+    if left_row_ids is None:
+        left_row_ids = range(len(left))
+    elif not isinstance(left_row_ids, (list, tuple, range)):
+        left_row_ids = list(left_row_ids)
+    probe = vector.take(left_values, left_row_ids)
+    out: list[tuple[int, int]] = []
+    get = right_index.get
+    for lid, value in zip(left_row_ids, probe):
         if value is None:
             continue
-        for rid in right_index.get(value, ()):
+        for rid in get(value, ()):
             out.append((lid, rid))
     return out
 
@@ -80,18 +98,15 @@ def hash_join(
 def project(table: Table, columns: Sequence[str],
             row_ids: Iterable[int] | None = None,
             distinct: bool = False) -> list[tuple]:
-    """Tuples of the selected columns over the given rows."""
+    """Tuples of the selected columns over the given rows (one columnar
+    gather per column, zipped back into row tuples)."""
     stores = [table.column_values(c) for c in columns]
-    ids = range(len(table)) if row_ids is None else row_ids
-    rows = [tuple(store[rid] for store in stores) for rid in ids]
+    if row_ids is not None and not isinstance(row_ids, (list, tuple, range)):
+        row_ids = list(row_ids)
+    rows = vector.gather_tuples(stores, row_ids)
     if distinct:
-        seen: set[tuple] = set()
-        unique: list[tuple] = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                unique.append(row)
-        return unique
+        # dict preserves first-seen order, deduplicating in one C pass
+        return list(dict.fromkeys(rows))
     return rows
 
 
@@ -102,9 +117,10 @@ def group_by(
 ) -> dict[Hashable, list[int]]:
     """Partition rows by an arbitrary key function; drops ``None`` keys.
 
-    ``key_of`` receives a row id and returns the group key.  KDAP uses this
-    with plain column getters (categorical partitioning) and with bucket
-    assignment functions (numerical partitioning).
+    ``key_of`` receives a row id and returns the group key.  This is the
+    scalar escape hatch for computed keys (bucket assignment functions);
+    column partitioning goes through the vectorized
+    :func:`group_by_column`.
     """
     groups: dict[Hashable, list[int]] = defaultdict(list)
     ids = range(len(table)) if row_ids is None else row_ids
@@ -120,9 +136,9 @@ def group_by_column(
     column: str,
     row_ids: Iterable[int] | None = None,
 ) -> dict[Hashable, list[int]]:
-    """Partition rows by the value of one column (NULLs dropped)."""
-    values = table.column_values(column)
-    return group_by(table, lambda rid: values[rid], row_ids)
+    """Partition rows by the value of one column (NULLs dropped) in one
+    columnar pass."""
+    return vector.group_rows(table.column_values(column), row_ids)
 
 
 def aggregate_sum(values: Iterable[float]) -> float:
@@ -181,89 +197,47 @@ def fused_group_aggregates(
     vectors: Sequence[Sequence],
     measure_values: Sequence,
     aggregate: str,
-    on_chunk: Callable[[], None] | None = None,
+    on_chunk: Callable[[int], None] | None = None,
     chunk_size: int = 8192,
 ) -> list[dict]:
-    """Per-group aggregates for N key vectors in **one pass** over ``rows``.
+    """Per-group aggregates for N key vectors over one shared row set.
 
     The fused equivalent of N separate partition-then-fold evaluations:
-    each row is visited once, updating one accumulator dict per key
-    vector.  NULL keys are dropped per key (a row excluded from one
-    partitioning still counts in the others) and NULL measures are
-    ignored inside every group, exactly matching the per-key
-    :data:`AGGREGATES` folds — sum/count of an all-NULL group are 0,
-    avg/min/max are None.
+    the row set is materialised once and each chunk is partitioned per
+    key with the :func:`~repro.relational.vector.group_rows` kernel (a
+    single tight loop per key, not one interpreted dispatch per row).
+    NULL keys are dropped per key (a row excluded from one partitioning
+    still counts in the others) and NULL measures are ignored inside
+    every group, exactly matching the per-key :data:`AGGREGATES` folds
+    — sum/count of an all-NULL group are 0, avg/min/max are None.
 
-    ``on_chunk`` (if given) runs every ``chunk_size`` rows so long scans
-    can cooperatively honour deadlines/budgets.
+    ``on_chunk`` (if given) receives each chunk's row count before the
+    chunk is folded, so long scans can cooperatively honour deadlines
+    and charge budgets at batch granularity.
     """
     if aggregate not in AGGREGATES:
         raise KeyError(aggregate)
     if not isinstance(rows, (list, tuple)):
         rows = list(rows)
-    states: list[dict] = [{} for _ in vectors]
-    # the (vector, accumulator) pairing is hoisted out of the row loop —
-    # the inner loop must stay allocation-free for fusion to beat N
-    # independent folds
-    pairs = list(zip(vectors, states))
-    chunks = range(0, len(rows), chunk_size)
-    if aggregate in ("sum", "count"):
-        counting = aggregate == "count"
-        for start in chunks:
-            if on_chunk is not None:
-                on_chunk()
-            for r in rows[start:start + chunk_size]:
-                m = measure_values[r]
-                if m is None:
-                    # a NULL measure still creates its groups, so an
-                    # all-NULL group yields 0, not absence
-                    for vector, groups in pairs:
-                        value = vector[r]
-                        if value is not None and value not in groups:
-                            groups[value] = 0
-                    continue
-                if counting:
-                    m = 1
-                for vector, groups in pairs:
-                    value = vector[r]
-                    if value is not None:
-                        groups[value] = groups.get(value, 0) + m
-        return states
-    if aggregate == "avg":
-        for start in chunks:
-            if on_chunk is not None:
-                on_chunk()
-            for r in rows[start:start + chunk_size]:
-                m = measure_values[r]
-                for vector, groups in pairs:
-                    value = vector[r]
-                    if value is None:
-                        continue
-                    state = groups.get(value)
-                    if state is None:
-                        state = groups[value] = [0, 0]
-                    if m is not None:
-                        state[0] += m
-                        state[1] += 1
-        return [{value: (s[0] / s[1] if s[1] else None)
-                 for value, s in groups.items()} for groups in states]
-    # min / max: keep the best non-NULL measure per group (None when the
-    # whole group's measure is NULL)
-    prefer_smaller = aggregate == "min"
-    for start in chunks:
+    fn = AGGREGATES[aggregate]
+    partitions: list[dict] = [{} for _ in vectors]
+    for start in range(0, len(rows), chunk_size):
         if on_chunk is not None:
-            on_chunk()
-        for r in rows[start:start + chunk_size]:
-            m = measure_values[r]
-            for vector, groups in pairs:
-                value = vector[r]
-                if value is None:
-                    continue
-                if value not in groups:
-                    groups[value] = m
-                elif m is not None:
-                    best = groups[value]
-                    if best is None or (m < best if prefer_smaller
-                                        else m > best):
-                        groups[value] = m
-    return states
+            on_chunk(min(chunk_size, len(rows) - start))
+        batch = rows[start:start + chunk_size]
+        for key_vector, groups in zip(vectors, partitions):
+            part = vector.group_rows(key_vector, batch)
+            if not groups:
+                groups.update(part)
+                continue
+            for value, ids in part.items():
+                known = groups.get(value)
+                if known is None:
+                    groups[value] = ids
+                else:
+                    known.extend(ids)
+    return [
+        {value: vector.fold(fn, measure_values, ids)
+         for value, ids in groups.items()}
+        for groups in partitions
+    ]

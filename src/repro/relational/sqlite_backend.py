@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import sqlite3
 import threading
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .catalog import Database
 from .table import Table

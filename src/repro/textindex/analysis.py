@@ -8,7 +8,7 @@ side-effect free so the same pipeline can run at index time and query time.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .stemmer import stem
 

@@ -16,7 +16,7 @@ the ablation the paper argues against in §3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..relational.catalog import Database
 from .analysis import Analyzer, DEFAULT_ANALYZER

@@ -9,7 +9,7 @@ the paper requires, so the query ``mount`` can reach ``mountain``.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 

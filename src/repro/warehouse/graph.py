@@ -15,7 +15,7 @@ subspace evaluation walks the same steps as semi-joins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..relational.catalog import Database, ForeignKey
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from ..relational import vector
 from ..relational.errors import SchemaError
 from .schema import AttributeRef, GroupByAttribute, StarSchema
 from .subspace import Subspace
@@ -34,8 +35,9 @@ def slice_(subspace: Subspace, gb: GroupByAttribute, value) -> Subspace:
     if subspace.engine is not None:
         rows = subspace.engine.filter_rows(subspace, [(gb, (value,))])
     else:
-        vector = subspace.schema.groupby_vector(gb)
-        rows = [r for r in subspace.fact_rows if vector[r] == value]
+        rows = vector.select_in(subspace.schema.groupby_vector(gb),
+                                (value,), subspace.fact_rows,
+                                keep_null=True)
     return Subspace.of(subspace.schema, rows, label=label,
                        engine=subspace.engine)
 
@@ -54,9 +56,8 @@ def dice(subspace: Subspace,
     else:
         rows = list(subspace.fact_rows)
         for gb, values in normalized:
-            wanted = set(values)
-            vector = schema.groupby_vector(gb)
-            rows = [r for r in rows if vector[r] in wanted]
+            rows = vector.select_in(schema.groupby_vector(gb), values,
+                                    rows, keep_null=True)
     return Subspace.of(schema, rows, label=label, engine=subspace.engine)
 
 
@@ -149,17 +150,14 @@ def pivot(subspace: Subspace, rows_gb: GroupByAttribute,
         cells = subspace.engine.pivot_aggregates(
             subspace, rows_gb, cols_gb, measure_name)
     else:
-        row_vector = schema.groupby_vector(rows_gb)
-        col_vector = schema.groupby_vector(cols_gb)
+        groups = vector.group_rows_packed(
+            [schema.groupby_vector(rows_gb), schema.groupby_vector(cols_gb)],
+            list(subspace.fact_rows))
         measure_vector = schema.measure_vector(measure_name)
-        cells = {}
-        for rid in subspace.fact_rows:
-            row = row_vector[rid]
-            col = col_vector[rid]
-            if row is None or col is None:
-                continue
-            key = (row, col)
-            cells[key] = cells.get(key, 0.0) + (measure_vector[rid] or 0.0)
+        cells = {
+            key: sum((measure_vector[r] or 0.0) for r in rows)
+            for key, rows in groups.items()
+        }
     row_values = tuple(sorted({r for r, _c in cells}, key=str))
     col_values = tuple(sorted({c for _r, c in cells}, key=str))
     return PivotTable(row_values, col_values, cells)

@@ -13,11 +13,12 @@ Two pieces live here:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
+from ..relational import vector
 from ..relational.operators import semi_join
 from .graph import JoinPath
-from .schema import AttributeRef, Hierarchy, StarSchema
+from .schema import AttributeRef, StarSchema
 
 
 def slice_facts(
@@ -66,11 +67,11 @@ def slice_facts(
 def select_rows_by_values(
     schema: StarSchema, ref: AttributeRef, values: Iterable
 ) -> list[int]:
-    """Row ids of ``ref.table`` whose ``ref.column`` is in ``values``."""
+    """Row ids of ``ref.table`` whose ``ref.column`` is in ``values``
+    (one vectorized IN probe over the whole column)."""
     table = schema.database.table(ref.table)
-    wanted = set(values)
-    column = table.column_values(ref.column)
-    return [rid for rid, v in enumerate(column) if v in wanted]
+    return vector.select_in(table.column_values(ref.column), values,
+                            keep_null=True)
 
 
 def generalize_values(

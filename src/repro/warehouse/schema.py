@@ -22,13 +22,13 @@ partitioning, so resolved vectors are memoised per (join path, column).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from ..relational.catalog import Database
 from ..relational.errors import SchemaError, UnknownColumnError
 from ..relational.expressions import Expression
-from .graph import EMPTY_PATH, JoinPath, PathStep, SchemaGraph
+from .graph import JoinPath, SchemaGraph
 
 
 @dataclass(frozen=True)
@@ -290,15 +290,14 @@ class StarSchema:
         return self.fact_vector(gb.path_from_fact, gb.ref.column)
 
     def measure_vector(self, measure_name: str) -> list:
-        """Cached per-fact-row measure values."""
+        """Cached per-fact-row measure values (computed through the
+        expression batch seam, one kernel pass over the fact table)."""
         if measure_name not in self._measure_vectors:
             measure = self.measures[measure_name]
             fact = self.database.table(self.fact_table)
             measure.expression.validate(fact)
-            self._measure_vectors[measure_name] = [
-                measure.expression.evaluate(fact, rid)
-                for rid in range(len(fact))
-            ]
+            self._measure_vectors[measure_name] = \
+                measure.expression.evaluate_batch(fact)
         return self._measure_vectors[measure_name]
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..relational import vector as vec
 from ..relational.operators import AGGREGATES, fused_group_aggregates
 from .schema import GroupByAttribute, StarSchema
 
@@ -63,22 +64,22 @@ class Subspace:
     # set algebra
     # ------------------------------------------------------------------
     def intersect(self, other: "Subspace") -> "Subspace":
-        """Rows in both subspaces."""
-        rows = set(self.fact_rows) & set(other.fact_rows)
-        return Subspace.of(self.schema, rows,
-                           label=f"({self.label}) AND ({other.label})",
-                           engine=self.engine or other.engine)
+        """Rows in both subspaces (merge scan over the sorted row ids)."""
+        rows = vec.intersect_sorted(self.fact_rows, other.fact_rows)
+        return Subspace(self.schema, tuple(rows),
+                        label=f"({self.label}) AND ({other.label})",
+                        engine=self.engine or other.engine)
 
     def union(self, other: "Subspace") -> "Subspace":
-        """Rows in either subspace."""
-        rows = set(self.fact_rows) | set(other.fact_rows)
-        return Subspace.of(self.schema, rows,
-                           label=f"({self.label}) OR ({other.label})",
-                           engine=self.engine or other.engine)
+        """Rows in either subspace (merge scan over the sorted row ids)."""
+        rows = vec.union_sorted(self.fact_rows, other.fact_rows)
+        return Subspace(self.schema, tuple(rows),
+                        label=f"({self.label}) OR ({other.label})",
+                        engine=self.engine or other.engine)
 
     def contains(self, other: "Subspace") -> bool:
         """True when ``other`` is a subset of this subspace."""
-        return set(other.fact_rows) <= set(self.fact_rows)
+        return vec.is_subset_sorted(other.fact_rows, self.fact_rows)
 
     # ------------------------------------------------------------------
     # aggregation
@@ -88,9 +89,9 @@ class Subspace:
         if self.engine is not None:
             return self.engine.subspace_aggregate(self, measure_name)
         measure = self.schema.measures[measure_name]
-        vector = self.schema.measure_vector(measure_name)
+        values = self.schema.measure_vector(measure_name)
         fn = AGGREGATES[measure.aggregate]
-        return fn(vector[r] for r in self.fact_rows)
+        return fn(vec.take(values, self.fact_rows))
 
     # ------------------------------------------------------------------
     # partitioning
@@ -98,8 +99,7 @@ class Subspace:
     def groupby_values(self, gb: GroupByAttribute) -> list:
         """The group-by attribute's value for each row of the subspace,
         aligned with ``fact_rows``."""
-        vector = self.schema.groupby_vector(gb)
-        return [vector[r] for r in self.fact_rows]
+        return vec.take(self.schema.groupby_vector(gb), self.fact_rows)
 
     def domain(self, gb: GroupByAttribute) -> list:
         """DOM(DS', attr): distinct non-null attribute values present,
@@ -110,14 +110,10 @@ class Subspace:
         )
 
     def partition(self, gb: GroupByAttribute) -> dict:
-        """PAR(DS', attr): value → list of subspace rows (NULLs dropped)."""
-        vector = self.schema.groupby_vector(gb)
-        groups: dict = {}
-        for row in self.fact_rows:
-            value = vector[row]
-            if value is not None:
-                groups.setdefault(value, []).append(row)
-        return groups
+        """PAR(DS', attr): value → list of subspace rows (NULLs dropped),
+        grouped in one columnar pass."""
+        return vec.group_rows(self.schema.groupby_vector(gb),
+                              self.fact_rows)
 
     def partition_aggregates(
         self,
@@ -137,16 +133,16 @@ class Subspace:
             return self.engine.subspace_partition_aggregates(
                 self, gb, measure_name, domain=domain)
         measure = self.schema.measures[measure_name]
-        vector = self.schema.measure_vector(measure_name)
+        values = self.schema.measure_vector(measure_name)
         fn = AGGREGATES[measure.aggregate]
         groups = self.partition(gb)
         if domain is None:
             return {
-                value: fn(vector[r] for r in rows)
+                value: fn(vec.take(values, rows))
                 for value, rows in groups.items()
             }
         return {
-            value: fn(vector[r] for r in groups.get(value, ()))
+            value: fn(vec.take(values, groups.get(value, ())))
             for value in domain
         }
 

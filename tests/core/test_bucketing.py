@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
-    Bucketization,
     Interval,
     bucket_series,
     distinct_value_buckets,

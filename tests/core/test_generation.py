@@ -1,6 +1,5 @@
 """Candidate star-net generation (Algorithm 1)."""
 
-import pytest
 
 from repro.core import (
     GenerationConfig,

@@ -1,6 +1,5 @@
 """Interestingness measures and the Pearson correlation conventions."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import HitGroup, merge_seed_groups, try_merge
-from repro.textindex import AttributeTextIndex, SearchHit
+from repro.textindex import AttributeTextIndex
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """End-to-end KdapSession API."""
 
-import pytest
 
 from repro.core import (
     BELLWETHER,

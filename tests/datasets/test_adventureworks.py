@@ -1,6 +1,5 @@
 """Synthetic AdventureWorks warehouses: shape, determinism, integrity."""
 
-import pytest
 
 from repro.datasets import build_aw_online
 

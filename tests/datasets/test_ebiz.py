@@ -1,6 +1,5 @@
 """The EBiz running example (Figure 2)."""
 
-import pytest
 
 from repro.datasets import build_ebiz
 

@@ -1,6 +1,5 @@
 """The Table 3 workload and its relevance machinery."""
 
-import pytest
 
 from repro.core import HitGroup, Ray, StarNet
 from repro.datasets import (

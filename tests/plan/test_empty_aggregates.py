@@ -1,0 +1,150 @@
+"""Empty-input aggregate semantics, pinned across backends.
+
+The audit behind the vectorized rewrite: a domain-filled group that
+selects *zero* rows must aggregate identically on the in-memory kernels
+and the sqlite mirror — 0 for sum/count (the fold identity), None for
+avg/min/max (SQL NULL).  Three empty-input shapes are covered:
+
+* a domain value present in no row (single-key ``GroupAggregate.domain``
+  fill);
+* the same through the fused ``MultiGroupAggregate.domains`` path
+  (``_fill_domains``);
+* an entirely empty child row set (``_empty_result``).
+"""
+
+import pytest
+
+from repro.plan import (
+    GroupAggregate,
+    InMemoryBackend,
+    Partition,
+    RowSet,
+    SqliteBackend,
+)
+from repro.plan.builders import attr_key, multi_partition_plan
+from repro.relational import Database, Table, float_, integer, text
+from repro.relational.expressions import Col
+from repro.relational.operators import AGGREGATES
+from repro.warehouse import (
+    AttributeKind,
+    AttributeRef,
+    Dimension,
+    GroupByAttribute,
+    Measure,
+    StarSchema,
+    path_from_fk_names,
+)
+
+ALL_AGGREGATES = sorted(AGGREGATES)
+
+EMPTY_FILL = {"sum": 0, "count": 0, "avg": None, "min": None, "max": None}
+"""The pinned empty-input results: fold identities for sum/count, None
+(SQL NULL) for the aggregates with no identity element."""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    """Two dim values ('a' with rows, 'b' without any fact row)."""
+    db = Database("EmptyAgg")
+    dim = Table("Dim", [
+        integer("DimKey", nullable=False),
+        text("Name"),
+    ], primary_key="DimKey")
+    dim.insert_many([
+        {"DimKey": 1, "Name": "a"},
+        {"DimKey": 2, "Name": "b"},
+    ])
+    db.add_table(dim)
+    fact = Table("Fact", [
+        integer("FactKey", nullable=False),
+        integer("DimKey"),
+        float_("Amount"),
+    ], primary_key="FactKey")
+    fact.insert_many([
+        {"FactKey": 10, "DimKey": 1, "Amount": 2.0},
+        {"FactKey": 11, "DimKey": 1, "Amount": 4.0},
+    ])
+    db.add_table(fact)
+    db.add_foreign_key("fk_dim", "Fact", "DimKey", "Dim", "DimKey")
+    path = path_from_fk_names(db, "Fact", ["fk_dim"])
+    dim_d = Dimension(
+        name="D",
+        tables=("Dim",),
+        groupbys=(
+            GroupByAttribute(AttributeRef("Dim", "Name"),
+                             AttributeKind.CATEGORICAL, path),
+        ),
+    )
+    return StarSchema(
+        database=db, fact_table="Fact", dimensions=[dim_d],
+        measures=[Measure(f"amount_{agg}", Col("Amount"), agg)
+                  for agg in ALL_AGGREGATES],
+        searchable={"Dim": ["Name"]},
+    )
+
+
+@pytest.fixture(scope="module")
+def backends(schema):
+    sqlite = SqliteBackend(schema)
+    yield InMemoryBackend(schema), sqlite
+    sqlite.close()
+
+
+def _partition(schema, rows, aggregate, domain):
+    measure = schema.measures[f"amount_{aggregate}"]
+    gb = schema.groupby_attribute("Dim", "Name")
+    return GroupAggregate(
+        Partition(RowSet("Fact", rows), (attr_key(gb),)),
+        measure.aggregate,
+        str(measure.expression),
+        measure.expression,
+        domain=domain,
+    )
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+def test_domain_filled_empty_group(schema, backends, aggregate):
+    """'b' is in the domain but selects no rows: both backends fill it
+    with the pinned empty-input value."""
+    mem, sq = backends
+    plan = _partition(schema, (0, 1), aggregate, domain=("a", "b"))
+    mem_result = mem.execute(plan)
+    assert mem_result == sq.execute(plan)
+    assert mem_result["b"] == EMPTY_FILL[aggregate]
+    assert mem_result["a"] is not None
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+def test_domain_fill_through_fused_path(schema, backends, aggregate):
+    """The MultiGroupAggregate domains fill agrees with the single-key
+    fill on both backends."""
+    mem, sq = backends
+    gb = schema.groupby_attribute("Dim", "Name")
+    plan = multi_partition_plan(schema, (0, 1), [gb],
+                                schema.measures[f"amount_{aggregate}"],
+                                domains=[("a", "b")])
+    mem_result = mem.execute(plan)
+    assert mem_result == sq.execute(plan)
+    groups = mem_result[attr_key(gb).fingerprint()]
+    assert groups["b"] == EMPTY_FILL[aggregate]
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+def test_empty_rowset_child(schema, backends, aggregate):
+    """Aggregating an empty subspace: every domain value gets the fill."""
+    mem, sq = backends
+    plan = _partition(schema, (), aggregate, domain=("a", "b"))
+    want = {"a": EMPTY_FILL[aggregate], "b": EMPTY_FILL[aggregate]}
+    assert mem.execute(plan) == want
+    assert sq.execute(plan) == want
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+def test_empty_rowset_scalar(schema, backends, aggregate):
+    """Ungrouped aggregate over zero rows pins the same fills."""
+    mem, sq = backends
+    measure = schema.measures[f"amount_{aggregate}"]
+    plan = GroupAggregate(RowSet("Fact", ()), measure.aggregate,
+                          str(measure.expression), measure.expression)
+    assert mem.execute(plan) == EMPTY_FILL[aggregate]
+    assert sq.execute(plan) == EMPTY_FILL[aggregate]

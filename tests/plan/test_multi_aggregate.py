@@ -13,13 +13,10 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.plan import (
-    GroupAggregate,
     InMemoryBackend,
     MultiGroupAggregate,
-    Partition,
     QueryEngine,
     RowSet,
-    SqliteBackend,
     attr_key,
     multi_partition_plan,
     subspace_partition_plan,

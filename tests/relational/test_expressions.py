@@ -10,7 +10,6 @@ from repro.relational import (
     Compare,
     Const,
     ExpressionError,
-    In,
     IsNull,
     Not,
     Or,

@@ -16,7 +16,6 @@ from repro.relational import (
     group_by_column,
     hash_join,
     integer,
-    isin,
     project,
     select,
     semi_join,

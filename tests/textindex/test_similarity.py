@@ -1,8 +1,6 @@
 """TF-IDF similarity scoring."""
 
-import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.textindex import DEFAULT_SIMILARITY, Similarity

@@ -7,7 +7,6 @@ multigraph.
 """
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.relational import Database, Table, integer

@@ -98,7 +98,6 @@ class TestResolution:
         assert all(v > 0 for v in vector)
 
     def test_resolve_across_one_to_many_rejected(self, aw_online):
-        from repro.warehouse import JoinPath
         gb = aw_online.groupby_attribute("DimGeography",
                                          "StateProvinceName")
         reversed_path = gb.path_from_fact.reversed()

@@ -9,9 +9,7 @@ from repro.warehouse import (
     Dimension,
     GroupByAttribute,
     Hierarchy,
-    JoinPath,
     Measure,
-    PathStep,
     StarSchema,
     path_from_fk_names,
 )

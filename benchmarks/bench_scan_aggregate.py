@@ -30,6 +30,7 @@ import statistics
 import time
 
 from repro.datasets import build_aw_online
+from repro.obs.metrics import runs_summary
 from repro.plan.backends import InMemoryBackend
 from repro.plan.builders import attr_key, partition_plan
 from repro.plan.nodes import Filter, GroupAggregate, Partition, Scan
@@ -144,6 +145,7 @@ def compare(schema, repeats: int) -> tuple[dict, dict]:
             "median_s": round(statistics.median(runs[mode]), 6),
             "min_s": round(min(runs[mode]), 6),
             "runs_s": [round(r, 6) for r in runs[mode]],
+            **runs_summary(runs[mode]),
             "meta": {"mode": mode, "fact_rows": fact_rows,
                      "groups": len(results[mode])},
         }

@@ -1,0 +1,236 @@
+"""Disabled-tracer overhead on the scan-aggregate hot path.
+
+Observability that taxes the untraced hot path gets turned off in
+production, so the tracing layer's contract is: when no tracer is
+installed, an operator span costs one context-variable read and a shared
+no-op context manager — nothing else.  This benchmark enforces that
+contract the same way the vectorization gate does: against a **pinned
+reference** (:class:`UntracedReference`) that reproduces the live
+backend's vectorized scan-filter-partition-aggregate path *without* the
+``op_span`` wrappers, so the baseline survives future edits to the
+instrumented code.
+
+Three modes run interleaved on the shared workload of
+``bench_scan_aggregate``:
+
+* ``untraced``   — the pinned span-free reference (baseline);
+* ``noop_tracer`` — the live backend with no tracer installed (gated);
+* ``traced``     — the live backend under an enabled tracer
+  (informational: the price of actually recording spans).
+
+The gate compares *minimum* runs: ``noop_tracer`` may cost at most
+``MAX_OVERHEAD`` (3%) over ``untraced``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracing_overhead.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.datasets import build_aw_online
+from repro.obs.metrics import runs_summary
+from repro.obs.tracer import Tracer, tracing_scope
+from repro.plan.backends import InMemoryBackend
+from repro.plan.counters import PlanCounters
+from repro.plan.nodes import Filter, GroupAggregate, Scan
+from repro.relational import vector
+from repro.relational.operators import AGGREGATES
+from repro.resilience.budget import (
+    charge_groups,
+    charge_rows,
+    check_deadline,
+)
+
+from bench_scan_aggregate import build_workload
+
+MAX_OVERHEAD = 0.03
+"""Acceptance ceiling: the live backend with tracing *disabled* may be at
+most this much slower than the pinned span-free reference on the
+scan-aggregate workload (ISSUE acceptance criterion)."""
+
+
+class UntracedReference:
+    """The live backend's vectorized path, pinned without spans.
+
+    Deliberately *not* sharing the ``_rows`` / ``execute`` code with
+    :class:`InMemoryBackend`: this class freezes the pre-observability
+    hot path (same batch kernels, same counters, same budget charges —
+    no ``op_span``, no ``current_tracer``) as the overhead baseline.
+    Covers exactly the node kinds of the shared workload.
+    """
+
+    name = "untraced"
+
+    def __init__(self, schema, batch_size: int = vector.DEFAULT_BATCH_SIZE):
+        self.schema = schema
+        self.batch_size = batch_size
+        self.counters = PlanCounters()
+        self._measure_vectors: dict[str, list] = {}
+
+    def _rows(self, node) -> list[int]:
+        if isinstance(node, Scan):
+            table = self.schema.database.table(node.table)
+            with self.counters.timed("Scan") as out:
+                rows: list[int] = []
+                for batch in vector.batches(range(len(table)),
+                                            self.batch_size):
+                    charge_rows(len(batch), "Scan")
+                    rows.extend(batch)
+                    out[1] += 1
+                out[0] = len(rows)
+            return rows
+        if isinstance(node, Filter):
+            child_rows = self._rows(node.child)
+            if not child_rows:
+                return child_rows
+            check_deadline("Filter")
+            table = self.schema.database.table(node.child.table)
+            node.predicate.validate(table)
+            with self.counters.timed("Filter") as out:
+                rows = []
+                for batch in vector.batches(child_rows, self.batch_size):
+                    kept = node.predicate.select_batch(table, batch)
+                    charge_rows(len(kept), "Filter")
+                    rows.extend(kept)
+                    out[1] += 1
+                out[0] = len(rows)
+            return rows
+        raise TypeError(f"unsupported node: {node!r}")
+
+    def _measure_values(self, plan: GroupAggregate) -> list:
+        key = plan.measure_sql
+        cached = self._measure_vectors.get(key)
+        if cached is not None:
+            return cached
+        fact = self.schema.database.table(self.schema.fact_table)
+        plan.measure_expr.validate(fact)
+        values = plan.measure_expr.evaluate_batch(fact)
+        self._measure_vectors[key] = values
+        return values
+
+    def _partition_groups(self, keys, rows: list[int]) -> dict:
+        check_deadline("Partition")
+        with self.counters.timed("Partition") as out:
+            vectors = [self.schema.fact_vector(k.path, k.column)
+                       for k in keys]
+            groups: dict = {}
+            for batch in vector.batches(rows, self.batch_size):
+                check_deadline("Partition")
+                if len(vectors) == 1:
+                    part = vector.group_rows(vectors[0], batch)
+                else:
+                    part = vector.group_rows_packed(vectors, batch)
+                if groups:
+                    for value, ids in part.items():
+                        known = groups.get(value)
+                        if known is None:
+                            groups[value] = ids
+                        else:
+                            known.extend(ids)
+                else:
+                    groups = part
+                out[1] += 1
+            out[0] = len(groups)
+        return groups
+
+    def execute(self, plan: GroupAggregate):
+        partition = plan.child
+        rows = self._rows(partition.child)
+        fn = AGGREGATES[plan.aggregate]
+        measure = self._measure_values(plan)
+        groups = self._partition_groups(partition.keys, rows)
+        charge_groups(len(groups), "Partition")
+        with self.counters.timed("GroupAggregate") as out:
+            out[0] = len(groups)
+            out[1] = 1
+            return {
+                value: fn(vector.take(measure, group_rows))
+                for value, group_rows in groups.items()
+            }
+
+
+def compare(schema, repeats: int) -> tuple[dict, dict]:
+    """Interleaved timings of the three modes on one workload.
+
+    Returns ``(benchmarks, check)``: per-mode timing dicts in the
+    ``run_all`` format plus the overhead gate entry.
+    """
+    plan = build_workload(schema)
+    reference = UntracedReference(schema)
+    backend = InMemoryBackend(schema)
+
+    def run_untraced():
+        return reference.execute(plan)
+
+    def run_noop_tracer():
+        return backend.execute(plan)
+
+    def run_traced():
+        with tracing_scope(Tracer()):
+            return backend.execute(plan)
+
+    modes = {
+        "untraced": run_untraced,
+        "noop_tracer": run_noop_tracer,
+        "traced": run_traced,
+    }
+    results = {mode: fn() for mode, fn in modes.items()}  # untimed warm-up
+    assert (results["untraced"] == results["noop_tracer"]
+            == results["traced"]), "modes disagree on the workload result"
+    assert results["untraced"], "workload selected no groups"
+
+    runs: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(repeats):
+        for mode, fn in modes.items():
+            started = time.perf_counter()
+            fn()
+            runs[mode].append(time.perf_counter() - started)
+
+    fact_rows = len(schema.database.table(schema.fact_table))
+    benchmarks = {}
+    for mode in modes:
+        benchmarks[f"tracing_{mode}"] = {
+            "median_s": round(statistics.median(runs[mode]), 6),
+            "min_s": round(min(runs[mode]), 6),
+            "runs_s": [round(r, 6) for r in runs[mode]],
+            **runs_summary(runs[mode]),
+            "meta": {"mode": mode, "fact_rows": fact_rows,
+                     "groups": len(results[mode])},
+        }
+    untraced_min = min(runs["untraced"])
+    noop_min = min(runs["noop_tracer"])
+    overhead = noop_min / max(untraced_min, 1e-9) - 1.0
+    check = {
+        "untraced_min_s": round(untraced_min, 6),
+        "noop_tracer_min_s": round(noop_min, 6),
+        "traced_min_s": round(min(runs["traced"]), 6),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+    }
+    return benchmarks, check
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced dataset size")
+    args = parser.parse_args(argv)
+    schema = (build_aw_online(num_customers=300, num_facts=8000, seed=42)
+              if args.smoke else build_aw_online())
+    benchmarks, check = compare(schema, args.repeats)
+    for name, entry in benchmarks.items():
+        print(f"  {name}: {entry['median_s']:.4f} s "
+              f"(min {entry['min_s']:.4f} s)")
+    print(f"disabled-tracer overhead: {check['overhead'] * 100:.2f}% "
+          f"(ceiling {check['max_overhead'] * 100:.0f}%)")
+    return 0 if check["overhead"] <= check["max_overhead"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

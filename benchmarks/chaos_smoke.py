@@ -11,11 +11,13 @@ populated diagnostics — never a hang or an unhandled exception.
 A final deadline probe runs the largest benchmark query under a 50 ms
 deadline and asserts the partial result lands within 250 ms.
 
-CI runs this once per seed and uploads the JSON counter dump as an
-artifact::
+CI runs this once per seed and uploads the JSON counter dump — plus a
+Chrome ``trace_event`` timeline of the whole run (retry attempts and
+failovers show up as error-tagged spans) — as artifacts::
 
     PYTHONPATH=src python benchmarks/chaos_smoke.py \
-        --seeds 1,2,3 --error-rate 0.3 --out chaos.json
+        --seeds 1,2,3 --error-rate 0.3 --out chaos.json \
+        --trace-out chaos_trace.json
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import time
 
 from repro.core import KdapSession
 from repro.datasets import AW_ONLINE_QUERIES, build_aw_online
+from repro.obs import Tracer, tracing_scope
 from repro.plan import InMemoryBackend, SqliteBackend
 from repro.resilience import (
     Budget,
@@ -139,16 +142,27 @@ def main(argv=None) -> int:
                         help="per-query budget during the chaos pass")
     parser.add_argument("--out", help="write the JSON dump here "
                                       "(default: stdout)")
+    parser.add_argument("--trace-out",
+                        help="write a Chrome trace_event timeline of "
+                             "the chaos passes here (chrome://tracing)")
     args = parser.parse_args(argv)
 
     schema = build_aw_online(num_facts=args.facts, seed=42)
     queries = AW_ONLINE_QUERIES[:args.queries]
     seeds = [int(s) for s in args.seeds.split(",") if s]
 
-    runs = [run_seed(schema, queries, seed, args.error_rate,
-                     args.deadline_ms)
-            for seed in seeds]
-    probe = deadline_probe(schema)
+    tracer = Tracer() if args.trace_out else None
+    with tracing_scope(tracer):
+        runs = [run_seed(schema, queries, seed, args.error_rate,
+                         args.deadline_ms)
+                for seed in seeds]
+        probe = deadline_probe(schema)
+    if tracer is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(tracer.to_chrome_trace(), handle)
+            handle.write("\n")
+        print(f"wrote {args.trace_out} "
+              f"({sum(1 for _ in tracer.spans())} spans)")
     report = {"runs": runs, "deadline_probe": probe}
 
     payload = json.dumps(report, indent=2, sort_keys=True)

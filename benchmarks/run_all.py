@@ -14,7 +14,14 @@ slowdown:
 * **vectorization** — the scan-aggregate microbenchmark
   (:mod:`bench_scan_aggregate`) compares the vectorized in-memory
   backend against the seed row-at-a-time interpreter; the vectorized
-  path must win by at least 2x.
+  path must win by at least 2x;
+* **tracing overhead** — the same workload with the tracing layer
+  disabled (:mod:`bench_tracing_overhead`) must stay within 3% of a
+  pinned span-free reference, so observability never taxes production.
+
+Every timed entry also reports ``p50_s`` / ``p95_s`` computed through
+the observability histogram (:func:`repro.obs.metrics.runs_summary`),
+so the committed baseline carries tail latency, not just medians.
 
 Usage::
 
@@ -43,9 +50,11 @@ from repro.evalkit import (
     evaluate_buckets_reseller,
     evaluate_ranking,
 )
+from repro.obs.metrics import runs_summary
 from repro.plan import FusionStats, QueryEngine
 
 from bench_scan_aggregate import MIN_SPEEDUP, compare as compare_scan
+from bench_tracing_overhead import MAX_OVERHEAD, compare as compare_tracing
 
 QUERY = "California Mountain Bikes"
 
@@ -64,6 +73,7 @@ def _timed(fn, repeats: int) -> dict:
     return {
         "median_s": round(statistics.median(runs), 6),
         "runs_s": [round(r, 6) for r in runs],
+        **runs_summary(runs),
         "result": result,
     }
 
@@ -151,6 +161,7 @@ class Suite:
                     "median_s": round(statistics.median(runs[fuse]), 6),
                     "min_s": round(min(runs[fuse]), 6),
                     "runs_s": [round(r, 6) for r in runs[fuse]],
+                    **runs_summary(runs[fuse]),
                     "meta": {"backend": backend, "fused": fuse},
                 }
                 print(f"  {name}: "
@@ -214,6 +225,19 @@ class Suite:
                   f"(median of {len(entry['runs_s'])}, interleaved)")
         return check
 
+    def bench_tracing_overhead(self) -> dict:
+        """Disabled-tracer overhead vs the pinned span-free reference
+        (interleaved runs, min-run gate — see
+        :mod:`bench_tracing_overhead`)."""
+        benchmarks, check = compare_tracing(self.online,
+                                            max(self.repeats, 7))
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['median_s']:.4f} s "
+                  f"(median of {len(entry['runs_s'])}, interleaved)")
+        return check
+
     # ------------------------------------------------------------------
     # engine primitives
     # ------------------------------------------------------------------
@@ -262,6 +286,7 @@ def main(argv=None) -> int:
         suite.bench_table1()
         fusion_check = suite.bench_table2()
         scan_check = suite.bench_scan_aggregate()
+        tracing_check = suite.bench_tracing_overhead()
         suite.bench_figures()
         suite.bench_primitives()
     finally:
@@ -272,6 +297,7 @@ def main(argv=None) -> int:
     fusion_ok = all(entry["fused_min_s"] <= entry["unfused_min_s"] * 1.03
                     for entry in fusion_check.values())
     scan_ok = scan_check["speedup"] >= MIN_SPEEDUP
+    tracing_ok = tracing_check["overhead"] <= MAX_OVERHEAD
     report = {
         "suite": "kdap",
         "smoke": args.smoke,
@@ -280,6 +306,7 @@ def main(argv=None) -> int:
         "benchmarks": suite.benchmarks,
         "fusion_check": {**fusion_check, "pass": fusion_ok},
         "scan_check": {**scan_check, "pass": scan_ok},
+        "tracing_check": {**tracing_check, "pass": tracing_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -292,6 +319,9 @@ def main(argv=None) -> int:
               f"{entry['fusion']['scans_saved']} scans saved)")
     print(f"vectorized scan-aggregate: {scan_check['speedup']:.2f}x over "
           f"row-at-a-time (required {MIN_SPEEDUP:.1f}x)")
+    print(f"disabled-tracer overhead: "
+          f"{tracing_check['overhead'] * 100:.2f}% "
+          f"(ceiling {MAX_OVERHEAD * 100:.0f}%)")
     if not fusion_ok:
         print("FUSION CHECK FAILED: fused facet workload slower than "
               "per-attribute path", file=sys.stderr)
@@ -300,6 +330,11 @@ def main(argv=None) -> int:
         print("VECTORIZATION CHECK FAILED: vectorized scan-aggregate "
               f"below {MIN_SPEEDUP:.1f}x over the row-at-a-time "
               "interpreter", file=sys.stderr)
+        return 1
+    if not tracing_ok:
+        print("TRACING OVERHEAD CHECK FAILED: disabled tracer costs "
+              f"more than {MAX_OVERHEAD * 100:.0f}% on the "
+              "scan-aggregate hot path", file=sys.stderr)
         return 1
     return 0
 

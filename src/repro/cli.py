@@ -14,10 +14,12 @@ use --facts to trade startup time for fidelity.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from .core import KdapSession, RankingMethod
+from .obs import Tracer, tracing_scope
 from .relational.errors import (
     BackendError,
     BudgetExceeded,
@@ -91,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="worker threads for parallel phases (per-ray "
                              "prefetch during differentiation); default "
                              "min(4, cpu count), 1 disables threading")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="trace the whole command and write Chrome "
+                             "trace_event JSON to PATH (open in "
+                             "chrome://tracing or Perfetto)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="record explore calls slower than this "
+                             "threshold in the session's slow-query log "
+                             "(printed to stderr at exit)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query",
@@ -110,6 +120,23 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--stats", action="store_true",
                          help="print per-operator execution counters and "
                               "plan-cache statistics after exploring")
+    explore.add_argument("--stats-json", metavar="PATH", default=None,
+                         help="write the --stats data (plus the session "
+                              "metrics snapshot) as JSON to PATH; '-' "
+                              "writes to stdout")
+
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE: run one interpretation traced and print "
+             "its plan with per-operator actuals")
+    explain.add_argument("keywords")
+    explain.add_argument("--pick", type=int, default=1,
+                         help="1-based interpretation rank to explain")
+    explain.add_argument("--measure", choices=["surprise", "bellwether"],
+                         default="surprise")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the annotated plan and span tree as "
+                              "JSON instead of the ASCII rendering")
 
     sql = sub.add_parser("sql",
                          help="print the SQL of one interpretation")
@@ -129,7 +156,8 @@ def _session(args) -> KdapSession:
     schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
     backend = (create_resilient_backend(schema, args.backend)
                if args.resilient else args.backend)
-    return KdapSession(schema, backend=backend, workers=args.workers)
+    return KdapSession(schema, backend=backend, workers=args.workers,
+                       slow_query_ms=args.slow_query_ms)
 
 
 def _budget(args) -> Budget | None:
@@ -147,6 +175,47 @@ def _print_diagnostics(result) -> None:
     print("\npartial result (budget exhausted):")
     for line in result.diagnostics.describe():
         print(f"  {line}")
+
+
+def _stats_payload(session) -> dict:
+    """The machine-readable twin of ``render_counters`` plus the
+    session's metrics snapshot (--stats-json)."""
+    engine = session.engine
+    cache = engine.cache_stats
+    payload = {
+        "backend": engine.backend_name,
+        "plan_cache": {
+            "hits": cache.hits, "misses": cache.misses,
+            "hit_rate": round(cache.hit_rate, 4),
+            "evictions": cache.evictions,
+        },
+        "operators": engine.counters.as_dict(),
+        "metrics": session.metrics.snapshot(),
+    }
+    fusion = getattr(engine, "fusion", None)
+    if fusion is not None:
+        payload["fusion"] = {
+            "fused_queries": fusion.fused_queries,
+            "attributes_fused": fusion.attributes_fused,
+            "scans_saved": fusion.scans_saved,
+        }
+    resilience = getattr(engine.backend, "resilience", None)
+    if resilience is not None:
+        payload["resilience"] = resilience.as_dict()
+    if session.slow_log is not None:
+        payload["slow_queries"] = session.slow_log.as_dict()
+    return payload
+
+
+def _report_slow_queries(session) -> None:
+    """Print the session's recorded slow queries to stderr."""
+    log = session.slow_log
+    if log is None or not len(log):
+        return
+    print(f"\n{len(log)} slow quer{'y' if len(log) == 1 else 'ies'} "
+          f"(> {log.threshold_ms:g} ms):", file=sys.stderr)
+    for record in log.records:
+        print(f"  {record.describe()}", file=sys.stderr)
 
 
 def _cmd_query(args) -> int:
@@ -192,6 +261,34 @@ def _cmd_explore(args) -> int:
 
             print()
             print(render_counters(session.engine))
+        if args.stats_json is not None:
+            payload = json.dumps(_stats_payload(session), indent=2,
+                                 sort_keys=True)
+            if args.stats_json == "-":
+                print(payload)
+            else:
+                with open(args.stats_json, "w", encoding="utf-8") as fh:
+                    fh.write(payload + "\n")
+        _report_slow_queries(session)
+        return 0
+
+
+def _cmd_explain(args) -> int:
+    from .core import BELLWETHER, SURPRISE
+
+    with _session(args) as session:
+        measure = SURPRISE if args.measure == "surprise" else BELLWETHER
+        result = session.explain(args.keywords, pick=args.pick,
+                                 interestingness=measure,
+                                 budget=_budget(args))
+        if result is None:
+            print(f"fewer than {args.pick} interpretations found")
+            return EXIT_NO_RESULT
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2))
+        else:
+            print(result.render())
+        _report_slow_queries(session)
         return 0
 
 
@@ -244,12 +341,16 @@ def _cmd_experiment(args) -> int:
 _COMMANDS = {
     "query": _cmd_query,
     "explore": _cmd_explore,
+    "explain": _cmd_explain,
     "sql": _cmd_sql,
     "experiment": _cmd_experiment,
 }
 
 # Exit codes per error-taxonomy branch (argparse itself exits with 2 on
-# usage errors; 1 means "ran fine, found nothing").
+# usage errors; 1 means "ran fine, found nothing").  Observability
+# outputs never shift exit codes: --stats-json / --trace-out files are
+# written on the success paths and exit code 0 still means "explored
+# something", so scripts can parse the JSON without re-checking stderr.
 EXIT_NO_RESULT = 1
 EXIT_DEADLINE = 3
 EXIT_BUDGET = 4
@@ -263,10 +364,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     Engine errors surface as one-line stderr messages with distinct exit
     codes, never tracebacks: deadline → 3, budget → 4, backend failure
     (after retries/failover) → 5, any other engine error → 6.
+
+    With ``--trace-out PATH`` the whole command runs under a tracer and
+    the Chrome trace is written even on an error exit — a trace of the
+    failing query is exactly what the flag is for.
     """
     args = _build_parser().parse_args(argv)
+    tracer = Tracer() if args.trace_out is not None else None
     try:
-        return _COMMANDS[args.command](args)
+        with tracing_scope(tracer):
+            return _COMMANDS[args.command](args)
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE
@@ -279,6 +386,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except RelationalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ENGINE
+    finally:
+        if tracer is not None:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(tracer.to_chrome_trace(), fh)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs.tracer import current_tracer
 from ..relational import vector
 from ..relational.errors import ResourceExhausted
 from ..resilience.budget import current_budget
@@ -231,15 +232,17 @@ def _numerical_entries(
     if k == len(x):
         splits: tuple[int, ...] = tuple(range(1, len(x)))
     else:
-        result = anneal_splits(
-            x, y,
-            AnnealingConfig(
-                num_intervals=k,
-                skew_limit=config.skew_limit,
-                iterations=config.annealing_iterations,
-                seed=config.seed,
-            ),
-        )
+        with current_tracer().span("facet.anneal", attribute=str(gb.ref),
+                                   buckets=len(x), intervals=k):
+            result = anneal_splits(
+                x, y,
+                AnnealingConfig(
+                    num_intervals=k,
+                    skew_limit=config.skew_limit,
+                    iterations=config.annealing_iterations,
+                    seed=config.seed,
+                ),
+            )
         splits = result.splits
     merged_x = merge_series(x, splits)
     merged_y = merge_series(y, splits)
@@ -327,53 +330,58 @@ def build_facets(
     the logical-plan layer on that engine's backend, sharing its
     fingerprint-keyed result cache.
     """
+    tracer = current_tracer()
     if engine is not None and subspace is not None:
         subspace = engine.bind(subspace)
     if subspace is None:
         subspace = (engine.evaluate(star_net) if engine is not None
                     else star_net.evaluate(schema))
     budget = current_budget()
-    if rollups is None:
-        try:
-            rollups = rollup_subspaces(schema, star_net, engine=engine)
-        except ResourceExhausted as exc:
-            if budget is None:
-                raise
-            budget.record_truncation(
-                "rollup", exc.reason,
-                "no facets built: roll-up spaces exceeded the budget")
-            return FacetedInterface(
-                subspace=subspace,
-                total_aggregate=_safe_total(subspace, config, budget),
-                facets=(),
-            )
-    rollups = list(rollups)
-    if engine is not None:
-        rollups = [engine.bind(r) for r in rollups]
-    facets: list[DynamicFacet] = []
-    dims = sorted(schema.dimensions, key=lambda d: d.name)
-    for position, dim in enumerate(dims):
-        try:
-            facet = _build_dimension_facet(
-                schema, star_net, dim, subspace, rollups,
-                interestingness, config)
-        except ResourceExhausted as exc:
-            if budget is None:
-                raise
-            skipped = [d.name for d in dims[position:]]
-            budget.record_truncation(
-                f"facet:{dim.name}", exc.reason,
-                f"facet building stopped; dimensions skipped: "
-                f"{', '.join(skipped)}")
-            break
-        if facet is not None:
-            facets.append(facet)
+    with tracer.span("facets", rows=len(subspace.fact_rows)):
+        if rollups is None:
+            try:
+                with tracer.span("facets.rollups"):
+                    rollups = rollup_subspaces(schema, star_net,
+                                               engine=engine)
+            except ResourceExhausted as exc:
+                if budget is None:
+                    raise
+                budget.record_truncation(
+                    "rollup", exc.reason,
+                    "no facets built: roll-up spaces exceeded the budget")
+                return FacetedInterface(
+                    subspace=subspace,
+                    total_aggregate=_safe_total(subspace, config, budget),
+                    facets=(),
+                )
+        rollups = list(rollups)
+        if engine is not None:
+            rollups = [engine.bind(r) for r in rollups]
+        facets: list[DynamicFacet] = []
+        dims = sorted(schema.dimensions, key=lambda d: d.name)
+        for position, dim in enumerate(dims):
+            try:
+                with tracer.span("facet.dimension", dimension=dim.name):
+                    facet = _build_dimension_facet(
+                        schema, star_net, dim, subspace, rollups,
+                        interestingness, config)
+            except ResourceExhausted as exc:
+                if budget is None:
+                    raise
+                skipped = [d.name for d in dims[position:]]
+                budget.record_truncation(
+                    f"facet:{dim.name}", exc.reason,
+                    f"facet building stopped; dimensions skipped: "
+                    f"{', '.join(skipped)}")
+                break
+            if facet is not None:
+                facets.append(facet)
 
-    return FacetedInterface(
-        subspace=subspace,
-        total_aggregate=_safe_total(subspace, config, budget),
-        facets=tuple(facets),
-    )
+        return FacetedInterface(
+            subspace=subspace,
+            total_aggregate=_safe_total(subspace, config, budget),
+            facets=tuple(facets),
+        )
 
 
 def _build_dimension_facet(

@@ -22,6 +22,7 @@ import itertools
 import logging
 from dataclasses import dataclass
 
+from ..obs.tracer import current_tracer
 from ..relational.errors import ResourceExhausted
 from ..resilience.budget import current_budget
 from ..textindex.index import AttributeTextIndex, SearchHit
@@ -200,6 +201,18 @@ def generate_candidates(
     config: GenerationConfig = DEFAULT_CONFIG,
 ) -> list[StarNet]:
     """Algorithm 1 end to end: all candidate star nets for a keyword query."""
+    with current_tracer().span("starnet.enumerate") as span:
+        candidates = _generate_candidates(schema, index, query, config)
+        span.set_tag("candidates", len(candidates))
+    return candidates
+
+
+def _generate_candidates(
+    schema: StarSchema,
+    index: AttributeTextIndex,
+    query: str,
+    config: GenerationConfig,
+) -> list[StarNet]:
     keywords, predicates = split_query(schema, query, config)
     measure_predicates = tuple(predicates)
     if not keywords and measure_predicates:

@@ -14,10 +14,21 @@ from __future__ import annotations
 import contextvars
 import logging
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..obs.explain import ExplainResult, profile_plan
+from ..obs.metrics import MetricsRegistry, metrics_scope
+from ..obs.slowlog import SlowQueryLog
+from ..obs.tracer import (
+    Tracer,
+    current_tracer,
+    plan_digest,
+    tracing_scope,
+)
 from ..plan.backends import ExecutionBackend
+from ..plan.builders import subspace_aggregate_plan
 from ..plan.engine import QueryEngine
 from ..relational.errors import ResourceExhausted
 from ..resilience.budget import Budget, budget_scope, current_budget
@@ -82,12 +93,26 @@ class KdapSession:
         semi-join prefetch behind size previews).  Defaults to
         ``min(4, cpu count)``; 1 disables threading entirely.  The
         sqlite backend opens one mirror connection per worker thread.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the session's
+        latency histograms, cache counters, and truncation counters go
+        to.  Each session gets its own registry by default, so two
+        sessions in one process never mix numbers; pass
+        ``repro.obs.metrics.DEFAULT_REGISTRY`` to aggregate
+        process-wide instead.
+    slow_query_ms:
+        When set, explore calls slower than this threshold are recorded
+        in :attr:`slow_log` (query text, chosen interpretation, plan
+        fingerprint, and — when tracing — the span tree).  None
+        disables the slow-query log entirely.
     """
 
     def __init__(self, schema: StarSchema,
                  index: AttributeTextIndex | None = None,
                  backend: str | ExecutionBackend = "memory",
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 slow_query_ms: float | None = None):
         self.schema = schema
         self.workers = (workers if workers is not None
                         else min(4, os.cpu_count() or 1))
@@ -97,6 +122,10 @@ class KdapSession:
             index = AttributeTextIndex()
             index.index_database(schema.database, schema.searchable)
         self.index = index
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_log = (SlowQueryLog(slow_query_ms)
+                         if slow_query_ms is not None else None)
+        self._last_query = ""
         self.engine = QueryEngine(schema, backend=backend)
         # per-ray fact-set memo: the same (hit group, path) ray recurs
         # across many candidate star nets of one query.  The engine's plan
@@ -134,6 +163,19 @@ class KdapSession:
                 ray.hit_group.values, ray.path_to_fact, ray.dimension)
             self._ray_cache[key] = frozenset(rows)
         return self._ray_cache[key]
+
+    def _traced_ray_facts(self, ray) -> frozenset[int]:
+        """:meth:`_ray_facts` under a ``ray.prefetch`` span.
+
+        Prefetch tasks run in worker threads inside a copied context, so
+        this span — and every operator span the engine opens beneath it —
+        parents under the originating query's ``preview.sizes`` span even
+        though it starts and ends on another thread.
+        """
+        with current_tracer().span("ray.prefetch",
+                                   table=ray.hit_group.table,
+                                   attribute=ray.hit_group.attribute):
+            return self._ray_facts(ray)
 
     def subspace_size(self, star_net) -> int:
         """Fact-row count of a star net's subspace, with per-ray caching.
@@ -184,17 +226,28 @@ class KdapSession:
         budget's diagnostics.
         """
         budget = budget or current_budget()
-        with budget_scope(budget):
+        tracer = current_tracer()
+        started = time.perf_counter()
+        with metrics_scope(self.metrics), budget_scope(budget), \
+                tracer.span("differentiate", query=query) as span:
+            self._last_query = query
             candidates = generate_candidates(self.schema, self.index,
                                              query, config)
-            ranked = rank_candidates(candidates, method)
+            with tracer.span("starnet.rank", method=method.value):
+                ranked = rank_candidates(candidates, method)
             logger.info("differentiate %r: %d candidates (%s)", query,
                         len(candidates), method.value)
             if limit is not None:
                 ranked = ranked[:limit]
             if preview_sizes:
-                ranked = self._preview_sizes(ranked, budget)
-            return ranked
+                with tracer.span("preview.sizes",
+                                 candidates=len(ranked)):
+                    ranked = self._preview_sizes(ranked, budget)
+            span.set_tag("candidates", len(candidates))
+        self.metrics.counter("kdap.queries").inc()
+        self.metrics.histogram("kdap.differentiate.seconds").observe(
+            time.perf_counter() - started)
+        return ranked
 
     def _prefetch_rays(self, ranked: list[ScoredStarNet]) -> None:
         """Evaluate the distinct uncached rays of ``ranked`` in parallel.
@@ -223,7 +276,7 @@ class KdapSession:
                 thread_name_prefix="kdap-ray") as pool:
             futures = [
                 pool.submit(contextvars.copy_context().run,
-                            self._ray_facts, ray)
+                            self._traced_ray_facts, ray)
                 for ray in rays.values()
             ]
             for future in futures:
@@ -274,34 +327,71 @@ class KdapSession:
         to a partial :class:`ExploreResult` whose ``diagnostics`` records
         the truncated stages (empty subspace + no facets in the worst
         case of a deadline hit during materialisation).
+
+        When the session has a slow-query log and ambient tracing is
+        off, a local tracer is installed for the duration so a slow
+        query's record carries its span tree; fast queries only pay for
+        spans they would have paid for anyway.
         """
         budget = budget or current_budget()
-        with budget_scope(budget):
-            try:
-                subspace = self.engine.evaluate(star_net)
-            except ResourceExhausted as exc:
-                if budget is None:
-                    raise
-                budget.record_truncation(
-                    "subspace", exc.reason,
-                    "subspace not materialised; facets skipped")
-                subspace = Subspace(self.schema, (), label=str(star_net),
-                                    engine=self.engine)
-                interface = FacetedInterface(subspace, 0.0, ())
-                return ExploreResult(star_net, subspace, interface,
-                                     diagnostics=Diagnostics.from_budget(
-                                         budget))
-            logger.info("explore %s: %d fact rows (%s backend)", star_net,
-                        len(subspace), self.engine.backend_name)
-            interface = build_facets(
-                self.schema, star_net, subspace=subspace,
-                interestingness=interestingness, config=config,
-                engine=self.engine,
-            )
-            diagnostics = (Diagnostics.from_budget(budget)
-                           if budget is not None else None)
+        tracer = current_tracer()
+        local_tracer = None
+        if self.slow_log is not None and not tracer.enabled:
+            local_tracer = Tracer()
+            tracer = local_tracer
+        started = time.perf_counter()
+        with tracing_scope(local_tracer), metrics_scope(self.metrics), \
+                budget_scope(budget), \
+                tracer.span("explore", star_net=str(star_net)) as span:
+            result = self._explore_inner(star_net, interestingness,
+                                         config, budget)
+        elapsed_s = time.perf_counter() - started
+        self.metrics.histogram("kdap.explore.seconds").observe(elapsed_s)
+        if self.slow_log is not None:
+            recorded = self.slow_log.observe(
+                self._last_query, str(star_net),
+                plan_digest(star_net.to_plan(self.schema)),
+                elapsed_s * 1000.0,
+                span_tree=(span.to_dict() if tracer.enabled else None))
+            if recorded:
+                logger.warning(
+                    "slow query (%.1f ms > %.1f ms): %s",
+                    elapsed_s * 1000.0, self.slow_log.threshold_ms,
+                    star_net)
+        return result
+
+    def _explore_inner(
+        self,
+        star_net: StarNet,
+        interestingness: InterestingnessMeasure,
+        config: ExploreConfig,
+        budget: Budget | None,
+    ) -> ExploreResult:
+        try:
+            subspace = self.engine.evaluate(star_net)
+        except ResourceExhausted as exc:
+            if budget is None:
+                raise
+            budget.record_truncation(
+                "subspace", exc.reason,
+                "subspace not materialised; facets skipped")
+            subspace = Subspace(self.schema, (), label=str(star_net),
+                                engine=self.engine)
+            interface = FacetedInterface(subspace, 0.0, ())
             return ExploreResult(star_net, subspace, interface,
-                                 diagnostics=diagnostics)
+                                 diagnostics=Diagnostics.from_budget(
+                                     budget))
+        logger.info("explore %s: %d fact rows (%s backend)", star_net,
+                    len(subspace), self.engine.backend_name)
+        interface = build_facets(
+            self.schema, star_net, subspace=subspace,
+            interestingness=interestingness, config=config,
+            engine=self.engine,
+        )
+        diagnostics = (Diagnostics.from_budget(budget)
+                       if budget is not None else None)
+        return ExploreResult(star_net, subspace, interface,
+                             diagnostics=diagnostics)
 
     def drill_down(
         self,
@@ -344,11 +434,73 @@ class KdapSession:
         Returns None when the query has no interpretation.  A ``budget``
         covers both phases (it is one per-query contract).
         """
-        ranked = self.differentiate(query, method=method, limit=1,
-                                    config=generation_config,
-                                    budget=budget)
-        if not ranked:
-            return None
-        return self.explore(ranked[0].star_net,
-                            interestingness=interestingness,
-                            config=explore_config, budget=budget)
+        with metrics_scope(self.metrics), \
+                current_tracer().span("query", query=query):
+            ranked = self.differentiate(query, method=method, limit=1,
+                                        config=generation_config,
+                                        budget=budget)
+            if not ranked:
+                return None
+            return self.explore(ranked[0].star_net,
+                                interestingness=interestingness,
+                                config=explore_config, budget=budget)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN ANALYZE
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: str,
+        pick: int = 1,
+        interestingness: InterestingnessMeasure = SURPRISE,
+        method: RankingMethod = RankingMethod.STANDARD,
+        explore_config: ExploreConfig = ExploreConfig(),
+        generation_config: GenerationConfig = DEFAULT_CONFIG,
+        budget: Budget | None = None,
+    ) -> ExplainResult | None:
+        """EXPLAIN ANALYZE: run a keyword query traced, report actuals.
+
+        Differentiates ``query``, explores its ``pick``-th ranked
+        interpretation (1-based), and returns an
+        :class:`~repro.obs.explain.ExplainResult` whose plan tree is
+        annotated per node with the calls, rows, batches, and inclusive
+        seconds the backends actually recorded — plus the phase-level
+        span breakdown.  Returns None when the query has fewer than
+        ``pick`` interpretations.
+
+        When an enabled tracer is already ambient (e.g. the CLI's
+        ``--trace-out``), its trace is reused so the explained spans end
+        up in the exported trace too; otherwise a private tracer lives
+        just for this call.
+        """
+        if pick < 1:
+            raise ValueError("pick is 1-based and must be >= 1")
+        ambient = current_tracer()
+        tracer = ambient if ambient.enabled else Tracer()
+        started = time.perf_counter()
+        with tracing_scope(tracer), metrics_scope(self.metrics), \
+                tracer.span("query", query=query, mode="explain"):
+            ranked = self.differentiate(query, method=method, limit=pick,
+                                        config=generation_config,
+                                        budget=budget)
+            if len(ranked) < pick:
+                return None
+            net = ranked[pick - 1].star_net
+            result = self.explore(net, interestingness=interestingness,
+                                  config=explore_config, budget=budget)
+        elapsed_s = time.perf_counter() - started
+        total_plan = None
+        if not result.subspace.is_empty:
+            measure = self.schema.measures[explore_config.measure_name]
+            total_plan = subspace_aggregate_plan(
+                self.schema, result.subspace.fact_rows, measure)
+        return ExplainResult(
+            query=query,
+            interpretation=str(net),
+            backend=self.engine.backend_name,
+            elapsed_s=elapsed_s,
+            plan=profile_plan(net.to_plan(self.schema), tracer),
+            total_plan=(profile_plan(total_plan, tracer)
+                        if total_plan is not None else None),
+            tracer=tracer,
+        )

@@ -1,0 +1,93 @@
+"""Observability: tracing, metrics, EXPLAIN ANALYZE, slow-query log.
+
+This package is the bottom of the import graph — it depends only on the
+standard library, and every other layer (plan, backends, resilience,
+session) emits into it:
+
+* :class:`Tracer` / :func:`tracing_scope` — hierarchical spans
+  propagated through context variables (surviving worker threads and
+  retry ladders), exportable as a tree or Chrome ``trace_event`` JSON;
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-boundary
+  histograms with p50/p95/p99 summaries; one process-wide default plus
+  per-session isolated registries via :func:`metrics_scope`;
+* :func:`profile_plan` / :class:`ExplainResult` — logical plans
+  annotated per-node with actual calls/rows/batches/seconds pulled from
+  span data (``KdapSession.explain`` / ``repro explain``);
+* :class:`SlowQueryLog` — threshold-triggered ring of slow queries with
+  interpretation, plan fingerprint, and span tree.
+
+Public surface::
+
+    from repro.obs import (
+        Tracer, Span, NOOP, NOOP_SPAN, tracing_scope, current_tracer,
+        current_span, op_span, plan_digest,
+        MetricsRegistry, Counter, Gauge, Histogram, DEFAULT_REGISTRY,
+        metrics_scope, current_registry, runs_summary,
+        ExplainNode, ExplainResult, OpProfile, profile_plan,
+        render_plan, render_span_tree,
+        SlowQueryLog, SlowQueryRecord,
+    )
+"""
+
+from .tracer import (
+    NOOP,
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    op_span,
+    plan_digest,
+    tracing_scope,
+)
+from .metrics import (
+    DEFAULT_REGISTRY,
+    LATENCY_BOUNDARIES_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    metrics_scope,
+    runs_summary,
+)
+from .explain import (
+    ExplainNode,
+    ExplainResult,
+    OpProfile,
+    collect_profiles,
+    profile_plan,
+    render_plan,
+    render_span_tree,
+)
+from .slowlog import SlowQueryLog, SlowQueryRecord
+
+__all__ = [
+    "Counter",
+    "DEFAULT_REGISTRY",
+    "ExplainNode",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDARIES_S",
+    "MetricsRegistry",
+    "NOOP",
+    "NOOP_SPAN",
+    "OpProfile",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "Tracer",
+    "collect_profiles",
+    "current_registry",
+    "current_span",
+    "current_tracer",
+    "metrics_scope",
+    "op_span",
+    "plan_digest",
+    "profile_plan",
+    "render_plan",
+    "render_span_tree",
+    "runs_summary",
+    "tracing_scope",
+]

@@ -1,0 +1,249 @@
+"""EXPLAIN ANALYZE: logical plans annotated with actual execution stats.
+
+:func:`profile_plan` joins a plan tree against the per-operator spans a
+traced execution produced (each backend tags operator spans with the
+node's :func:`~repro.obs.tracer.plan_digest`), yielding an
+:class:`ExplainNode` tree where every node carries its actual calls,
+rows, batches, and inclusive seconds — the paper-reproduction analogue
+of a SQL engine's ``EXPLAIN ANALYZE``.
+
+The module is deliberately duck-typed over plan nodes (``kind``,
+``child``, ``keys`` ...) so the observability layer stays below the plan
+layer in the import graph: ``repro.plan`` imports ``repro.obs``, never
+the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tracer import Tracer, plan_digest
+
+
+@dataclass
+class OpProfile:
+    """Actuals accumulated for one plan node across a trace."""
+
+    calls: int = 0
+    rows: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    cache_hits: int = 0
+    pushed_to_sql: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls, "rows": self.rows,
+            "batches": self.batches, "seconds": round(self.seconds, 6),
+            "cache_hits": self.cache_hits,
+            "pushed_to_sql": self.pushed_to_sql,
+        }
+
+
+@dataclass
+class ExplainNode:
+    """One plan node with its label, digest, actuals, and children."""
+
+    kind: str
+    detail: str
+    fp: str
+    profile: OpProfile
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind, "detail": self.detail, "fp": self.fp,
+            **self.profile.as_dict(),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+def _describe(node) -> str:
+    """A one-line human label for a plan node (duck-typed)."""
+    kind = node.kind
+    if kind == "Scan":
+        return node.table
+    if kind == "RowSet":
+        return f"{len(node.rows)} pinned rows of {node.table}"
+    if kind == "SemiJoin":
+        via = "->".join(node.path.fk_names) or "fact"
+        return (f"{node.source_table}.{node.column} IN "
+                f"[{len(node.values)} values] via {via}")
+    if kind == "Filter":
+        if node.predicate is not None:
+            return str(node.predicate)
+        return f"{node.attr} IN [{len(node.values)} values]"
+    if kind == "Partition":
+        return ", ".join(str(key) for key in node.keys)
+    if kind == "GroupAggregate":
+        return f"{node.aggregate}({node.measure_sql})"
+    if kind == "MultiGroupAggregate":
+        keys = ", ".join(str(key) for key in node.keys)
+        return f"{node.aggregate}({node.measure_sql}) by [{keys}]"
+    return repr(node)
+
+
+def _children(node):
+    child = getattr(node, "child", None)
+    return [child] if child is not None else []
+
+
+def collect_profiles(tracer: Tracer) -> dict[str, OpProfile]:
+    """Per-node actuals keyed by plan digest, from a trace's spans.
+
+    ``op.*`` spans (backends) contribute calls/rows/batches/seconds;
+    ``plan.materialize`` / ``plan.execute`` spans tagged ``cached=True``
+    (the engine's cache-hit markers) contribute cache hits; spans tagged
+    ``pushed_to_sql`` mark nodes the sqlite backend compiled away into
+    one statement rather than executing individually.
+    """
+    profiles: dict[str, OpProfile] = {}
+    for span in tracer.spans():
+        fp = span.tags.get("fp")
+        if fp is None:
+            continue
+        profile = profiles.setdefault(fp, OpProfile())
+        if span.name.startswith("op."):
+            if span.tags.get("pushed_to_sql"):
+                profile.pushed_to_sql = True
+                profile.calls += 1
+            else:
+                profile.calls += 1
+                profile.rows += int(span.tags.get("rows", 0) or 0)
+                profile.batches += int(span.tags.get("batches", 0) or 0)
+                profile.seconds += span.duration_s
+        elif span.tags.get("cached"):
+            profile.cache_hits += 1
+    return profiles
+
+
+def profile_plan(plan, tracer: Tracer) -> ExplainNode:
+    """The plan tree annotated with the actuals recorded in ``tracer``."""
+    profiles = collect_profiles(tracer)
+
+    def build(node) -> ExplainNode:
+        fp = plan_digest(node)
+        return ExplainNode(
+            kind=node.kind, detail=_describe(node), fp=fp,
+            profile=profiles.get(fp, OpProfile()),
+            children=[build(child) for child in _children(node)],
+        )
+
+    return build(plan)
+
+
+def render_plan(root: ExplainNode) -> str:
+    """ASCII tree: one node per line with its actuals.
+
+    Nodes the sqlite backend folded into a single SQL statement render
+    with their call count and a ``[in SQL]`` marker (their time is the
+    statement's, attributed to the plan root).
+    """
+    lines: list[str] = []
+
+    def emit(node: ExplainNode, prefix: str, is_last: bool,
+             is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        stats = node.profile
+        if stats.pushed_to_sql:
+            actual = f"(calls={stats.calls} [in SQL])"
+        elif stats.calls or stats.cache_hits:
+            actual = (f"(calls={stats.calls} rows={stats.rows} "
+                      f"batches={stats.batches} "
+                      f"seconds={stats.seconds:.6f}")
+            if stats.cache_hits:
+                actual += f" cache_hits={stats.cache_hits}"
+            actual += ")"
+        else:
+            actual = "(never executed)"
+        lines.append(f"{prefix}{connector}{node.kind} {node.detail}  "
+                     f"{actual}")
+        child_prefix = prefix + ("" if is_root
+                                 else ("   " if is_last else "│  "))
+        for index, child in enumerate(node.children):
+            emit(child, child_prefix, index == len(node.children) - 1,
+                 False)
+
+    emit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_span_tree(tree: list[dict], max_children: int = 10,
+                     min_ms: float = 0.0) -> str:
+    """Indented phase breakdown of a span tree (``Tracer.to_tree()``).
+
+    Each line shows the span name, inclusive milliseconds, and a compact
+    tag suffix; sibling lists longer than ``max_children`` are elided
+    with a count so operator-heavy traces stay readable.
+    """
+    lines: list[str] = []
+
+    def emit(span: dict, depth: int) -> None:
+        ms = span.get("seconds", 0.0) * 1000.0
+        if depth and ms < min_ms:
+            return
+        tags = span.get("tags", {})
+        shown = {k: v for k, v in tags.items()
+                 if k not in ("fp",) and v is not None}
+        suffix = ""
+        if shown:
+            suffix = "  [" + " ".join(f"{k}={v}" for k, v
+                                      in sorted(shown.items())) + "]"
+        lines.append(f"{'  ' * depth}{span['name']}  "
+                     f"{ms:.2f} ms{suffix}")
+        children = span.get("children", [])
+        for child in children[:max_children]:
+            emit(child, depth + 1)
+        if len(children) > max_children:
+            lines.append(f"{'  ' * (depth + 1)}"
+                         f"... (+{len(children) - max_children} more "
+                         "spans)")
+
+    for root in tree:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExplainResult:
+    """Everything ``KdapSession.explain`` / ``repro explain`` reports."""
+
+    query: str
+    interpretation: str
+    backend: str
+    elapsed_s: float
+    plan: ExplainNode
+    """The star net's materialisation plan, annotated with actuals."""
+    total_plan: ExplainNode | None
+    """The whole-subspace total aggregate plan (None when skipped)."""
+    tracer: Tracer
+    """The full trace of the explained execution (phases + operators)."""
+
+    def render(self) -> str:
+        lines = [
+            f"query: {self.query!r}",
+            f"interpretation: {self.interpretation}",
+            f"backend: {self.backend}, total {self.elapsed_s * 1000:.1f} "
+            "ms",
+            "",
+            "subspace plan (actual):",
+            render_plan(self.plan),
+        ]
+        if self.total_plan is not None:
+            lines += ["", "total-aggregate plan (actual):",
+                      render_plan(self.total_plan)]
+        lines += ["", "phase breakdown:",
+                  render_span_tree(self.tracer.to_tree())]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "interpretation": self.interpretation,
+            "backend": self.backend,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "plan": self.plan.as_dict(),
+            "total_plan": (self.total_plan.as_dict()
+                           if self.total_plan is not None else None),
+            "spans": self.tracer.to_tree(),
+        }

@@ -1,0 +1,296 @@
+"""Named counters, gauges, and fixed-boundary histograms.
+
+A :class:`MetricsRegistry` owns instruments addressed by dotted name
+(``kdap.plan.cache.hits``, ``kdap.explore.seconds``) and snapshots them
+as one JSON-serialisable dict.  Histograms use fixed bucket boundaries
+(geometric latency buckets by default) so p50/p95/p99 summaries cost
+O(buckets), never a sorted sample reservoir — the registry can sit on
+the query path of a long-lived process without growing.
+
+Two registries matter in practice:
+
+* the **process-wide default** (:data:`DEFAULT_REGISTRY`) — where
+  instrumented layers record when nothing else is installed;
+* a **per-session registry** — each
+  :class:`~repro.core.session.KdapSession` owns one and installs it with
+  :func:`metrics_scope` around its operations, so concurrent sessions
+  never smear each other's latency distributions.
+
+Deep layers always write through :func:`current_registry`, which
+resolves the ambient scope first and falls back to the default.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+
+def _latency_boundaries() -> tuple[float, ...]:
+    """Geometric bucket edges from 100 µs to ~2 minutes (~13% wide)."""
+    edges = []
+    edge = 0.0001
+    while edge < 120.0:
+        edges.append(round(edge, 7))
+        edge *= 1.25
+    return tuple(edges)
+
+
+LATENCY_BOUNDARIES_S = _latency_boundaries()
+"""Default histogram boundaries, tuned for query latencies in seconds."""
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A named value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Fixed-boundary histogram with bucket-interpolated quantiles.
+
+    ``boundaries`` are the upper edges of the finite buckets; one
+    overflow bucket catches everything larger.  Quantiles interpolate
+    linearly inside the bucket holding the target rank, clamped by the
+    observed min/max, so small-sample summaries stay sane (a single
+    observation reports itself as every percentile).
+    """
+
+    __slots__ = ("name", "boundaries", "_counts", "_lock",
+                 "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 boundaries: tuple[float, ...] = LATENCY_BOUNDARIES_S):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be a sorted non-empty "
+                             "sequence")
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.boundaries)
+        while lo < hi:  # first boundary >= value (bisect_left)
+            mid = (lo + hi) // 2
+            if self.boundaries[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def quantile(self, q: float) -> float | None:
+        """The q-quantile estimated from bucket counts (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        with self._lock:
+            if not self.count:
+                return None
+            counts = list(self._counts)
+            count, lo_clamp, hi_clamp = self.count, self.min, self.max
+        target = q * count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.boundaries[index - 1] if index else 0.0
+                upper = (self.boundaries[index]
+                         if index < len(self.boundaries) else hi_clamp)
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(fraction, 0.0)
+                return min(max(estimate, lo_clamp), hi_clamp)
+            cumulative += bucket_count
+        return hi_clamp
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict:
+        """Count/sum/extremes plus p50/p95/p99 (JSON-serialisable)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Instruments by name, created on first use, snapshotted as JSON.
+
+    A name permanently binds to its first instrument type; asking for
+    the same name as a different type raises (silent shadowing would
+    split a metric across instruments).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = self._instruments[name] = factory(name)
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._get(name, Counter)
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(instrument).__name__}, not a Counter")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._get(name, Gauge)
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(instrument).__name__}, not a Gauge")
+        return instrument
+
+    def histogram(self, name: str,
+                  boundaries: tuple[float, ...] = LATENCY_BOUNDARIES_S
+                  ) -> Histogram:
+        instrument = self._get(
+            name, lambda n: Histogram(n, boundaries=boundaries))
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(instrument).__name__}, not a Histogram")
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Every instrument's current value, sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.summary()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (names unbind too)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+DEFAULT_REGISTRY = MetricsRegistry()
+"""The process-wide registry used outside any :func:`metrics_scope`."""
+
+_ACTIVE: ContextVar[MetricsRegistry | None] = ContextVar(
+    "kdap_metrics", default=None)
+
+
+def current_registry() -> MetricsRegistry:
+    """The ambient registry, or the process-wide default."""
+    registry = _ACTIVE.get()
+    return registry if registry is not None else DEFAULT_REGISTRY
+
+
+@contextmanager
+def metrics_scope(registry: MetricsRegistry | None):
+    """Route :func:`current_registry` to ``registry`` for the duration
+    (``None`` installs nothing)."""
+    if registry is None:
+        yield None
+        return
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def runs_summary(runs_s, name: str = "bench") -> dict:
+    """Histogram-based p50/p95 of a benchmark's run times (seconds).
+
+    The benchmark suite records these alongside medians in
+    ``BENCH_kdap.json`` so CI can watch tail latency, not just the
+    midpoint.
+    """
+    histogram = Histogram(name)
+    for run in runs_s:
+        histogram.observe(run)
+    return {
+        "p50_s": round(histogram.quantile(0.50), 6),
+        "p95_s": round(histogram.quantile(0.95), 6),
+    }

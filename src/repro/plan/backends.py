@@ -28,6 +28,7 @@ from typing import Protocol, runtime_checkable
 
 import threading
 
+from ..obs.tracer import current_tracer, op_span
 from ..relational import vector
 from ..relational.errors import SchemaError
 from ..relational.operators import AGGREGATES, fused_group_aggregates
@@ -143,70 +144,89 @@ class InMemoryBackend:
         return tuple(sorted(self._rows(plan)))
 
     def _rows(self, node: PlanNode) -> list[int]:
+        # operator spans are *inclusive* (a node's span covers its
+        # child's, EXPLAIN ANALYZE style); counters stay exclusive
         if isinstance(node, Scan):
-            table = self.schema.database.table(node.table)
-            with self.counters.timed("Scan") as out:
-                rows: list[int] = []
-                for batch in vector.batches(range(len(table)),
-                                            self.batch_size):
-                    charge_rows(len(batch), "Scan")
-                    rows.extend(batch)
-                    out[1] += 1
-                out[0] = len(rows)
+            with op_span(node) as osp:
+                table = self.schema.database.table(node.table)
+                with self.counters.timed("Scan") as out:
+                    rows: list[int] = []
+                    for batch in vector.batches(range(len(table)),
+                                                self.batch_size):
+                        charge_rows(len(batch), "Scan")
+                        rows.extend(batch)
+                        out[1] += 1
+                    out[0] = len(rows)
+                osp.set_tag("rows", out[0])
+                osp.set_tag("batches", out[1])
             return rows
         if isinstance(node, RowSet):
-            self.counters.record("RowSet", len(node.rows), batches=1)
-            charge_rows(len(node.rows), "RowSet")
+            with op_span(node) as osp:
+                self.counters.record("RowSet", len(node.rows), batches=1)
+                charge_rows(len(node.rows), "RowSet")
+                osp.set_tag("rows", len(node.rows))
+                osp.set_tag("batches", 1)
             return list(node.rows)
         if isinstance(node, SemiJoin):
-            child_rows = self._rows(node.child)
-            if not child_rows:
-                return child_rows
-            check_deadline("SemiJoin")
-            with self.counters.timed("SemiJoin") as out:
-                ref = AttributeRef(node.source_table, node.column)
-                selected = select_rows_by_values(self.schema, ref,
-                                                 node.values)
-                facts = slice_facts(self.schema, node.source_table,
-                                    selected, node.path)
-                rows = []
-                for batch in vector.batches(child_rows, self.batch_size):
-                    kept = vector.refine_members(batch, facts)
-                    charge_rows(len(kept), "SemiJoin")
-                    rows.extend(kept)
-                    out[1] += 1
-                out[0] = len(rows)
+            with op_span(node) as osp:
+                child_rows = self._rows(node.child)
+                if not child_rows:
+                    osp.set_tag("rows", 0)
+                    return child_rows
+                check_deadline("SemiJoin")
+                with self.counters.timed("SemiJoin") as out:
+                    ref = AttributeRef(node.source_table, node.column)
+                    selected = select_rows_by_values(self.schema, ref,
+                                                     node.values)
+                    facts = slice_facts(self.schema, node.source_table,
+                                        selected, node.path)
+                    rows = []
+                    for batch in vector.batches(child_rows,
+                                                self.batch_size):
+                        kept = vector.refine_members(batch, facts)
+                        charge_rows(len(kept), "SemiJoin")
+                        rows.extend(kept)
+                        out[1] += 1
+                    out[0] = len(rows)
+                osp.set_tag("rows", out[0])
+                osp.set_tag("batches", out[1])
             return rows
         if isinstance(node, Filter):
-            child_rows = self._rows(node.child)
-            if not child_rows:
-                return child_rows
-            check_deadline("Filter")
-            with self.counters.timed("Filter") as out:
-                rows = []
-                if node.predicate is not None:
-                    table = self.schema.database.table(
-                        _leaf(node).table)
-                    node.predicate.validate(table)
-                    for batch in vector.batches(child_rows,
-                                                self.batch_size):
-                        kept = node.predicate.select_batch(table, batch)
-                        charge_rows(len(kept), "Filter")
-                        rows.extend(kept)
-                        out[1] += 1
-                else:
-                    values = self.schema.fact_vector(node.attr.path,
-                                                     node.attr.column)
-                    wanted = set(node.values)
-                    for batch in vector.batches(child_rows,
-                                                self.batch_size):
-                        # None in the value set selects NULL-attribute rows
-                        kept = vector.select_in(values, wanted, batch,
-                                                keep_null=True)
-                        charge_rows(len(kept), "Filter")
-                        rows.extend(kept)
-                        out[1] += 1
-                out[0] = len(rows)
+            with op_span(node) as osp:
+                child_rows = self._rows(node.child)
+                if not child_rows:
+                    osp.set_tag("rows", 0)
+                    return child_rows
+                check_deadline("Filter")
+                with self.counters.timed("Filter") as out:
+                    rows = []
+                    if node.predicate is not None:
+                        table = self.schema.database.table(
+                            _leaf(node).table)
+                        node.predicate.validate(table)
+                        for batch in vector.batches(child_rows,
+                                                    self.batch_size):
+                            kept = node.predicate.select_batch(table,
+                                                               batch)
+                            charge_rows(len(kept), "Filter")
+                            rows.extend(kept)
+                            out[1] += 1
+                    else:
+                        values = self.schema.fact_vector(node.attr.path,
+                                                         node.attr.column)
+                        wanted = set(node.values)
+                        for batch in vector.batches(child_rows,
+                                                    self.batch_size):
+                            # None in the value set selects NULL-attribute
+                            # rows
+                            kept = vector.select_in(values, wanted, batch,
+                                                    keep_null=True)
+                            charge_rows(len(kept), "Filter")
+                            rows.extend(kept)
+                            out[1] += 1
+                    out[0] = len(rows)
+                osp.set_tag("rows", out[0])
+                osp.set_tag("batches", out[1])
             return rows
         raise SchemaError(f"not a row-producing plan node: {node!r}")
 
@@ -216,47 +236,55 @@ class InMemoryBackend:
             return self._execute_multi(plan)
         if not isinstance(plan, GroupAggregate):
             raise SchemaError("execute() takes a GroupAggregate plan")
-        child = plan.child
-        keys = ()
-        if isinstance(child, Partition):
-            keys = child.keys
-            child = child.child
-        rows = self._rows(child)
-        if not rows:
-            return _empty_result(plan)
-        fn = AGGREGATES[plan.aggregate]
-        measure = self._measure_values(plan)
-        if not keys:
-            check_deadline("GroupAggregate")
+        with op_span(plan) as osp:
+            child = plan.child
+            keys = ()
+            if isinstance(child, Partition):
+                keys = child.keys
+                child = child.child
+            rows = self._rows(child)
+            if not rows:
+                osp.set_tag("rows", 0)
+                return _empty_result(plan)
+            fn = AGGREGATES[plan.aggregate]
+            measure = self._measure_values(plan)
+            if not keys:
+                check_deadline("GroupAggregate")
+                with self.counters.timed("GroupAggregate") as out:
+                    out[0] = len(rows)
+                    out[1] = 1
+                    osp.set_tag("rows", 1)
+                    osp.set_tag("batches", 1)
+                    return fn(vector.take(measure, rows))
+            groups = self._partition_groups(plan.child, keys, rows)
+            charge_groups(len(groups), "Partition")
             with self.counters.timed("GroupAggregate") as out:
-                out[0] = len(rows)
+                out[0] = len(groups)
                 out[1] = 1
-                return fn(vector.take(measure, rows))
-        groups = self._partition_groups(keys, rows)
-        charge_groups(len(groups), "Partition")
-        with self.counters.timed("GroupAggregate") as out:
-            out[0] = len(groups)
-            out[1] = 1
-            if plan.domain is not None:
+                osp.set_tag("rows", len(groups))
+                osp.set_tag("batches", 1)
+                if plan.domain is not None:
+                    return {
+                        value: fn(vector.take(measure,
+                                              groups.get(value, ())))
+                        for value in plan.domain
+                    }
                 return {
-                    value: fn(vector.take(measure, groups.get(value, ())))
-                    for value in plan.domain
+                    value: fn(vector.take(measure, group_rows))
+                    for value, group_rows in groups.items()
                 }
-            return {
-                value: fn(vector.take(measure, group_rows))
-                for value, group_rows in groups.items()
-            }
 
-    def _partition_groups(self, keys, rows: list[int]) -> dict:
+    def _partition_groups(self, node, keys, rows: list[int]) -> dict:
         """key value → selection vector, built batch-at-a-time.
 
         Single-key plans group over the raw fact-aligned vector; composite
         keys are dictionary-encoded (:func:`~repro.relational.vector.
         pack_keys`) so the fold hashes small tuples exactly once per
-        distinct key per batch.
+        distinct key per batch.  ``node`` is the :class:`Partition` plan
+        node (span attribution only).
         """
         check_deadline("Partition")
-        with self.counters.timed("Partition") as out:
+        with op_span(node) as osp, self.counters.timed("Partition") as out:
             vectors = [self.schema.fact_vector(k.path, k.column)
                        for k in keys]
             groups: dict = {}
@@ -277,35 +305,41 @@ class InMemoryBackend:
                     groups = part
                 out[1] += 1
             out[0] = len(groups)
+            osp.set_tag("rows", out[0])
+            osp.set_tag("batches", out[1])
         return groups
 
     def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
         """The fused kernel: one pass over the child's rows updating one
         accumulator dict per key (instead of ``len(keys)`` passes)."""
-        rows = self._rows(plan.child)
-        if not rows:
-            return _empty_multi_result(plan)
-        check_deadline("MultiGroupAggregate")
-        measure = self._measure_values(plan)
-        keys = [key for key, _ in plan.branches()]
-
-        def on_chunk(chunk_rows: int) -> None:
+        with op_span(plan) as osp:
+            rows = self._rows(plan.child)
+            if not rows:
+                osp.set_tag("rows", 0)
+                return _empty_multi_result(plan)
             check_deadline("MultiGroupAggregate")
-            counters_out[1] += 1
+            measure = self._measure_values(plan)
+            keys = [key for key, _ in plan.branches()]
 
-        with self.counters.timed("MultiGroupAggregate") as counters_out:
-            vectors = [self.schema.fact_vector(k.path, k.column)
-                       for k in keys]
-            folded = fused_group_aggregates(
-                rows, vectors, measure, plan.aggregate,
-                on_chunk=on_chunk, chunk_size=self.batch_size,
-            )
-            results = {key.fingerprint(): groups
-                       for key, groups in zip(keys, folded)}
-            counters_out[0] = sum(len(groups) for groups in folded)
-        charge_groups(sum(len(groups) for groups in folded),
-                      "MultiGroupAggregate")
-        return _fill_domains(plan, results)
+            def on_chunk(chunk_rows: int) -> None:
+                check_deadline("MultiGroupAggregate")
+                counters_out[1] += 1
+
+            with self.counters.timed("MultiGroupAggregate") as counters_out:
+                vectors = [self.schema.fact_vector(k.path, k.column)
+                           for k in keys]
+                folded = fused_group_aggregates(
+                    rows, vectors, measure, plan.aggregate,
+                    on_chunk=on_chunk, chunk_size=self.batch_size,
+                )
+                results = {key.fingerprint(): groups
+                           for key, groups in zip(keys, folded)}
+                counters_out[0] = sum(len(groups) for groups in folded)
+            osp.set_tag("rows", counters_out[0])
+            osp.set_tag("batches", counters_out[1])
+            charge_groups(sum(len(groups) for groups in folded),
+                          "MultiGroupAggregate")
+            return _fill_domains(plan, results)
 
     def _measure_values(self, plan: GroupAggregate) -> list:
         """Per-fact-row measure values, memoised by canonical measure SQL.
@@ -369,18 +403,37 @@ class SqliteBackend:
         leaf = _leaf(plan)
         if isinstance(leaf, RowSet) and not leaf.rows:
             return ()
-        table = self.schema.database.table(leaf.table)
-        query = self._compile(plan)
-        pk = table.primary_key
-        if pk is not None and table.column(pk).type is ColumnType.INTEGER:
-            sql = query.render_sql([f"DISTINCT f.{pk}"])
-            rows = self._run(sql)
-            rids = [table.lookup_pk(value) for (value,) in rows]
-        else:
-            sql = query.render_sql(["DISTINCT f.rowid"])
-            rows = self._run(sql)
-            rids = [value - 1 for (value,) in rows]
+        with op_span(plan) as osp:
+            self._mark_sql_nodes(plan)
+            table = self.schema.database.table(leaf.table)
+            query = self._compile(plan)
+            pk = table.primary_key
+            if (pk is not None
+                    and table.column(pk).type is ColumnType.INTEGER):
+                sql = query.render_sql([f"DISTINCT f.{pk}"])
+                rows = self._run(sql)
+                rids = [table.lookup_pk(value) for (value,) in rows]
+            else:
+                sql = query.render_sql(["DISTINCT f.rowid"])
+                rows = self._run(sql)
+                rids = [value - 1 for (value,) in rows]
+            osp.set_tag("rows", len(rids))
+            osp.set_tag("batches", 1)
         return tuple(sorted(rids))
+
+    def _mark_sql_nodes(self, plan: PlanNode) -> None:
+        """Zero-duration marker spans for the *inner* nodes of a plan the
+        compiler folds into one SQL statement — EXPLAIN can then show
+        that those operators ran (once, inside SQL) even though no
+        per-operator timing exists for them."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        node = getattr(plan, "child", None)
+        while node is not None:
+            with op_span(node) as osp:
+                osp.set_tag("pushed_to_sql", True)
+            node = getattr(node, "child", None)
 
     # -- aggregates ----------------------------------------------------
     def execute(self, plan: GroupAggregate):
@@ -391,24 +444,28 @@ class SqliteBackend:
         leaf = _leaf(plan)
         if isinstance(leaf, RowSet) and not leaf.rows:
             return _empty_result(plan)
-        query = self._compile(plan)
-        result_rows = self._run(query.to_sql())
-        if plan.grouped:
-            charge_groups(len(result_rows), "GroupAggregate")
-        if not plan.grouped:
-            value = result_rows[0][0]
-            return self._restore_aggregate(plan.aggregate, value)
-        num_keys = len(plan.child.keys)
-        result: dict = {}
-        for row in result_rows:
-            key = row[0] if num_keys == 1 else tuple(row[:num_keys])
-            result[key] = self._restore_aggregate(plan.aggregate,
-                                                  row[num_keys])
-        if plan.domain is not None:
-            fill = AGGREGATES[plan.aggregate](())
-            for value in plan.domain:
-                result.setdefault(value, fill)
-        return result
+        with op_span(plan) as osp:
+            self._mark_sql_nodes(plan)
+            query = self._compile(plan)
+            result_rows = self._run(query.to_sql())
+            osp.set_tag("rows", len(result_rows))
+            osp.set_tag("batches", 1)
+            if plan.grouped:
+                charge_groups(len(result_rows), "GroupAggregate")
+            if not plan.grouped:
+                value = result_rows[0][0]
+                return self._restore_aggregate(plan.aggregate, value)
+            num_keys = len(plan.child.keys)
+            result: dict = {}
+            for row in result_rows:
+                key = row[0] if num_keys == 1 else tuple(row[:num_keys])
+                result[key] = self._restore_aggregate(plan.aggregate,
+                                                      row[num_keys])
+            if plan.domain is not None:
+                fill = AGGREGATES[plan.aggregate](())
+                for value in plan.domain:
+                    result.setdefault(value, fill)
+            return result
 
     def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
         """One batched round-trip: a shared filtered CTE feeding one
@@ -417,10 +474,14 @@ class SqliteBackend:
         leaf = _leaf(plan)
         if isinstance(leaf, RowSet) and not leaf.rows:
             return _empty_multi_result(plan)
-        with self.counters.timed("SqlCompile"):
-            sql = compile_multi_plan(plan, self.schema.database)
-        self.counters.record("MultiGroupAggregate")
-        result_rows = self._run(sql)
+        with op_span(plan) as osp:
+            self._mark_sql_nodes(plan)
+            with self.counters.timed("SqlCompile"):
+                sql = compile_multi_plan(plan, self.schema.database)
+            self.counters.record("MultiGroupAggregate")
+            result_rows = self._run(sql)
+            osp.set_tag("rows", len(result_rows))
+            osp.set_tag("batches", 1)
         charge_groups(len(result_rows), "MultiGroupAggregate")
         branches = plan.branches()
         # UNION ALL loses declared column types, so converters never fire
@@ -446,9 +507,11 @@ class SqliteBackend:
 
     def _run(self, sql: str) -> list[tuple]:
         check_deadline("SqlExecute")
-        with self.counters.timed("SqlExecute") as out:
+        with current_tracer().span("sqlite.execute") as span, \
+                self.counters.timed("SqlExecute") as out:
             rows = self.mirror.execute(sql)
             out[0] = len(rows)
+            span.set_tag("rows", len(rows))
         charge_rows(len(rows), "SqlExecute")
         return rows
 

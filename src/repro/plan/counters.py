@@ -69,19 +69,28 @@ class PlanCounters:
             self.record(op, out[0], time.perf_counter() - start, out[1])
 
     def as_dict(self) -> dict:
-        """JSON-serialisable snapshot, sorted by operator name."""
-        return {
-            op: {"calls": s.calls, "rows": s.rows,
-                 "seconds": round(s.seconds, 6),
-                 "batches": s.batches,
-                 "rows_per_batch": round(s.rows_per_batch, 1)}
-            for op, s in sorted(self.ops.items())
-        }
+        """JSON-serialisable snapshot, sorted by operator name.
+
+        Taken under the same lock :meth:`record` uses: backend worker
+        threads may be mid-record while a stats consumer snapshots, and
+        an unlocked read could see one operator's ``calls`` bumped but
+        not yet its ``rows`` (or a dict mutated mid-iteration).
+        """
+        with self._lock:
+            return {
+                op: {"calls": s.calls, "rows": s.rows,
+                     "seconds": round(s.seconds, 6),
+                     "batches": s.batches,
+                     "rows_per_batch": round(s.rows_per_batch, 1)}
+                for op, s in sorted(self.ops.items())
+            }
 
     def reset(self) -> None:
-        """Drop all accumulated statistics."""
-        self.ops.clear()
+        """Drop all accumulated statistics (atomic against recorders)."""
+        with self._lock:
+            self.ops.clear()
 
     @property
     def total_calls(self) -> int:
-        return sum(s.calls for s in self.ops.values())
+        with self._lock:
+            return sum(s.calls for s in self.ops.values())

@@ -20,6 +20,8 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..obs.metrics import current_registry
+from ..obs.tracer import current_tracer, plan_digest
 from ..relational.operators import AGGREGATES
 from ..resilience.budget import check_deadline
 from ..warehouse.subspace import Subspace
@@ -111,11 +113,15 @@ class QueryEngine:
         fingerprint = plan.fingerprint()
         cached = self.cache.get(fingerprint, _MISS)
         if cached is not _MISS:
+            self._note_cache(plan, hit=True, kind="materialize")
             return cached
+        self._note_cache(plan, hit=False, kind="materialize")
         check_deadline("materialize")
         # a failing backend call leaves the cache untouched: partial or
         # poisoned entries must never be served to later callers
-        rows = self.backend.materialize(plan)
+        with current_tracer().span("plan.materialize") as span:
+            rows = self.backend.materialize(plan)
+            span.set_tag("rows", len(rows))
         self.cache.put(fingerprint, rows)
         return rows
 
@@ -125,10 +131,27 @@ class QueryEngine:
         fingerprint = plan.fingerprint()
         cached = self.cache.get(fingerprint, _MISS)
         if cached is _MISS:
+            self._note_cache(plan, hit=False, kind="execute")
             check_deadline("execute")
-            cached = self.backend.execute(plan)
+            with current_tracer().span("plan.execute"):
+                cached = self.backend.execute(plan)
             self.cache.put(fingerprint, cached)
+        else:
+            self._note_cache(plan, hit=True, kind="execute")
         return dict(cached) if isinstance(cached, dict) else cached
+
+    def _note_cache(self, plan: PlanNode, hit: bool, kind: str) -> None:
+        """Record one plan-cache lookup in the ambient metrics registry
+        and (when tracing) as a zero-duration marker span so EXPLAIN can
+        attribute cache hits to plan nodes."""
+        current_registry().counter(
+            "kdap.plan.cache.hits" if hit
+            else "kdap.plan.cache.misses").inc()
+        tracer = current_tracer()
+        if tracer.enabled and hit:
+            with tracer.span(f"plan.{kind}", cached=True,
+                             fp=plan_digest(plan)):
+                pass
 
     # ------------------------------------------------------------------
     # star-net evaluation

@@ -28,6 +28,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from ..obs.metrics import current_registry
 from ..relational.errors import BudgetExceeded, DeadlineExceeded
 from .diagnostics import TruncationEvent
 
@@ -138,9 +139,18 @@ class Budget:
     # ------------------------------------------------------------------
     def record_truncation(self, stage: str, reason: str,
                           detail: str = "") -> None:
-        """Note that ``stage`` gave up work because of ``reason``."""
+        """Note that ``stage`` gave up work because of ``reason``.
+
+        Every truncation is also counted per cause in the ambient
+        metrics registry (``kdap.truncations.<reason>``), so budget and
+        deadline degradation shows up in metrics snapshots without
+        anyone holding on to the partial result's diagnostics.
+        """
         with self._lock:
             self.events.append(TruncationEvent(stage, reason, detail))
+        registry = current_registry()
+        registry.counter(f"kdap.truncations.{reason}").inc()
+        registry.counter("kdap.truncations.total").inc()
 
     @property
     def truncated(self) -> bool:

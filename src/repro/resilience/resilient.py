@@ -21,6 +21,8 @@ import sqlite3
 import time
 from dataclasses import dataclass, field
 
+from ..obs.metrics import current_registry
+from ..obs.tracer import current_tracer
 from ..relational.errors import (
     BackendUnavailableError,
     TransientBackendError,
@@ -66,6 +68,8 @@ class ResilienceStats:
         self.last_error = f"{type(exc).__name__}: {exc}"
         name = type(exc).__name__
         self.errors_by_type[name] = self.errors_by_type.get(name, 0) + 1
+        current_registry().counter(
+            "kdap.resilience.transient_errors").inc()
 
     def as_dict(self) -> dict:
         """JSON-serialisable snapshot (chaos-mode CI artifact)."""
@@ -150,23 +154,35 @@ class ResilientBackend:
 
     def _attempt_all(self, backend, op: str, plan):
         """Run ``op`` with retries; a 1-tuple result on success, the last
-        transient error on failure (non-transient errors propagate)."""
+        transient error on failure (non-transient errors propagate).
+
+        Every attempt — including the first — runs inside a
+        ``retry.attempt`` span, so a traced query shows the whole retry
+        ladder as child spans with error tags under the originating
+        query span (worker threads included: the tracer rides the same
+        copied context the budget does).
+        """
+        tracer = current_tracer()
         delays = list(self.policy.delays()) + [None]
         last: Exception | None = None
-        for delay in delays:
-            try:
-                return (getattr(backend, op)(plan),)
-            except self.policy.transient as exc:
-                self.resilience.note_error(exc)
-                last = exc
-                if delay is None:
-                    break
-                if not self._deadline_allows(delay):
-                    break
-                self.resilience.retries += 1
-                logger.debug("retrying %s on %s after %s: %s",
-                             op, backend.name, delay, exc)
-                self._sleep(delay)
+        for attempt, delay in enumerate(delays, 1):
+            with tracer.span("retry.attempt", backend=backend.name,
+                             op=op, attempt=attempt) as span:
+                try:
+                    return (getattr(backend, op)(plan),)
+                except self.policy.transient as exc:
+                    span.set_error(exc)
+                    self.resilience.note_error(exc)
+                    last = exc
+            if delay is None:
+                break
+            if not self._deadline_allows(delay):
+                break
+            self.resilience.retries += 1
+            current_registry().counter("kdap.resilience.retries").inc()
+            logger.debug("retrying %s on %s after %s: %s",
+                         op, backend.name, delay, last)
+            self._sleep(delay)
         return last
 
     def _deadline_allows(self, delay_s: float) -> bool:
@@ -186,8 +202,12 @@ class ResilientBackend:
         source = self._fallback_source
         if source is None:
             return None
-        fallback = source() if callable(source) else source
+        with current_tracer().span("backend.failover",
+                                   from_backend=self.primary.name) as span:
+            fallback = source() if callable(source) else source
+            span.set_tag("to_backend", fallback.name)
         self.resilience.failovers += 1
+        current_registry().counter("kdap.resilience.failovers").inc()
         logger.warning("failing over from %s to %s",
                        self.primary.name, fallback.name)
         self.active = fallback

@@ -1,0 +1,77 @@
+"""Slow-query log: thresholding, bounded capacity, session integration."""
+
+import pytest
+
+from repro.core import KdapSession
+from repro.datasets import build_aw_online
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_records_only_over_threshold(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert not log.observe("q1", "net1", "aaa", 5.0)
+        assert log.observe("q2", "net2", "bbb", 15.0)
+        assert log.observed == 2
+        assert log.recorded == 1
+        (record,) = log.records
+        assert record.query == "q2"
+        assert record.plan_fp == "bbb"
+        assert record.threshold_ms == 10.0
+
+    def test_threshold_is_strict(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert not log.observe("q", "net", "fp", 10.0)
+
+    def test_capacity_is_a_ring(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for index in range(5):
+            log.observe(f"q{index}", "net", "fp", 1.0)
+        assert len(log) == 3
+        assert [r.query for r in log.records] == ["q2", "q3", "q4"]
+        assert log.recorded == 5  # counter keeps counting past the ring
+
+    def test_as_dict_and_describe(self):
+        log = SlowQueryLog(threshold_ms=1.0)
+        log.observe("bikes", "Net", "abc123", 42.0,
+                    span_tree={"name": "explore"})
+        snapshot = log.as_dict()
+        assert snapshot["threshold_ms"] == 1.0
+        assert snapshot["records"][0]["span_tree"] == {"name": "explore"}
+        described = log.records[0].describe()
+        assert "bikes" in described and "abc123" in described
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=1.0, capacity=0)
+
+
+class TestSessionSlowLog:
+    def test_slow_explore_is_recorded_with_span_tree(self):
+        schema = build_aw_online(num_facts=2000, seed=42)
+        with KdapSession(schema, slow_query_ms=0.0) as session:
+            ranked = session.differentiate("Road Bikes", limit=1)
+            session.explore(ranked[0].star_net)
+        (record,) = session.slow_log.records
+        assert record.query == "Road Bikes"
+        assert "Road" in record.interpretation
+        assert len(record.plan_fp) == 12
+        # no ambient tracer was installed, so the session traced the
+        # explore locally just for the record
+        assert record.span_tree is not None
+        assert record.span_tree["name"] == "explore"
+
+    def test_fast_queries_stay_out(self):
+        schema = build_aw_online(num_facts=2000, seed=42)
+        with KdapSession(schema, slow_query_ms=10 ** 6) as session:
+            ranked = session.differentiate("Road Bikes", limit=1)
+            session.explore(ranked[0].star_net)
+            assert session.slow_log.observed == 1
+            assert len(session.slow_log) == 0
+
+    def test_disabled_by_default(self):
+        schema = build_aw_online(num_facts=2000, seed=42)
+        with KdapSession(schema) as session:
+            assert session.slow_log is None

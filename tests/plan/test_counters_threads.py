@@ -1,0 +1,91 @@
+"""PlanCounters under concurrent record + snapshot traffic.
+
+Regression for a torn-read window: ``as_dict`` / ``total_calls`` /
+``reset`` used to read ``ops`` without the lock ``record`` takes, so a
+stats consumer snapshotting while backend worker threads recorded could
+see a dict mutated mid-iteration or per-op stats half-updated.
+"""
+
+import threading
+
+from repro.plan import PlanCounters
+
+
+class TestConcurrentSnapshots:
+    def test_snapshot_while_recording_stays_consistent(self):
+        counters = PlanCounters()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def recorder(op: str) -> None:
+            try:
+                while not stop.is_set():
+                    # rows always 10x calls, so any snapshot must agree
+                    counters.record(op, rows=10, batches=1)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def snapshotter() -> None:
+            try:
+                for _ in range(300):
+                    snapshot = counters.as_dict()
+                    for stats in snapshot.values():
+                        assert stats["rows"] == stats["calls"] * 10
+                        assert stats["batches"] == stats["calls"]
+                    counters.total_calls  # must not raise mid-mutation
+            except BaseException as exc:
+                errors.append(exc)
+
+        recorders = [threading.Thread(target=recorder, args=(f"Op{i}",))
+                     for i in range(3)]
+        reader = threading.Thread(target=snapshotter)
+        for thread in recorders:
+            thread.start()
+        reader.start()
+        reader.join()
+        stop.set()
+        for thread in recorders:
+            thread.join()
+        assert not errors
+
+    def test_reset_races_with_recorders(self):
+        counters = PlanCounters()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def recorder() -> None:
+            try:
+                while not stop.is_set():
+                    counters.record("Scan", rows=1)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def resetter() -> None:
+            try:
+                for _ in range(200):
+                    counters.reset()
+                    assert counters.total_calls >= 0
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=recorder) for _ in range(2)]
+        reset_thread = threading.Thread(target=resetter)
+        for thread in threads:
+            thread.start()
+        reset_thread.start()
+        reset_thread.join()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_timed_context_manager_records_once(self):
+        counters = PlanCounters()
+        with counters.timed("Scan") as out:
+            out[0] = 42
+            out[1] = 2
+        snapshot = counters.as_dict()
+        assert snapshot["Scan"]["calls"] == 1
+        assert snapshot["Scan"]["rows"] == 42
+        assert snapshot["Scan"]["rows_per_batch"] == 21.0
+        assert counters.total_calls == 1

@@ -1,5 +1,7 @@
 """Command-line interface (exercised in-process via cli.main)."""
 
+import json
+
 import pytest
 
 from repro import cli
@@ -133,6 +135,108 @@ class TestExitCodes:
                  cli.EXIT_BACKEND, cli.EXIT_ENGINE}
         assert len(codes) == 5
         assert 0 not in codes and 2 not in codes  # success / usage
+
+
+class TestExplain:
+    def test_plan_with_actuals(self, capsys):
+        code = main([*SMALL, "explain", "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "subspace plan (actual):" in out
+        assert "phase breakdown:" in out
+        assert "calls=" in out
+        assert "differentiate" in out and "explore" in out
+
+    def test_sqlite_marks_pushed_down_nodes(self, capsys):
+        code = main([*SMALL, "--backend", "sqlite", "explain",
+                     "Road Bikes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[in SQL]" in out
+
+    def test_json_output(self, capsys):
+        code = main([*SMALL, "explain", "Road Bikes", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "memory"
+        assert payload["plan"]["calls"] >= 1
+        assert payload["spans"]
+
+    def test_pick_out_of_range(self, capsys):
+        code = main([*SMALL, "explain", "Road Bikes", "--pick", "99"])
+        assert code == 1
+        assert "interpretations" in capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_writes_chrome_trace_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([*SMALL, "--trace-out", str(trace_path), "explore",
+                     "Road Bikes"])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert {"differentiate", "explore"} <= names
+        assert any(n.startswith("op.") for n in names)
+        assert all("ts" in e and "dur" in e for e in events)
+
+    def test_trace_written_even_on_error_exit(self, tmp_path,
+                                              monkeypatch, capsys):
+        from repro.relational.errors import DeadlineExceeded
+
+        def boom(args):
+            raise DeadlineExceeded("too slow")
+
+        monkeypatch.setitem(cli._COMMANDS, "query", boom)
+        trace_path = tmp_path / "trace.json"
+        code = main([*SMALL, "--trace-out", str(trace_path), "query",
+                     "whatever"])
+        assert code == cli.EXIT_DEADLINE
+        assert "traceEvents" in json.loads(trace_path.read_text())
+
+
+class TestStatsJson:
+    def test_writes_machine_readable_stats(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        code = main([*SMALL, "--backend", "sqlite", "explore",
+                     "Road Bikes", "--stats-json", str(stats_path)])
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["backend"] == "sqlite"
+        assert stats["plan_cache"]["misses"] >= 1
+        assert "SqlExecute" in stats["operators"]
+        counters = stats["metrics"]["counters"]
+        assert counters["kdap.queries"] == 1
+        histograms = stats["metrics"]["histograms"]
+        assert histograms["kdap.explore.seconds"]["count"] == 1
+        assert "p95" in histograms["kdap.explore.seconds"]
+
+    def test_dash_writes_to_stdout(self, capsys):
+        code = main([*SMALL, "explore", "Road Bikes", "--stats-json",
+                     "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # sort_keys puts "backend" first, marking where the JSON starts
+        payload = json.loads(out[out.index('{\n  "backend"'):])
+        assert payload["backend"] == "memory"
+
+
+class TestSlowQueryFlag:
+    def test_slow_queries_reported_on_stderr(self, capsys):
+        code = main([*SMALL, "--slow-query-ms", "0", "explore",
+                     "Road Bikes"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "slow quer" in captured.err
+        assert "Road Bikes" in captured.err
+
+    def test_high_threshold_stays_silent(self, capsys):
+        code = main([*SMALL, "--slow-query-ms", "1000000", "explore",
+                     "Road Bikes"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "slow quer" not in captured.err
 
 
 class TestSql:

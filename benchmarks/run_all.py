@@ -17,7 +17,13 @@ slowdown:
   path must win by at least 2x;
 * **tracing overhead** — the same workload with the tracing layer
   disabled (:mod:`bench_tracing_overhead`) must stay within 3% of a
-  pinned span-free reference, so observability never taxes production.
+  pinned span-free reference, so observability never taxes production;
+* **morsel scan** — the chunked, morsel-parallel scan-aggregate
+  (:mod:`bench_morsel_scan`) must beat the pre-chunk plain-vector
+  strategy by at least 2x on a million clustered fact rows, and the
+  selective date-range scenario must skip at least one chunk via its
+  zone maps.  This gate always runs at full scale (>= 1M rows), even
+  under ``--smoke``: the acceptance criterion is defined there.
 
 Every timed entry also reports ``p50_s`` / ``p95_s`` computed through
 the observability histogram (:func:`repro.obs.metrics.runs_summary`),
@@ -43,6 +49,7 @@ from repro.datasets import (
     AW_ONLINE_QUERIES,
     build_aw_online,
     build_aw_reseller,
+    build_scale,
 )
 from repro.evalkit import (
     evaluate_annealing,
@@ -53,6 +60,10 @@ from repro.evalkit import (
 from repro.obs.metrics import runs_summary
 from repro.plan import FusionStats, QueryEngine
 
+from bench_morsel_scan import (
+    MIN_SPEEDUP as MORSEL_MIN_SPEEDUP,
+    compare as compare_morsel,
+)
 from bench_scan_aggregate import MIN_SPEEDUP, compare as compare_scan
 from bench_tracing_overhead import MAX_OVERHEAD, compare as compare_tracing
 
@@ -225,6 +236,21 @@ class Suite:
                   f"(median of {len(entry['runs_s'])}, interleaved)")
         return check
 
+    def bench_morsel_scan(self) -> dict:
+        """Chunked + morsel-parallel scan-aggregate vs the pre-chunk
+        plain-vector strategy, plus the zone-map skip scenario — always
+        at one million clustered fact rows (see :mod:`bench_morsel_scan`
+        for the pinned reference and the interleaved min-run protocol).
+        """
+        schema = build_scale(num_facts=1_000_000, seed=7)
+        benchmarks, check = compare_morsel(schema, max(self.repeats, 3))
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['median_s']:.4f} s "
+                  f"(min {entry['min_s']:.4f} s, interleaved)")
+        return check
+
     def bench_tracing_overhead(self) -> dict:
         """Disabled-tracer overhead vs the pinned span-free reference
         (interleaved runs, min-run gate — see
@@ -287,6 +313,7 @@ def main(argv=None) -> int:
         fusion_check = suite.bench_table2()
         scan_check = suite.bench_scan_aggregate()
         tracing_check = suite.bench_tracing_overhead()
+        morsel_check = suite.bench_morsel_scan()
         suite.bench_figures()
         suite.bench_primitives()
     finally:
@@ -298,6 +325,8 @@ def main(argv=None) -> int:
                     for entry in fusion_check.values())
     scan_ok = scan_check["speedup"] >= MIN_SPEEDUP
     tracing_ok = tracing_check["overhead"] <= MAX_OVERHEAD
+    morsel_ok = (morsel_check["speedup"] >= MORSEL_MIN_SPEEDUP
+                 and morsel_check["zone_skip"]["chunks_skipped"] > 0)
     report = {
         "suite": "kdap",
         "smoke": args.smoke,
@@ -307,6 +336,7 @@ def main(argv=None) -> int:
         "fusion_check": {**fusion_check, "pass": fusion_ok},
         "scan_check": {**scan_check, "pass": scan_ok},
         "tracing_check": {**tracing_check, "pass": tracing_ok},
+        "morsel_check": {**morsel_check, "pass": morsel_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -322,6 +352,12 @@ def main(argv=None) -> int:
     print(f"disabled-tracer overhead: "
           f"{tracing_check['overhead'] * 100:.2f}% "
           f"(ceiling {MAX_OVERHEAD * 100:.0f}%)")
+    zone = morsel_check["zone_skip"]
+    print(f"morsel scan-aggregate: {morsel_check['speedup']:.2f}x over "
+          f"the pre-chunk strategy at {morsel_check['fact_rows']} rows "
+          f"(required {MORSEL_MIN_SPEEDUP:.1f}x), zone maps skipped "
+          f"{zone['chunks_skipped']} of "
+          f"{zone['chunks_skipped'] + zone['chunks_scanned']} chunks")
     if not fusion_ok:
         print("FUSION CHECK FAILED: fused facet workload slower than "
               "per-attribute path", file=sys.stderr)
@@ -335,6 +371,12 @@ def main(argv=None) -> int:
         print("TRACING OVERHEAD CHECK FAILED: disabled tracer costs "
               f"more than {MAX_OVERHEAD * 100:.0f}% on the "
               "scan-aggregate hot path", file=sys.stderr)
+        return 1
+    if not morsel_ok:
+        print("MORSEL SCAN CHECK FAILED: chunked morsel-parallel "
+              f"scan-aggregate below {MORSEL_MIN_SPEEDUP:.1f}x over the "
+              "pre-chunk strategy, or zone maps skipped no chunks",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -90,9 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="cap on candidate star nets enumerated per "
                              "query")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker threads for parallel phases (per-ray "
-                             "prefetch during differentiation); default "
-                             "min(4, cpu count), 1 disables threading")
+                        help="worker threads for parallel phases: per-ray "
+                             "prefetch during differentiation, and "
+                             "morsel-parallel execution inside a single "
+                             "large scan-aggregate on the memory backend; "
+                             "default min(4, cpu count), 1 disables "
+                             "threading")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="trace the whole command and write Chrome "
                              "trace_event JSON to PATH (open in "

@@ -89,8 +89,11 @@ class KdapSession:
         drill-down — goes through one :class:`~repro.plan.engine.QueryEngine`
         on this backend, with plan-fingerprint caching.
     workers:
-        Worker-thread cap for parallel phases (currently the per-ray
-        semi-join prefetch behind size previews).  Defaults to
+        Worker-thread cap for parallel phases: the per-ray semi-join
+        prefetch behind size previews, and — on the memory backend —
+        morsel-driven parallelism *inside* a single large scan-aggregate
+        (the chunk list is partitioned across workers and per-worker
+        partial aggregates merge deterministically).  Defaults to
         ``min(4, cpu count)``; 1 disables threading entirely.  The
         sqlite backend opens one mirror connection per worker thread.
     metrics:
@@ -126,7 +129,8 @@ class KdapSession:
         self.slow_log = (SlowQueryLog(slow_query_ms)
                          if slow_query_ms is not None else None)
         self._last_query = ""
-        self.engine = QueryEngine(schema, backend=backend)
+        self.engine = QueryEngine(schema, backend=backend,
+                                  workers=self.workers)
         # per-ray fact-set memo: the same (hit group, path) ray recurs
         # across many candidate star nets of one query.  The engine's plan
         # cache holds the row tuples; this memo only avoids re-building

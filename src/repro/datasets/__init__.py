@@ -13,6 +13,7 @@ Public surface::
 
 from .adventureworks import REVENUE, build_aw_online, build_aw_reseller
 from .ebiz import build_ebiz
+from .scale import build_scale
 from .trends import build_trends
 from .queries import (
     AW_ONLINE_QUERIES,
@@ -32,6 +33,7 @@ __all__ = [
     "build_aw_online",
     "build_aw_reseller",
     "build_ebiz",
+    "build_scale",
     "build_trends",
     "is_relevant",
     "relevant_rank",

@@ -100,10 +100,12 @@ def render_counters(engine) -> str:
     if ops:
         rows = [
             (op, s["calls"], s["rows"], s.get("batches", 0),
-             s.get("rows_per_batch", 0), f"{s['seconds']:.4f}")
+             s.get("rows_per_batch", 0), s.get("chunks_scanned", 0),
+             s.get("chunks_skipped", 0), s.get("morsels", 0),
+             f"{s['seconds']:.4f}")
             for op, s in ops.items()
         ]
         lines.append(render_table(
             ["operator", "calls", "rows", "batches", "rows/batch",
-             "seconds"], rows))
+             "chunks", "skipped", "morsels", "seconds"], rows))
     return "\n".join(lines)

@@ -30,6 +30,9 @@ class OpProfile:
     seconds: float = 0.0
     cache_hits: int = 0
     pushed_to_sql: bool = False
+    chunks_scanned: int = 0
+    chunks_skipped: int = 0
+    morsels: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -37,6 +40,9 @@ class OpProfile:
             "batches": self.batches, "seconds": round(self.seconds, 6),
             "cache_hits": self.cache_hits,
             "pushed_to_sql": self.pushed_to_sql,
+            "chunks_scanned": self.chunks_scanned,
+            "chunks_skipped": self.chunks_skipped,
+            "morsels": self.morsels,
         }
 
 
@@ -111,6 +117,11 @@ def collect_profiles(tracer: Tracer) -> dict[str, OpProfile]:
                 profile.calls += 1
                 profile.rows += int(span.tags.get("rows", 0) or 0)
                 profile.batches += int(span.tags.get("batches", 0) or 0)
+                profile.chunks_scanned += int(
+                    span.tags.get("chunks_scanned", 0) or 0)
+                profile.chunks_skipped += int(
+                    span.tags.get("chunks_skipped", 0) or 0)
+                profile.morsels += int(span.tags.get("morsels", 0) or 0)
                 profile.seconds += span.duration_s
         elif span.tags.get("cached"):
             profile.cache_hits += 1
@@ -151,6 +162,11 @@ def render_plan(root: ExplainNode) -> str:
             actual = (f"(calls={stats.calls} rows={stats.rows} "
                       f"batches={stats.batches} "
                       f"seconds={stats.seconds:.6f}")
+            if stats.chunks_scanned or stats.chunks_skipped:
+                actual += (f" chunks={stats.chunks_scanned}"
+                           f"(+{stats.chunks_skipped} skipped)")
+            if stats.morsels:
+                actual += f" morsels={stats.morsels}"
             if stats.cache_hits:
                 actual += f" cache_hits={stats.cache_hits}"
             actual += ")"

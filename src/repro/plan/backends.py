@@ -24,14 +24,24 @@ cost to plan nodes.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextvars import copy_context
 
 from ..obs.tracer import current_tracer, op_span
 from ..relational import vector
 from ..relational.errors import SchemaError
-from ..relational.operators import AGGREGATES, fused_group_aggregates
+from ..relational.expressions import And, Between, Col, In, Predicate
+from ..relational.operators import (
+    AGGREGATE_STATES,
+    AGGREGATES,
+    accumulate_chunk,
+    finalize_group_states,
+    fused_group_aggregates,
+    merge_group_states,
+)
 from ..relational.sqlite_backend import SqliteBackend as SqliteMirror
 from ..relational.sqlite_backend import from_sqlite
 from ..relational.types import ColumnType
@@ -116,28 +126,50 @@ def _fill_domains(plan: MultiGroupAggregate, results: dict) -> dict:
 # ----------------------------------------------------------------------
 # in-memory backend
 # ----------------------------------------------------------------------
-class InMemoryBackend:
-    """Columnar batch execution over the schema's fact-aligned vectors.
+MORSEL_ROWS = 65536
+"""Target rows per morsel of a parallel scan-aggregate (a run of whole
+chunks; large enough that per-morsel scheduling cost is noise)."""
 
-    Row-producing plans flow as *selection vectors* processed in batches
-    of ``batch_size`` rows: each operator narrows its child's selection
-    with one batch kernel per batch (vectorized ``IN`` probes, predicate
-    ``select_batch``, semi-join membership refinement) instead of one
-    interpreted ``Expression.evaluate`` call per row.  Budgets are
-    charged per batch, so a row/deadline limit interrupts a scan at
-    batch — not whole-operator — granularity, and
-    :class:`~repro.plan.counters.PlanCounters` records how many batches
-    each operator executed.
+PARALLEL_MIN_ROWS = 131072
+"""Row-count floor below which scan-aggregates stay on the serial
+single-pass path.  Serial accumulation adds measures in ascending row
+order and is bit-identical to the pre-chunk fold; the morsel merge
+re-associates float additions at morsel boundaries, so small (test-size)
+workloads never see it."""
+
+
+class InMemoryBackend:
+    """Columnar execution over the schema's encoded column chunks.
+
+    Row-producing plans flow as *selection vectors* split at uniform
+    chunk boundaries: each operator narrows its child's selection with
+    one encoding-aware kernel per chunk (dictionary ``IN`` probes, RLE
+    run expansion, predicate ``select_batch``), and a chunk whose zone
+    map proves no row can match is skipped without reading it.  Budgets
+    are charged per chunk, so a row/deadline limit interrupts a scan at
+    chunk — not whole-operator — granularity, and
+    :class:`~repro.plan.counters.PlanCounters` records how many chunks
+    each operator scanned vs skipped.
+
+    Scan-aggregates over at least :data:`PARALLEL_MIN_ROWS` rows are
+    *morsel-driven*: the chunk list is packed into ~:data:`MORSEL_ROWS`-row
+    morsels, ``workers`` threads accumulate mergeable per-group partial
+    states (budget charged and deadline checked per morsel, one tracer
+    span per morsel via ``copy_context``), and the partials merge in
+    morsel-index order — deterministic regardless of completion order.
     """
 
     name = "memory"
 
     def __init__(self, schema: StarSchema,
-                 batch_size: int = vector.DEFAULT_BATCH_SIZE):
+                 batch_size: int = vector.DEFAULT_BATCH_SIZE,
+                 workers: int = 1):
         self.schema = schema
         self.batch_size = batch_size
+        self.workers = max(1, workers)
         self.counters = PlanCounters()
         self._measure_vectors: dict[str, list] = {}
+        self._scan_rows: dict[str, tuple[int, list[int]]] = {}
 
     # -- rows ----------------------------------------------------------
     def materialize(self, plan: PlanNode) -> tuple[int, ...]:
@@ -150,13 +182,22 @@ class InMemoryBackend:
             with op_span(node) as osp:
                 table = self.schema.database.table(node.table)
                 with self.counters.timed("Scan") as out:
-                    rows: list[int] = []
-                    for batch in vector.batches(range(len(table)),
-                                                self.batch_size):
-                        charge_rows(len(batch), "Scan")
-                        rows.extend(batch)
+                    n = len(table)
+                    for start in range(0, n, self.batch_size):
+                        charge_rows(min(self.batch_size, n - start),
+                                    "Scan")
                         out[1] += 1
-                    out[0] = len(rows)
+                    out[0] = n
+                    # the full-row selection vector is immutable
+                    # downstream (filters build fresh lists), so repeat
+                    # scans of an unchanged table reuse one list
+                    cached = self._scan_rows.get(node.table)
+                    if cached is not None and cached[0] == table._version:
+                        rows = cached[1]
+                    else:
+                        rows = list(range(n))
+                        self._scan_rows[node.table] = (table._version,
+                                                       rows)
                 osp.set_tag("rows", out[0])
                 osp.set_tag("batches", out[1])
             return rows
@@ -199,36 +240,110 @@ class InMemoryBackend:
                     return child_rows
                 check_deadline("Filter")
                 with self.counters.timed("Filter") as out:
-                    rows = []
                     if node.predicate is not None:
                         table = self.schema.database.table(
                             _leaf(node).table)
                         node.predicate.validate(table)
-                        for batch in vector.batches(child_rows,
-                                                    self.batch_size):
-                            kept = node.predicate.select_batch(table,
-                                                               batch)
-                            charge_rows(len(kept), "Filter")
-                            rows.extend(kept)
-                            out[1] += 1
+                        rows = self._select_predicate(
+                            table, node.predicate, child_rows, out)
                     else:
-                        values = self.schema.fact_vector(node.attr.path,
+                        # None in the value set selects NULL-attribute
+                        # rows
+                        chunks = self.schema.fact_chunks(node.attr.path,
                                                          node.attr.column)
                         wanted = set(node.values)
-                        for batch in vector.batches(child_rows,
-                                                    self.batch_size):
-                            # None in the value set selects NULL-attribute
-                            # rows
-                            kept = vector.select_in(values, wanted, batch,
-                                                    keep_null=True)
-                            charge_rows(len(kept), "Filter")
-                            rows.extend(kept)
-                            out[1] += 1
+                        rows = self._filter_chunks(
+                            chunks, child_rows, out,
+                            lambda c: c.may_match_in(wanted, True),
+                            lambda c, sub: c.select_in(wanted, True, sub))
                     out[0] = len(rows)
                 osp.set_tag("rows", out[0])
                 osp.set_tag("batches", out[1])
+                osp.set_tag("chunks_scanned", out[2])
+                osp.set_tag("chunks_skipped", out[3])
             return rows
         raise SchemaError(f"not a row-producing plan node: {node!r}")
+
+    # -- chunked filtering ---------------------------------------------
+    def _filter_chunks(self, chunks, child_rows: list[int], out,
+                       may_match, select, charge: bool = True) -> list[int]:
+        """Narrow a selection chunk-at-a-time, skipping whole chunks the
+        zone-map test ``may_match`` rules out.  ``out`` is the counter
+        slot list (batches / chunks_scanned / chunks_skipped)."""
+        rows: list[int] = []
+        size = chunks[0].stop if chunks else self.batch_size
+        for index, sub in vector.split_selection(child_rows, size):
+            chunk = chunks[index]
+            if not may_match(chunk):
+                out[3] += 1
+                continue
+            kept = select(chunk,
+                          None if len(sub) == len(chunk) else sub)
+            if charge:
+                charge_rows(len(kept), "Filter")
+            rows.extend(kept)
+            out[1] += 1
+            out[2] += 1
+        return rows
+
+    def _select_predicate(self, table, predicate: Predicate,
+                          child_rows: list[int], out,
+                          charge: bool = True) -> list[int]:
+        """Chunk-aware predicate evaluation: ``IN`` / ``BETWEEN`` over a
+        bare column run on the table's encoded chunks with zone-map
+        skipping (an ``AND`` delegates its first conjunct, then refines
+        the survivors); anything else falls back to per-batch
+        ``select_batch`` (every batch counts as a scanned chunk)."""
+        if isinstance(predicate, In) and isinstance(predicate.expr, Col):
+            chunks = table.column_chunks(predicate.expr.name)
+            wanted = predicate.values
+            return self._filter_chunks(
+                chunks, child_rows, out,
+                lambda c: c.may_match_in(wanted, False),
+                lambda c, sub: c.select_in(wanted, False, sub),
+                charge=charge)
+        if isinstance(predicate, Between) and \
+                isinstance(predicate.expr, Col):
+            chunks = table.column_chunks(predicate.expr.name)
+            low, high = predicate.low, predicate.high
+            inclusive = predicate.inclusive_high
+            return self._filter_chunks(
+                chunks, child_rows, out,
+                lambda c: c.may_match_range(low, high, inclusive),
+                lambda c, sub: c.select_range(low, high, inclusive, sub),
+                charge=charge)
+        if isinstance(predicate, And) and predicate.parts:
+            first = predicate.parts[0]
+            rest = predicate.parts[1:]
+            if isinstance(first, (In, Between)) and \
+                    isinstance(first.expr, Col):
+                # rows cut by the first conjunct are not charged: the
+                # budget sees only the rows that survive the whole filter,
+                # exactly like the single-kernel path
+                selection = self._select_predicate(table, first,
+                                                   child_rows, out,
+                                                   charge=False)
+                if not rest or not selection:
+                    if charge:
+                        charge_rows(len(selection), "Filter")
+                    return selection
+                return self._refine_batches(table, And(tuple(rest)),
+                                            selection, out, charge)
+        return self._refine_batches(table, predicate, child_rows, out,
+                                    charge)
+
+    def _refine_batches(self, table, predicate: Predicate,
+                        child_rows: list[int], out,
+                        charge: bool = True) -> list[int]:
+        rows: list[int] = []
+        for batch in vector.batches(child_rows, self.batch_size):
+            kept = predicate.select_batch(table, batch)
+            if charge:
+                charge_rows(len(kept), "Filter")
+            rows.extend(kept)
+            out[1] += 1
+            out[2] += 1
+        return rows
 
     # -- aggregates ----------------------------------------------------
     def execute(self, plan: GroupAggregate):
@@ -256,6 +371,17 @@ class InMemoryBackend:
                     osp.set_tag("rows", 1)
                     osp.set_tag("batches", 1)
                     return fn(vector.take(measure, rows))
+            if len(keys) == 1 and len(rows) >= PARALLEL_MIN_ROWS:
+                states = self._morsel_partition(plan.child, keys, rows,
+                                                measure, plan.aggregate)
+                charge_groups(len(states[0]), "Partition")
+                with self.counters.timed("GroupAggregate") as out:
+                    out[0] = len(states[0])
+                    out[1] = 1
+                    osp.set_tag("rows", out[0])
+                    osp.set_tag("batches", 1)
+                    return finalize_group_states(plan.aggregate,
+                                                 states[0], plan.domain)
             groups = self._partition_groups(plan.child, keys, rows)
             charge_groups(len(groups), "Partition")
             with self.counters.timed("GroupAggregate") as out:
@@ -311,7 +437,8 @@ class InMemoryBackend:
 
     def _execute_multi(self, plan: MultiGroupAggregate) -> dict:
         """The fused kernel: one pass over the child's rows updating one
-        accumulator dict per key (instead of ``len(keys)`` passes)."""
+        accumulator dict per key (instead of ``len(keys)`` passes); large
+        row sets run morsel-parallel over the encoded chunks."""
         with op_span(plan) as osp:
             rows = self._rows(plan.child)
             if not rows:
@@ -320,6 +447,29 @@ class InMemoryBackend:
             check_deadline("MultiGroupAggregate")
             measure = self._measure_values(plan)
             keys = [key for key, _ in plan.branches()]
+
+            if len(rows) >= PARALLEL_MIN_ROWS:
+                with self.counters.timed("MultiGroupAggregate") as out:
+                    states, morsels, chunks = self._morsel_states(
+                        keys, rows, measure, plan.aggregate,
+                        "MultiGroupAggregate")
+                    folded = [
+                        finalize_group_states(plan.aggregate, s)
+                        for s in states
+                    ]
+                    out[0] = sum(len(groups) for groups in folded)
+                    out[1] = chunks
+                    out[2] = chunks
+                    out[4] = morsels
+                osp.set_tag("rows", out[0])
+                osp.set_tag("batches", out[1])
+                osp.set_tag("chunks_scanned", chunks)
+                osp.set_tag("morsels", morsels)
+                charge_groups(sum(len(groups) for groups in folded),
+                              "MultiGroupAggregate")
+                results = {key.fingerprint(): groups
+                           for key, groups in zip(keys, folded)}
+                return _fill_domains(plan, results)
 
             def on_chunk(chunk_rows: int) -> None:
                 check_deadline("MultiGroupAggregate")
@@ -340,6 +490,89 @@ class InMemoryBackend:
             charge_groups(sum(len(groups) for groups in folded),
                           "MultiGroupAggregate")
             return _fill_domains(plan, results)
+
+    # -- morsel-driven parallel aggregation ---------------------------
+    def _morsel_partition(self, node, keys, rows: list[int], measure,
+                          aggregate: str) -> list[dict]:
+        """The chunked/morselised :meth:`_partition_groups` analogue for
+        one single-column key: returns merged per-group *states* (the
+        caller finalizes), recording the same ``Partition`` span and
+        counters the row-id path records."""
+        check_deadline("Partition")
+        with op_span(node) as osp, self.counters.timed("Partition") as out:
+            states, morsels, chunks = self._morsel_states(
+                keys, rows, measure, aggregate, "Partition")
+            out[0] = len(states[0])
+            out[1] = chunks
+            out[2] = chunks
+            out[4] = morsels
+            osp.set_tag("rows", out[0])
+            osp.set_tag("batches", out[1])
+            osp.set_tag("chunks_scanned", chunks)
+            osp.set_tag("morsels", morsels)
+        return states
+
+    def _morsel_states(self, keys, rows: list[int], measure,
+                       aggregate: str, stage: str):
+        """Run one fused scan-aggregate as morsels of whole chunks.
+
+        The chunk list is packed into ~:data:`MORSEL_ROWS`-row morsels;
+        each morsel accumulates fresh per-key partial states (deadline
+        checked and rows charged per morsel, one tracer span per
+        morsel).  With ``workers > 1`` the morsels run on a thread pool
+        — each task under ``contextvars.copy_context()`` so the ambient
+        budget and tracer propagate — and the partial states merge in
+        morsel-index order, making the result deterministic and
+        independent of completion order.  Serial execution accumulates
+        into one shared state dict in row order, which is bit-identical
+        to the pre-chunk fold semantics.
+
+        Returns ``(states_list, num_morsels, num_chunks)``.
+        """
+        key_chunk_lists = [self.schema.fact_chunks(k.path, k.column)
+                           for k in keys]
+        row_ids = (None if len(rows) == self.schema.num_fact_rows
+                   else rows)
+        morsels = _pack_morsels(key_chunk_lists[0], row_ids)
+        num_chunks = sum(len(items) for _, items in morsels)
+        acc = AGGREGATE_STATES[aggregate]
+        tracer = current_tracer()
+
+        def run_morsel(index: int, total: int, items, states) -> None:
+            with tracer.span("morsel") as span:
+                span.set_tag("morsel", index)
+                span.set_tag("rows", total)
+                span.set_tag("stage", stage)
+                check_deadline(stage)
+                charge_rows(total, stage)
+                for ci, sub in items:
+                    for chunks, target in zip(key_chunk_lists, states):
+                        accumulate_chunk(acc, target, chunks[ci],
+                                         measure, sub)
+
+        workers = min(self.workers, len(morsels))
+        if workers < 2:
+            states = [{} for _ in keys]
+            for index, (total, items) in enumerate(morsels):
+                run_morsel(index, total, items, states)
+            return states, len(morsels), num_chunks
+
+        def task(index: int, total: int, items) -> list[dict]:
+            states = [{} for _ in keys]
+            run_morsel(index, total, items, states)
+            return states
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(copy_context().run, task, index, total, items)
+                for index, (total, items) in enumerate(morsels)
+            ]
+            partials = [future.result() for future in futures]
+        merged = partials[0]
+        for other in partials[1:]:
+            for into, part in zip(merged, other):
+                merge_group_states(aggregate, into, part)
+        return merged, len(morsels), num_chunks
 
     def _measure_values(self, plan: GroupAggregate) -> list:
         """Per-fact-row measure values, memoised by canonical measure SQL.
@@ -364,6 +597,42 @@ class InMemoryBackend:
 
     def close(self) -> None:
         """Nothing to release."""
+
+
+def _pack_morsels(chunks: Sequence, row_ids: list[int] | None
+                  ) -> list[tuple[int, list[tuple[int, list[int] | None]]]]:
+    """Pack a (possibly filtered) chunked selection into morsels.
+
+    Returns ``(row_count, [(chunk_index, sub_selection_or_None), ...])``
+    per morsel: runs of whole chunks (``row_ids=None``) or of per-chunk
+    sub-selections, greedily grouped until a morsel reaches
+    :data:`MORSEL_ROWS` candidate rows.  Morsels never split a chunk, so
+    encoding fast paths stay available inside every morsel.
+    """
+    morsels: list[tuple[int, list]] = []
+    current: list[tuple[int, list[int] | None]] = []
+    count = 0
+    if row_ids is None:
+        pairs = ((index, None, len(chunk))
+                 for index, chunk in enumerate(chunks))
+    else:
+        size = chunks[0].stop if chunks else 1
+        pairs = (
+            (index,
+             None if len(sub) == len(chunks[index]) else sub,
+             len(sub))
+            for index, sub in vector.split_selection(row_ids, size)
+        )
+    for index, sub, rows in pairs:
+        current.append((index, sub))
+        count += rows
+        if count >= MORSEL_ROWS:
+            morsels.append((count, current))
+            current = []
+            count = 0
+    if current:
+        morsels.append((count, current))
+    return morsels
 
 
 # ----------------------------------------------------------------------
@@ -552,9 +821,13 @@ BACKENDS = {
 """Backend registry addressable by name (the CLI's ``--backend`` flag)."""
 
 
-def create_backend(schema: StarSchema, backend: str | ExecutionBackend
-                   ) -> ExecutionBackend:
-    """Resolve a backend name (or pass an instance through)."""
+def create_backend(schema: StarSchema, backend: str | ExecutionBackend,
+                   workers: int | None = None) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``workers`` sizes the in-memory backend's morsel pool; backends
+    without intra-query parallelism ignore it.
+    """
     if isinstance(backend, str):
         try:
             factory = BACKENDS[backend]
@@ -562,5 +835,7 @@ def create_backend(schema: StarSchema, backend: str | ExecutionBackend
             raise ValueError(
                 f"unknown backend {backend!r}; "
                 f"choose from {sorted(BACKENDS)}") from None
+        if workers is not None and factory is InMemoryBackend:
+            return factory(schema, workers=workers)
         return factory(schema)
     return backend

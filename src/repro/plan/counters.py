@@ -3,6 +3,12 @@
 Every backend records, for each plan operator it executes, how often it
 ran, how many rows it produced, and how much wall time it consumed — so
 benchmarks can attribute cost to plan nodes rather than to whole queries.
+
+The chunked read path adds three storage-level counters: how many
+encoded column chunks an operator actually read (``chunks_scanned``),
+how many its zone maps let it discard without reading
+(``chunks_skipped``), and how many parallel morsels a scan-aggregate was
+split into (``morsels``; 0 for serial execution).
 """
 
 from __future__ import annotations
@@ -21,12 +27,20 @@ class OpStats:
     rows: int = 0
     seconds: float = 0.0
     batches: int = 0
+    chunks_scanned: int = 0
+    chunks_skipped: int = 0
+    morsels: int = 0
 
-    def record(self, rows: int, seconds: float, batches: int = 0) -> None:
+    def record(self, rows: int, seconds: float, batches: int = 0,
+               chunks_scanned: int = 0, chunks_skipped: int = 0,
+               morsels: int = 0) -> None:
         self.calls += 1
         self.rows += rows
         self.seconds += seconds
         self.batches += batches
+        self.chunks_scanned += chunks_scanned
+        self.chunks_skipped += chunks_skipped
+        self.morsels += morsels
 
     @property
     def rows_per_batch(self) -> float:
@@ -45,28 +59,31 @@ class PlanCounters:
                                   repr=False, compare=False)
 
     def record(self, op: str, rows: int = 0, seconds: float = 0.0,
-               batches: int = 0) -> None:
+               batches: int = 0, chunks_scanned: int = 0,
+               chunks_skipped: int = 0, morsels: int = 0) -> None:
         """Add one execution of ``op`` (safe from backend worker threads)."""
         with self._lock:
             stats = self.ops.get(op)
             if stats is None:
                 stats = self.ops[op] = OpStats()
-            stats.record(rows, seconds, batches)
+            stats.record(rows, seconds, batches, chunks_scanned,
+                         chunks_skipped, morsels)
 
     @contextmanager
     def timed(self, op: str):
         """Context manager recording one timed execution of ``op``.
 
-        The yielded two-slot list receives the produced row count and the
-        number of batches executed (both default to 0 when the caller
+        The yielded slot list receives ``[rows, batches, chunks_scanned,
+        chunks_skipped, morsels]`` (all default to 0 when the caller
         leaves them untouched).
         """
-        out = [0, 0]
+        out = [0, 0, 0, 0, 0]
         start = time.perf_counter()
         try:
             yield out
         finally:
-            self.record(op, out[0], time.perf_counter() - start, out[1])
+            self.record(op, out[0], time.perf_counter() - start, out[1],
+                        out[2], out[3], out[4])
 
     def as_dict(self) -> dict:
         """JSON-serialisable snapshot, sorted by operator name.
@@ -81,7 +98,10 @@ class PlanCounters:
                 op: {"calls": s.calls, "rows": s.rows,
                      "seconds": round(s.seconds, 6),
                      "batches": s.batches,
-                     "rows_per_batch": round(s.rows_per_batch, 1)}
+                     "rows_per_batch": round(s.rows_per_batch, 1),
+                     "chunks_scanned": s.chunks_scanned,
+                     "chunks_skipped": s.chunks_skipped,
+                     "morsels": s.morsels}
                 for op, s in sorted(self.ops.items())
             }
 

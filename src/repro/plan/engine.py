@@ -74,9 +74,10 @@ class QueryEngine:
     """
 
     def __init__(self, schema, backend: str | ExecutionBackend = "memory",
-                 max_cache_entries: int = 4096, fuse_partitions: bool = True):
+                 max_cache_entries: int = 4096, fuse_partitions: bool = True,
+                 workers: int | None = None):
         self.schema = schema
-        self.backend = create_backend(schema, backend)
+        self.backend = create_backend(schema, backend, workers=workers)
         self.cache = PlanCache(max_entries=max_cache_entries)
         self.fuse_partitions = fuse_partitions
         self.fusion = FusionStats()

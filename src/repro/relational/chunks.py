@@ -1,0 +1,486 @@
+"""Encoded column chunks with zone maps.
+
+The storage layer beneath the vectorized executor.  A column is split
+into fixed-width *chunks* of :data:`CHUNK_SIZE` rows; each chunk is
+stored in whichever encoding fits its data:
+
+* :class:`DictChunk` — dictionary encoding for low-cardinality columns
+  (dimension attributes resolved to the fact grain repeat a handful of
+  values millions of times);
+* :class:`RLEChunk` — run-length encoding for sorted or repetitive
+  columns (facts clustered by date key collapse to a few runs per
+  chunk);
+* :class:`PlainChunk` — a zero-copy view over the raw value list for
+  everything else.
+
+Every chunk carries a :class:`ZoneMap` (min/max over non-null values,
+null count, distinct-count hint), so selection kernels can discard a
+whole chunk with one comparison before doing any per-row work: scan
+cost becomes proportional to *relevant* chunks rather than table rows.
+
+Chunk kernels mirror the plain-array kernels of
+:mod:`repro.relational.vector` — same arguments, same results, same
+NULL semantics — but exploit the encoding: a dictionary ``IN`` probes
+the (tiny) dictionary once instead of every row; an RLE selection
+expands matching runs with ``range`` instead of testing row by row.
+Selection vectors are **global** row ids and must be ascending, exactly
+as everywhere else in the engine.
+
+All chunk boundaries are uniform (``chunk i`` covers rows
+``[i * size, (i + 1) * size)``), so chunk lists of different columns of
+one table stay index-aligned and multi-column operators can walk them
+in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+CHUNK_SIZE = 4096
+"""Rows per encoded chunk (matches the executor's batch size, so one
+chunk is one unit of budget charging, zone-map pruning, and morsel
+scheduling)."""
+
+DICT_MAX_CARD = 256
+"""A chunk is dictionary-encoded only below this distinct-value count
+(past it, the dictionary stops paying for itself)."""
+
+
+class ZoneMap:
+    """Per-chunk statistics used to skip chunks before reading them."""
+
+    __slots__ = ("lo", "hi", "null_count", "distinct_hint")
+
+    def __init__(self, lo, hi, null_count: int, distinct_hint: int | None):
+        self.lo = lo
+        self.hi = hi
+        self.null_count = null_count
+        self.distinct_hint = distinct_hint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ZoneMap(lo={self.lo!r}, hi={self.hi!r}, "
+            f"nulls={self.null_count}, distinct={self.distinct_hint})"
+        )
+
+
+def _zone_bounds(non_null: Iterable):
+    """(lo, hi) over an iterable of non-null values; (None, None) when the
+    values are not mutually comparable (mixed-type object columns)."""
+    values = list(non_null)
+    if not values:
+        return None, None
+    try:
+        return min(values), max(values)
+    except TypeError:
+        return None, None
+
+
+class ColumnChunk:
+    """Base class: one encoded span ``[start, stop)`` of a column."""
+
+    __slots__ = ("start", "stop", "zone")
+
+    encoding = "plain"
+
+    def __init__(self, start: int, stop: int, zone: ZoneMap):
+        self.start = start
+        self.stop = stop
+        self.zone = zone
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    # -- zone-map skip tests ------------------------------------------
+    def may_match_in(self, wanted, keep_null: bool) -> bool:
+        """False only when *no* row of this chunk can satisfy an ``IN``
+        over ``wanted`` (conservative: True whenever unsure)."""
+        zone = self.zone
+        if zone.null_count == len(self):
+            return keep_null and None in wanted
+        if zone.lo is None:
+            return True  # bounds unknown: cannot rule anything out
+        if keep_null and zone.null_count and None in wanted:
+            return True
+        lo, hi = zone.lo, zone.hi
+        try:
+            return any(
+                v is not None and lo <= v <= hi for v in wanted
+            )
+        except TypeError:
+            return True
+
+    def may_match_range(self, low, high, inclusive_high: bool) -> bool:
+        """False only when no row can fall in ``[low, high)`` (or
+        ``[low, high]``); NULLs never match a range."""
+        zone = self.zone
+        if zone.null_count == len(self):
+            return False
+        if zone.lo is None:
+            return True
+        try:
+            if zone.hi < low:
+                return False
+            if inclusive_high:
+                return not zone.lo > high
+            return not zone.lo >= high
+        except TypeError:
+            return True
+
+    # -- kernels (implemented per encoding) ---------------------------
+    def values(self) -> list:
+        """The decoded value slice of this chunk."""
+        raise NotImplementedError
+
+    def gather(self, row_ids: Sequence[int]) -> list:
+        """Values at the given (ascending, in-chunk) global row ids."""
+        raise NotImplementedError
+
+    def select_in(self, wanted, keep_null: bool,
+                  row_ids: Sequence[int] | None = None) -> list[int]:
+        """Global ids of in-chunk rows whose value is in ``wanted``
+        (same NULL semantics as :func:`repro.relational.vector.select_in`);
+        ``row_ids=None`` means the whole chunk."""
+        raise NotImplementedError
+
+    def select_range(self, low, high, inclusive_high: bool,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        """Global ids of in-chunk rows with ``low <= value < high`` (or
+        ``<= high``); NULLs never match."""
+        raise NotImplementedError
+
+    def group_into(self, groups: dict,
+                   row_ids: Sequence[int] | None = None) -> None:
+        """Append this chunk's global row ids into ``groups`` (value →
+        ascending id list), dropping NULL keys."""
+        raise NotImplementedError
+
+
+class PlainChunk(ColumnChunk):
+    """A zero-copy view over ``base[start:stop]`` of the raw value list.
+
+    Kernels index ``base`` with *global* row ids directly, so the plain
+    encoding adds no indirection over the pre-chunk array kernels.
+    """
+
+    __slots__ = ("base",)
+
+    encoding = "plain"
+
+    def __init__(self, base: Sequence, start: int, stop: int, zone: ZoneMap):
+        super().__init__(start, stop, zone)
+        self.base = base
+
+    def values(self) -> list:
+        return list(self.base[self.start : self.stop])
+
+    def gather(self, row_ids: Sequence[int]) -> list:
+        base = self.base
+        return [base[r] for r in row_ids]
+
+    def select_in(self, wanted, keep_null: bool,
+                  row_ids: Sequence[int] | None = None) -> list[int]:
+        base = self.base
+        if row_ids is None:
+            row_ids = range(self.start, self.stop)
+        if keep_null:
+            return [r for r in row_ids if base[r] in wanted]
+        return [
+            r for r in row_ids if base[r] is not None and base[r] in wanted
+        ]
+
+    def select_range(self, low, high, inclusive_high: bool,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        base = self.base
+        if row_ids is None:
+            row_ids = range(self.start, self.stop)
+        if inclusive_high:
+            return [
+                r
+                for r in row_ids
+                if base[r] is not None and low <= base[r] <= high
+            ]
+        return [
+            r for r in row_ids if base[r] is not None and low <= base[r] < high
+        ]
+
+    def group_into(self, groups: dict,
+                   row_ids: Sequence[int] | None = None) -> None:
+        base = self.base
+        if row_ids is None:
+            row_ids = range(self.start, self.stop)
+        get = groups.get
+        for r in row_ids:
+            value = base[r]
+            if value is not None:
+                group = get(value)
+                if group is None:
+                    groups[value] = [r]
+                else:
+                    group.append(r)
+
+
+class DictChunk(ColumnChunk):
+    """Dictionary encoding: per-row small-integer codes into a chunk-local
+    value dictionary (built in first-seen order; NULL gets its own code
+    when present)."""
+
+    __slots__ = ("codes", "dictionary")
+
+    encoding = "dict"
+
+    def __init__(self, codes: list[int], dictionary: list,
+                 start: int, stop: int, zone: ZoneMap):
+        super().__init__(start, stop, zone)
+        self.codes = codes
+        self.dictionary = dictionary
+
+    def values(self) -> list:
+        dictionary = self.dictionary
+        return [dictionary[c] for c in self.codes]
+
+    def gather(self, row_ids: Sequence[int]) -> list:
+        dictionary, codes, start = self.dictionary, self.codes, self.start
+        return [dictionary[codes[r - start]] for r in row_ids]
+
+    def _wanted_codes(self, wanted, keep_null: bool) -> set[int]:
+        out = set()
+        for code, value in enumerate(self.dictionary):
+            if value is None:
+                if keep_null and None in wanted:
+                    out.add(code)
+            elif value in wanted:
+                out.add(code)
+        return out
+
+    def select_in(self, wanted, keep_null: bool,
+                  row_ids: Sequence[int] | None = None) -> list[int]:
+        hits = self._wanted_codes(wanted, keep_null)
+        if not hits:
+            return []
+        codes, start = self.codes, self.start
+        if row_ids is None:
+            return [start + i for i, c in enumerate(codes) if c in hits]
+        return [r for r in row_ids if codes[r - start] in hits]
+
+    def select_range(self, low, high, inclusive_high: bool,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        if inclusive_high:
+            hits = {
+                code
+                for code, v in enumerate(self.dictionary)
+                if v is not None and low <= v <= high
+            }
+        else:
+            hits = {
+                code
+                for code, v in enumerate(self.dictionary)
+                if v is not None and low <= v < high
+            }
+        if not hits:
+            return []
+        codes, start = self.codes, self.start
+        if row_ids is None:
+            return [start + i for i, c in enumerate(codes) if c in hits]
+        return [r for r in row_ids if codes[r - start] in hits]
+
+    def group_into(self, groups: dict,
+                   row_ids: Sequence[int] | None = None) -> None:
+        dictionary, codes, start = self.dictionary, self.codes, self.start
+        if row_ids is None:
+            buckets: list[list[int]] = [[] for _ in dictionary]
+            for i, c in enumerate(codes):
+                buckets[c].append(start + i)
+            for value, bucket in zip(dictionary, buckets):
+                if value is None or not bucket:
+                    continue
+                group = groups.get(value)
+                if group is None:
+                    groups[value] = bucket
+                else:
+                    group.extend(bucket)
+            return
+        get = groups.get
+        for r in row_ids:
+            value = dictionary[codes[r - start]]
+            if value is not None:
+                group = get(value)
+                if group is None:
+                    groups[value] = [r]
+                else:
+                    group.append(r)
+
+
+class RLEChunk(ColumnChunk):
+    """Run-length encoding: ``run_values[i]`` repeats over local rows
+    ``[run_ends[i-1], run_ends[i])`` (with an implicit 0 start)."""
+
+    __slots__ = ("run_values", "run_ends")
+
+    encoding = "rle"
+
+    def __init__(self, run_values: list, run_ends: list[int],
+                 start: int, stop: int, zone: ZoneMap):
+        super().__init__(start, stop, zone)
+        self.run_values = run_values
+        self.run_ends = run_ends
+
+    def values(self) -> list:
+        out: list = []
+        prev = 0
+        for value, end in zip(self.run_values, self.run_ends):
+            out.extend([value] * (end - prev))
+            prev = end
+        return out
+
+    def _runs(self):
+        """(value, local_start, local_end) triples."""
+        prev = 0
+        for value, end in zip(self.run_values, self.run_ends):
+            yield value, prev, end
+            prev = end
+
+    def gather(self, row_ids: Sequence[int]) -> list:
+        out: list = []
+        ends, values, start = self.run_ends, self.run_values, self.start
+        idx = 0
+        for r in row_ids:
+            local = r - start
+            while ends[idx] <= local:
+                idx += 1
+            out.append(values[idx])
+        return out
+
+    def _select_runs(self, match, row_ids: Sequence[int] | None) -> list[int]:
+        out: list[int] = []
+        start = self.start
+        if row_ids is None:
+            for value, lo, hi in self._runs():
+                if match(value):
+                    out.extend(range(start + lo, start + hi))
+            return out
+        ends, values = self.run_ends, self.run_values
+        idx = 0
+        for r in row_ids:
+            local = r - start
+            while ends[idx] <= local:
+                idx += 1
+            if match(values[idx]):
+                out.append(r)
+        return out
+
+    def select_in(self, wanted, keep_null: bool,
+                  row_ids: Sequence[int] | None = None) -> list[int]:
+        if keep_null:
+            return self._select_runs(lambda v: v in wanted, row_ids)
+        return self._select_runs(
+            lambda v: v is not None and v in wanted, row_ids
+        )
+
+    def select_range(self, low, high, inclusive_high: bool,
+                     row_ids: Sequence[int] | None = None) -> list[int]:
+        if inclusive_high:
+            return self._select_runs(
+                lambda v: v is not None and low <= v <= high, row_ids
+            )
+        return self._select_runs(
+            lambda v: v is not None and low <= v < high, row_ids
+        )
+
+    def group_into(self, groups: dict,
+                   row_ids: Sequence[int] | None = None) -> None:
+        start = self.start
+        if row_ids is None:
+            get = groups.get
+            for value, lo, hi in self._runs():
+                if value is None:
+                    continue
+                ids = range(start + lo, start + hi)
+                group = get(value)
+                if group is None:
+                    groups[value] = list(ids)
+                else:
+                    group.extend(ids)
+            return
+        ends, values = self.run_ends, self.run_values
+        idx = 0
+        get = groups.get
+        for r in row_ids:
+            local = r - start
+            while ends[idx] <= local:
+                idx += 1
+            value = values[idx]
+            if value is not None:
+                group = get(value)
+                if group is None:
+                    groups[value] = [r]
+                else:
+                    group.append(r)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_chunk(base: Sequence, start: int, stop: int) -> ColumnChunk:
+    """Encode one span of a value list, picking the cheapest encoding.
+
+    One analysis pass collects run structure, (capped) distinct values,
+    and null counts; RLE wins when the span collapses to few runs, a
+    dictionary wins at low cardinality, and everything else stays a
+    plain zero-copy view.
+    """
+    span = base[start:stop]
+    n = len(span)
+    null_count = 0
+    run_values: list = []
+    run_ends: list[int] = []
+    distinct: dict = {}
+    distinct_overflow = False
+    sentinel = object()
+    prev = sentinel
+    for i, value in enumerate(span):
+        if value is None:
+            null_count += 1
+        if prev is sentinel or (value is not prev and value != prev):
+            if prev is not sentinel:
+                run_ends.append(i)
+            run_values.append(value)
+            prev = value
+        if not distinct_overflow:
+            try:
+                distinct[value] = None
+            except TypeError:
+                distinct_overflow = True
+            if len(distinct) > DICT_MAX_CARD:
+                distinct_overflow = True
+    if prev is not sentinel:
+        run_ends.append(n)
+
+    if distinct_overflow:
+        distinct_hint = None
+        non_null = set()
+    else:
+        non_null = {v for v in distinct if v is not None}
+        distinct_hint = len(non_null)
+    num_runs = len(run_values)
+    if num_runs and num_runs * 4 <= n:
+        lo, hi = _zone_bounds(v for v in run_values if v is not None)
+        zone = ZoneMap(lo, hi, null_count, distinct_hint)
+        return RLEChunk(run_values, run_ends, start, start + n, zone)
+    lo, hi = _zone_bounds(non_null) if not distinct_overflow else \
+        _zone_bounds(v for v in span if v is not None)
+    zone = ZoneMap(lo, hi, null_count, distinct_hint)
+    if not distinct_overflow and len(distinct) * 4 <= n:
+        encoding = {value: code for code, value in enumerate(distinct)}
+        codes = [encoding[value] for value in span]
+        return DictChunk(codes, list(distinct), start, start + n, zone)
+    return PlainChunk(base, start, start + n, zone)
+
+
+def encode_column(base: Sequence,
+                  chunk_size: int = CHUNK_SIZE) -> list[ColumnChunk]:
+    """Encode a whole column into uniform-boundary chunks."""
+    return [
+        encode_chunk(base, start, min(start + chunk_size, len(base)))
+        for start in range(0, len(base), chunk_size)
+    ]

@@ -19,6 +19,7 @@ from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Sequence
 
 from . import vector
+from .chunks import ColumnChunk, DictChunk, RLEChunk
 from .expressions import Predicate
 from .table import Table
 
@@ -241,3 +242,427 @@ def fused_group_aggregates(
          for value, ids in groups.items()}
         for groups in partitions
     ]
+
+
+# ----------------------------------------------------------------------
+# mergeable aggregate states over encoded chunks
+# ----------------------------------------------------------------------
+class AggregateStates:
+    """Mergeable partial states for one aggregate function.
+
+    Each group's state is a small mutable list so partial aggregation
+    can run per morsel and the per-morsel dicts merge afterwards.  The
+    accumulation loops add measure values *in ascending row order*, so a
+    serial pass over chunks produces bit-identical floats to the
+    :data:`AGGREGATES` folds it replaces; only a cross-morsel
+    :meth:`merge` re-associates additions (at morsel boundaries).
+
+    Group-existence semantics match :func:`~repro.relational.vector.
+    group_rows` + fold exactly: a group exists whenever its (non-NULL)
+    key occurs in the selection, NULL measures are ignored inside the
+    group, and the empty fill equals ``AGGREGATES[name](())``.
+    """
+
+    name: str = ""
+
+    def new(self) -> list:
+        raise NotImplementedError
+
+    @property
+    def empty(self):
+        """The finalized aggregate of an empty group."""
+        return self.final(self.new())
+
+    def add_pairs(self, states: dict, keys: Sequence,
+                  rows: Sequence[int], measure: Sequence) -> None:
+        """Accumulate (key, measure[row]) pairs (the generic loop)."""
+        raise NotImplementedError
+
+    def add_dict(self, states: dict, chunk: DictChunk,
+                 measure: Sequence) -> None:
+        """Accumulate one full dictionary chunk: per-code state slots
+        replace per-row hashing."""
+        raise NotImplementedError
+
+    def add_rle(self, states: dict, chunk: RLEChunk,
+                measure: Sequence) -> None:
+        """Accumulate one full RLE chunk: one state lookup per run."""
+        raise NotImplementedError
+
+    def merge(self, into: list, other: list) -> None:
+        raise NotImplementedError
+
+    def final(self, state: list):
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------
+    def _dict_slots(self, states: dict, chunk: DictChunk) -> list:
+        """Code-indexed state slots (None for the NULL code), creating
+        missing groups in the dictionary's first-seen order."""
+        get = states.get
+        slots: list = []
+        for value in chunk.dictionary:
+            if value is None:
+                slots.append(None)
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = self.new()
+            slots.append(state)
+        return slots
+
+
+class _SumStates(AggregateStates):
+    name = "sum"
+
+    def new(self) -> list:
+        return [0]
+
+    def add_pairs(self, states, keys, rows, measure) -> None:
+        get = states.get
+        for value, r in zip(keys, rows):
+            if value is None:
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = [0]
+            m = measure[r]
+            if m is not None:
+                state[0] += m
+
+    def add_dict(self, states, chunk, measure) -> None:
+        slots = self._dict_slots(states, chunk)
+        for state, m in zip(map(slots.__getitem__, chunk.codes),
+                            measure[chunk.start:chunk.stop]):
+            if state is not None and m is not None:
+                state[0] += m
+
+    def add_rle(self, states, chunk, measure) -> None:
+        get = states.get
+        start = chunk.start
+        prev = 0
+        for value, end in zip(chunk.run_values, chunk.run_ends):
+            if value is not None:
+                state = get(value)
+                if state is None:
+                    state = states[value] = [0]
+                segment = measure[start + prev:start + end]
+                try:
+                    # run-level C fold: the whole point of RLE chunks
+                    state[0] += sum(segment)
+                except TypeError:   # a None in the run: per-row guard
+                    state[0] += sum(m for m in segment if m is not None)
+            prev = end
+
+    def merge(self, into, other) -> None:
+        into[0] += other[0]
+
+    def final(self, state):
+        return state[0]
+
+
+class _CountStates(AggregateStates):
+    name = "count"
+
+    def new(self) -> list:
+        return [0]
+
+    def add_pairs(self, states, keys, rows, measure) -> None:
+        get = states.get
+        for value, r in zip(keys, rows):
+            if value is None:
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = [0]
+            if measure[r] is not None:
+                state[0] += 1
+
+    def add_dict(self, states, chunk, measure) -> None:
+        slots = self._dict_slots(states, chunk)
+        for state, m in zip(map(slots.__getitem__, chunk.codes),
+                            measure[chunk.start:chunk.stop]):
+            if state is not None and m is not None:
+                state[0] += 1
+
+    def add_rle(self, states, chunk, measure) -> None:
+        get = states.get
+        start = chunk.start
+        prev = 0
+        for value, end in zip(chunk.run_values, chunk.run_ends):
+            if value is not None:
+                state = get(value)
+                if state is None:
+                    state = states[value] = [0]
+                segment = measure[start + prev:start + end]
+                state[0] += len(segment) - segment.count(None)
+            prev = end
+
+    def merge(self, into, other) -> None:
+        into[0] += other[0]
+
+    def final(self, state):
+        return state[0]
+
+
+class _AvgStates(AggregateStates):
+    name = "avg"
+
+    def new(self) -> list:
+        return [0.0, 0]
+
+    def add_pairs(self, states, keys, rows, measure) -> None:
+        get = states.get
+        for value, r in zip(keys, rows):
+            if value is None:
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = [0.0, 0]
+            m = measure[r]
+            if m is not None:
+                state[0] += m
+                state[1] += 1
+
+    def add_dict(self, states, chunk, measure) -> None:
+        slots = self._dict_slots(states, chunk)
+        for state, m in zip(map(slots.__getitem__, chunk.codes),
+                            measure[chunk.start:chunk.stop]):
+            if state is not None and m is not None:
+                state[0] += m
+                state[1] += 1
+
+    def add_rle(self, states, chunk, measure) -> None:
+        get = states.get
+        start = chunk.start
+        prev = 0
+        for value, end in zip(chunk.run_values, chunk.run_ends):
+            if value is not None:
+                state = get(value)
+                if state is None:
+                    state = states[value] = [0.0, 0]
+                segment = measure[start + prev:start + end]
+                try:
+                    total = sum(segment)    # run-level C fold
+                    count = len(segment)
+                except TypeError:   # a None in the run: filter first
+                    values = [m for m in segment if m is not None]
+                    total = sum(values)
+                    count = len(values)
+                state[0] += total
+                state[1] += count
+            prev = end
+
+    def merge(self, into, other) -> None:
+        into[0] += other[0]
+        into[1] += other[1]
+
+    def final(self, state):
+        if not state[1]:
+            return None
+        return state[0] / state[1]
+
+
+class _MinStates(AggregateStates):
+    name = "min"
+
+    def new(self) -> list:
+        return [None]
+
+    def add_pairs(self, states, keys, rows, measure) -> None:
+        get = states.get
+        for value, r in zip(keys, rows):
+            if value is None:
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = [None]
+            m = measure[r]
+            if m is not None and (state[0] is None or m < state[0]):
+                state[0] = m
+
+    def add_dict(self, states, chunk, measure) -> None:
+        slots = self._dict_slots(states, chunk)
+        for state, m in zip(map(slots.__getitem__, chunk.codes),
+                            measure[chunk.start:chunk.stop]):
+            if (state is not None and m is not None
+                    and (state[0] is None or m < state[0])):
+                state[0] = m
+
+    def add_rle(self, states, chunk, measure) -> None:
+        get = states.get
+        start = chunk.start
+        prev = 0
+        for value, end in zip(chunk.run_values, chunk.run_ends):
+            if value is not None:
+                state = get(value)
+                if state is None:
+                    state = states[value] = [None]
+                segment = measure[start + prev:start + end]
+                try:
+                    low = min(segment)      # run-level C fold
+                except TypeError:   # a None in the run: filter first
+                    low = min((m for m in segment if m is not None),
+                              default=None)
+                if low is not None and (state[0] is None
+                                        or low < state[0]):
+                    state[0] = low
+            prev = end
+
+    def merge(self, into, other) -> None:
+        if other[0] is not None and (into[0] is None
+                                     or other[0] < into[0]):
+            into[0] = other[0]
+
+    def final(self, state):
+        return state[0]
+
+
+class _MaxStates(AggregateStates):
+    name = "max"
+
+    def new(self) -> list:
+        return [None]
+
+    def add_pairs(self, states, keys, rows, measure) -> None:
+        get = states.get
+        for value, r in zip(keys, rows):
+            if value is None:
+                continue
+            state = get(value)
+            if state is None:
+                state = states[value] = [None]
+            m = measure[r]
+            if m is not None and (state[0] is None or m > state[0]):
+                state[0] = m
+
+    def add_dict(self, states, chunk, measure) -> None:
+        slots = self._dict_slots(states, chunk)
+        for state, m in zip(map(slots.__getitem__, chunk.codes),
+                            measure[chunk.start:chunk.stop]):
+            if (state is not None and m is not None
+                    and (state[0] is None or m > state[0])):
+                state[0] = m
+
+    def add_rle(self, states, chunk, measure) -> None:
+        get = states.get
+        start = chunk.start
+        prev = 0
+        for value, end in zip(chunk.run_values, chunk.run_ends):
+            if value is not None:
+                state = get(value)
+                if state is None:
+                    state = states[value] = [None]
+                segment = measure[start + prev:start + end]
+                try:
+                    high = max(segment)     # run-level C fold
+                except TypeError:   # a None in the run: filter first
+                    high = max((m for m in segment if m is not None),
+                               default=None)
+                if high is not None and (state[0] is None
+                                         or high > state[0]):
+                    state[0] = high
+            prev = end
+
+    def merge(self, into, other) -> None:
+        if other[0] is not None and (into[0] is None
+                                     or other[0] > into[0]):
+            into[0] = other[0]
+
+    def final(self, state):
+        return state[0]
+
+
+AGGREGATE_STATES: dict[str, AggregateStates] = {
+    acc.name: acc for acc in (_SumStates(), _CountStates(), _AvgStates(),
+                              _MinStates(), _MaxStates())
+}
+"""Mergeable-state accumulators, one per :data:`AGGREGATES` entry."""
+
+
+def accumulate_chunk(acc: AggregateStates, states: dict,
+                     chunk: ColumnChunk, measure: Sequence,
+                     row_ids: Sequence[int] | None) -> None:
+    """Accumulate one key chunk into ``states`` (``row_ids=None`` means
+    the whole chunk), dispatching to the encoding's fast loop."""
+    if row_ids is None:
+        if isinstance(chunk, DictChunk):
+            acc.add_dict(states, chunk, measure)
+        elif isinstance(chunk, RLEChunk):
+            acc.add_rle(states, chunk, measure)
+        else:
+            acc.add_pairs(states, chunk.values(),
+                          range(chunk.start, chunk.stop), measure)
+    else:
+        acc.add_pairs(states, chunk.gather(row_ids), row_ids, measure)
+
+
+def chunked_group_states(
+    key_chunk_lists: Sequence[Sequence[ColumnChunk]],
+    measure: Sequence,
+    aggregate: str,
+    row_ids: Sequence[int] | None = None,
+    on_chunk: Callable[[int], None] | None = None,
+    states_list: Sequence[dict] | None = None,
+) -> list[dict]:
+    """Fused group-aggregate states for N key columns over one shared
+    selection, walking index-aligned encoded chunks in a single pass.
+
+    The chunked, mergeable-state successor of
+    :func:`fused_group_aggregates`: instead of materialising per-group
+    row-id lists and folding them, every chunk accumulates directly into
+    per-key ``value → state`` dicts (``states_list``, fresh by default —
+    pass a previous result to continue accumulating).  ``on_chunk``
+    receives each chunk's candidate-row count before it is processed,
+    the budget/deadline hook of the morsel loop.
+    """
+    acc = AGGREGATE_STATES[aggregate]
+    states: list[dict] = ([{} for _ in key_chunk_lists]
+                          if states_list is None else list(states_list))
+    first = key_chunk_lists[0]
+    if row_ids is None:
+        for index, chunk in enumerate(first):
+            if on_chunk is not None:
+                on_chunk(len(chunk))
+            for chunks, target in zip(key_chunk_lists, states):
+                accumulate_chunk(acc, target, chunks[index], measure, None)
+    else:
+        size = first[0].stop if first else 0
+        for index, sub in vector.split_selection(row_ids, size):
+            if on_chunk is not None:
+                on_chunk(len(sub))
+            full = len(sub) == len(first[index])
+            for chunks, target in zip(key_chunk_lists, states):
+                accumulate_chunk(acc, target, chunks[index], measure,
+                                 None if full else sub)
+    return states
+
+
+def merge_group_states(aggregate: str, into: dict, other: dict) -> None:
+    """Merge one partial ``value → state`` dict into another (the morsel
+    merge protocol; insertion order of ``into`` is preserved, new keys
+    append in ``other``'s order)."""
+    acc = AGGREGATE_STATES[aggregate]
+    merge = acc.merge
+    get = into.get
+    for value, state in other.items():
+        known = get(value)
+        if known is None:
+            into[value] = state
+        else:
+            merge(known, state)
+
+
+def finalize_group_states(aggregate: str, states: dict,
+                          domain: Iterable | None = None) -> dict:
+    """Turn a state dict into the ``value → aggregate`` result, applying
+    the optional domain restriction/fill exactly like the fold path."""
+    acc = AGGREGATE_STATES[aggregate]
+    final = acc.final
+    if domain is not None:
+        empty = acc.empty
+        return {
+            value: final(states[value]) if value in states else empty
+            for value in domain
+        }
+    return {value: final(state) for value, state in states.items()}

@@ -1,15 +1,23 @@
 """Columnar in-memory tables.
 
-A :class:`Table` keeps one Python list per column.  Rows are addressed by
-integer row id (their position), which lets higher layers (subspaces, join
-indexes) represent row sets as plain ``list[int]`` / ``set[int]`` without
-copying any data.
+A :class:`Table` keeps one Python list per column — the append-only
+*write store*.  Rows are addressed by integer row id (their position),
+which lets higher layers (subspaces, join indexes) represent row sets as
+plain ``list[int]`` / ``set[int]`` without copying any data.
+
+On top of the write store sits the encoded *read store*:
+:meth:`column_chunks` lazily compresses a column into
+:mod:`~repro.relational.chunks` column chunks (dictionary / run-length /
+plain, each with a zone map) that the vectorized read path consumes.
+Chunks are memoised per column and invalidated by a table-wide version
+counter, so an insert simply makes the next reader re-encode.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from .chunks import ColumnChunk, encode_column
 from .errors import IntegrityError, UnknownColumnError
 from .types import Column, coerce_value
 
@@ -43,6 +51,8 @@ class Table:
         self.columns: tuple[Column, ...] = tuple(columns)
         self._col_index: dict[str, int] = {c.name: i for i, c in enumerate(columns)}
         self._data: list[list] = [[] for _ in columns]
+        self._version = 0
+        self._chunk_cache: dict[str, tuple[int, list[ColumnChunk]]] = {}
         self.primary_key = primary_key
         self._pk_index: dict[object, int] | None = None
         if primary_key is not None:
@@ -87,6 +97,20 @@ class Table:
         except KeyError:
             raise UnknownColumnError(self.name, name) from None
 
+    def column_chunks(self, name: str) -> list[ColumnChunk]:
+        """The encoded read store of one column: a list of uniform-width
+        column chunks (dictionary / RLE / plain, each with a zone map).
+
+        Encoded lazily on first access and memoised until the table's
+        next mutation bumps the version counter.
+        """
+        cached = self._chunk_cache.get(name)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        chunks = encode_column(self.column_values(name))
+        self._chunk_cache[name] = (self._version, chunks)
+        return chunks
+
     def value(self, row_id: int, column: str):
         """A single cell value."""
         return self.column_values(column)[row_id]
@@ -121,6 +145,7 @@ class Table:
             if key not in self._col_index:
                 raise UnknownColumnError(self.name, key)
         row_id = len(self)
+        self._version += 1
         for i, col in enumerate(self.columns):
             value = coerce_value(row.get(col.name), col)
             self._data[i].append(value)
@@ -140,6 +165,45 @@ class Table:
         """Append many rows."""
         for row in rows:
             self.insert(row)
+
+    def load_columns(self, columns: Mapping[str, Sequence]) -> None:
+        """Bulk-append column-oriented data (the scale-generator path).
+
+        Every declared column must be present and all value lists equal
+        length; values are validated through :func:`coerce_value` exactly
+        as :meth:`insert`, but appended one whole column at a time so
+        million-row loads avoid per-row dict handling.
+        """
+        missing = [c.name for c in self.columns if c.name not in columns]
+        if missing:
+            raise IntegrityError(
+                f"load_columns into {self.name!r} missing {missing}")
+        for key in columns:
+            if key not in self._col_index:
+                raise UnknownColumnError(self.name, key)
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise IntegrityError(
+                f"load_columns into {self.name!r}: ragged column lengths")
+        base = len(self)
+        self._version += 1
+        for i, col in enumerate(self.columns):
+            self._data[i].extend(
+                coerce_value(v, col) for v in columns[col.name])
+        if self._pk_index is not None:
+            store = self._data[self._col_index[self.primary_key]]
+            index = self._pk_index
+            seen: set = set()
+            for key in store[base:]:
+                if key in index or key in seen:
+                    for data in self._data:
+                        del data[base:]
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table "
+                        f"{self.name!r}")
+                seen.add(key)
+            for rid in range(base, len(store)):
+                index[store[rid]] = rid
 
     # ------------------------------------------------------------------
     # lookups

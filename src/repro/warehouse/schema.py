@@ -22,10 +22,12 @@ partitioning, so resolved vectors are memoised per (join path, column).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..relational.catalog import Database
+from ..relational.chunks import ColumnChunk, encode_column
 from ..relational.errors import SchemaError, UnknownColumnError
 from ..relational.expressions import Expression
 from .graph import JoinPath, SchemaGraph
@@ -159,7 +161,12 @@ class StarSchema:
         self.graph = SchemaGraph(database)
         self._validate()
         # caches -------------------------------------------------------
+        # lock-guarded: ray-prefetch and morsel workers resolve vectors
+        # and chunks concurrently, and an unguarded dict fill would let
+        # two threads race to (re)compute the same entry
+        self._cache_lock = threading.Lock()
         self._fact_vectors: dict[tuple, list] = {}
+        self._fact_chunks: dict[tuple, list[ColumnChunk]] = {}
         self._measure_vectors: dict[str, list] = {}
         self._parent_maps: dict[tuple, dict] = {}
 
@@ -277,13 +284,38 @@ class StarSchema:
         return [values[rid] if rid is not None else None for rid in current]
 
     def fact_vector(self, path: JoinPath, column: str) -> list:
-        """Cached fact-aligned vector of ``column`` reached via ``path``."""
+        """Cached fact-aligned vector of ``column`` reached via ``path``.
+
+        Thread-safe: concurrent workers may race to the first resolve;
+        whichever finishes first wins the cache slot and every caller
+        sees one consistent vector.
+        """
         key = (path.fk_names, column)
-        if key not in self._fact_vectors:
-            self._fact_vectors[key] = self.resolve_column(
-                self.fact_table, path, column
-            )
-        return self._fact_vectors[key]
+        with self._cache_lock:
+            cached = self._fact_vectors.get(key)
+        if cached is not None:
+            return cached
+        values = self.resolve_column(self.fact_table, path, column)
+        with self._cache_lock:
+            return self._fact_vectors.setdefault(key, values)
+
+    def fact_chunks(self, path: JoinPath, column: str) -> list[ColumnChunk]:
+        """Encoded column chunks of one fact-aligned vector (cached).
+
+        Dimension attributes resolved to the fact grain repeat few
+        distinct values, so these almost always dictionary- or
+        run-length-encode; the chunk list is index-aligned with every
+        other fact-grain chunk list, letting multi-key operators walk
+        them in lockstep and skip chunks via zone maps.
+        """
+        key = (path.fk_names, column)
+        with self._cache_lock:
+            cached = self._fact_chunks.get(key)
+        if cached is not None:
+            return cached
+        chunks = encode_column(self.fact_vector(path, column))
+        with self._cache_lock:
+            return self._fact_chunks.setdefault(key, chunks)
 
     def groupby_vector(self, gb: GroupByAttribute) -> list:
         """Fact-aligned values of a group-by attribute."""
@@ -292,13 +324,16 @@ class StarSchema:
     def measure_vector(self, measure_name: str) -> list:
         """Cached per-fact-row measure values (computed through the
         expression batch seam, one kernel pass over the fact table)."""
-        if measure_name not in self._measure_vectors:
-            measure = self.measures[measure_name]
-            fact = self.database.table(self.fact_table)
-            measure.expression.validate(fact)
-            self._measure_vectors[measure_name] = \
-                measure.expression.evaluate_batch(fact)
-        return self._measure_vectors[measure_name]
+        with self._cache_lock:
+            cached = self._measure_vectors.get(measure_name)
+        if cached is not None:
+            return cached
+        measure = self.measures[measure_name]
+        fact = self.database.table(self.fact_table)
+        measure.expression.validate(fact)
+        values = measure.expression.evaluate_batch(fact)
+        with self._cache_lock:
+            return self._measure_vectors.setdefault(measure_name, values)
 
     # ------------------------------------------------------------------
     # hierarchy value mappings (for roll-up)

@@ -1,0 +1,167 @@
+"""Morsel-driven parallel scan-aggregate: parity, determinism, budget.
+
+:data:`~repro.plan.backends.PARALLEL_MIN_ROWS` and
+:data:`~repro.plan.backends.MORSEL_ROWS` are module constants precisely
+so these tests can shrink them: a twenty-thousand-row warehouse then
+exercises the full morsel path — chunk packing, per-worker partial
+states, the order-insensitive merge, budget charging per morsel — that
+production only enters beyond a hundred thousand rows.
+"""
+
+import threading
+
+import pytest
+
+from repro.datasets import build_scale
+from repro.plan import backends as backends_mod
+from repro.plan.backends import InMemoryBackend, SqliteBackend
+from repro.plan.builders import (
+    attr_key,
+    multi_partition_plan,
+    partition_plan,
+)
+from repro.plan.nodes import Filter, Scan
+from repro.relational.errors import BudgetExceeded
+from repro.relational.expressions import Between, Col
+from repro.resilience.budget import Budget, budget_scope
+
+FACTS = 20_000
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return build_scale(num_facts=FACTS, seed=11, num_days=200)
+
+
+@pytest.fixture(autouse=True)
+def force_morsels(monkeypatch):
+    """Shrink the thresholds so FACTS rows split into several morsels."""
+    monkeypatch.setattr(backends_mod, "PARALLEL_MIN_ROWS", 512)
+    monkeypatch.setattr(backends_mod, "MORSEL_ROWS", 1024)
+
+
+def month_sum_plan(scale):
+    gb = scale.groupby_attribute("DimDate", "MonthName")
+    return partition_plan(Scan(scale.fact_table), (attr_key(gb),),
+                          scale.measures["revenue"])
+
+
+def approx_equal(a: dict, b: dict) -> bool:
+    return a.keys() == b.keys() and all(
+        b[k] == pytest.approx(a[k], rel=1e-9) for k in a)
+
+
+class TestParity:
+    def test_workers_match_serial_and_sqlite(self, scale):
+        plan = month_sum_plan(scale)
+        serial = InMemoryBackend(scale, workers=1).execute(plan)
+        parallel = InMemoryBackend(scale, workers=4).execute(plan)
+        assert approx_equal(serial, parallel)
+        with SqliteBackend(scale) as sqlite:
+            assert approx_equal(sqlite.execute(plan), parallel)
+
+    def test_filtered_scan_matches_serial_and_sqlite(self, scale):
+        gb = scale.groupby_attribute("DimProduct", "Color")
+        source = Filter(Scan(scale.fact_table),
+                        predicate=Between(Col("DateKey"),
+                                          20030301, 20030501))
+        plan = partition_plan(source, (attr_key(gb),),
+                              scale.measures["revenue"])
+        serial = InMemoryBackend(scale, workers=1).execute(plan)
+        parallel = InMemoryBackend(scale, workers=3).execute(plan)
+        assert approx_equal(serial, parallel)
+        with SqliteBackend(scale) as sqlite:
+            assert approx_equal(sqlite.execute(plan), parallel)
+
+    def test_multi_aggregate_matches_serial(self, scale):
+        gbs = [scale.groupby_attribute("DimDate", "MonthName"),
+               scale.groupby_attribute("DimProduct", "Color")]
+        plan = multi_partition_plan(scale, range(FACTS), gbs,
+                                    scale.measures["revenue"])
+        serial = InMemoryBackend(scale, workers=1).execute(plan)
+        parallel = InMemoryBackend(scale, workers=4).execute(plan)
+        assert parallel.keys() == serial.keys()    # one entry per key
+        assert len(parallel) == len(gbs)
+        for fingerprint, groups in serial.items():
+            assert approx_equal(groups, parallel[fingerprint])
+
+
+class TestDeterminism:
+    def test_parallel_merge_is_run_to_run_deterministic(self, scale):
+        plan = month_sum_plan(scale)
+        backend = InMemoryBackend(scale, workers=4)
+        first = backend.execute(plan)
+        for _ in range(3):
+            again = backend.execute(plan)
+            # merge in morsel-index order: same values, bit for bit,
+            # and the same group insertion order on every run
+            assert again == first
+            assert list(again) == list(first)
+
+
+class TestCountersAndBudget:
+    def test_morsels_and_chunks_surface_in_counters(self, scale):
+        backend = InMemoryBackend(scale, workers=4)
+        backend.execute(month_sum_plan(scale))
+        stats = backend.counters.as_dict()["Partition"]
+        assert stats["morsels"] >= 2
+        assert stats["chunks_scanned"] > 0
+
+    def test_zone_maps_skip_chunks_in_selective_filter(self, scale):
+        gb = scale.groupby_attribute("DimDate", "MonthName")
+        source = Filter(Scan(scale.fact_table),
+                        predicate=Between(Col("DateKey"),
+                                          20030310, 20030320))
+        plan = partition_plan(source, (attr_key(gb),),
+                              scale.measures["revenue"])
+        backend = InMemoryBackend(scale)
+        result = backend.execute(plan)
+        assert result, "the ten-day window must select rows"
+        stats = backend.counters.as_dict()["Filter"]
+        assert stats["chunks_skipped"] > 0
+
+    def test_row_budget_truncates_parallel_aggregate(self, scale):
+        plan = month_sum_plan(scale)
+        backend = InMemoryBackend(scale, workers=4)
+        backend.execute(plan)    # warm caches outside the budget
+        with budget_scope(Budget(max_rows=FACTS // 2)):
+            with pytest.raises(BudgetExceeded) as excinfo:
+                backend.execute(plan)
+        assert excinfo.value.reason == "rows"
+
+    def test_group_budget_counts_merged_groups_once(self, scale):
+        plan = month_sum_plan(scale)
+        backend = InMemoryBackend(scale, workers=4)
+        groups = len(backend.execute(plan))
+        # every worker sees every month, but the merged result must be
+        # charged once: a budget admitting the true group count passes
+        with budget_scope(Budget(max_groups=groups)):
+            assert len(backend.execute(plan)) == groups
+        with budget_scope(Budget(max_groups=groups - 1)):
+            with pytest.raises(BudgetExceeded):
+                backend.execute(plan)
+
+
+class TestThreadSafety:
+    def test_concurrent_queries_on_shared_backend(self, scale):
+        """Morsel workers inside concurrent callers: the schema chunk
+        cache, counters, and state merges must tolerate the cross
+        traffic and every caller must see the same answer."""
+        plan = month_sum_plan(scale)
+        backend = InMemoryBackend(scale, workers=2)
+        expected = backend.execute(plan)
+        errors: list[BaseException] = []
+
+        def caller() -> None:
+            try:
+                for _ in range(5):
+                    assert backend.execute(plan) == expected
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

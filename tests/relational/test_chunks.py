@@ -1,0 +1,225 @@
+"""Encoded column chunks: roundtrip, encoding choice, kernel parity.
+
+Randomized (hypothesis) checks that the chunk layer is a pure storage
+change: every encoded kernel — membership and range selection, grouping,
+fused aggregate states — must return exactly what a scalar reference
+loop over the plain values returns, for full scans and for arbitrary
+ascending sub-selections, and zone maps may only ever *skip* chunks that
+provably contain no match.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import vector
+from repro.relational.chunks import (
+    DictChunk,
+    PlainChunk,
+    RLEChunk,
+    encode_column,
+)
+from repro.relational.operators import (
+    chunked_group_states,
+    finalize_group_states,
+    merge_group_states,
+)
+
+SIZE = 16
+"""Tiny chunks so a couple hundred values exercise many boundaries."""
+
+mixed_values = st.lists(
+    st.one_of(st.none(), st.integers(-5, 5),
+              st.sampled_from(["red", "green", "blue"])),
+    max_size=120)
+numeric_values = st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                          max_size=120)
+measures = st.one_of(st.none(), st.integers(-20, 20),
+                     st.floats(-100.0, 100.0, allow_nan=False))
+
+
+def subset_of(data, n: int) -> list[int]:
+    """An ascending selection over ``range(n)`` drawn from ``data``."""
+    if n == 0:
+        return []
+    return sorted(data.draw(
+        st.sets(st.integers(0, n - 1), max_size=n), label="subset"))
+
+
+# ----------------------------------------------------------------------
+# encode / decode
+# ----------------------------------------------------------------------
+class TestEncoding:
+    @given(values=mixed_values)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_and_uniform_boundaries(self, values):
+        chunks = encode_column(values, SIZE)
+        decoded = []
+        for index, chunk in enumerate(chunks):
+            assert chunk.start == index * SIZE
+            assert chunk.stop == min((index + 1) * SIZE, len(values))
+            decoded.extend(chunk.values())
+        assert decoded == values
+
+    def test_empty_column(self):
+        assert encode_column([], SIZE) == []
+
+    def test_sorted_repetitive_column_is_rle(self):
+        values = sorted([v // 40 for v in range(400)])
+        chunks = encode_column(values, 100)
+        assert all(isinstance(c, RLEChunk) for c in chunks)
+
+    def test_low_cardinality_unsorted_column_is_dict(self):
+        values = [("x", "y", "z")[i * 7 % 3] for i in range(300)]
+        chunks = encode_column(values, 100)
+        assert all(isinstance(c, DictChunk) for c in chunks)
+
+    def test_high_cardinality_column_stays_plain(self):
+        values = [(i * 131) % 997 for i in range(300)]
+        chunks = encode_column(values, 100)
+        assert all(isinstance(c, PlainChunk) for c in chunks)
+
+    @given(values=mixed_values)
+    @settings(max_examples=60, deadline=None)
+    def test_zone_maps_count_nulls(self, values):
+        for chunk in encode_column(values, SIZE):
+            segment = values[chunk.start:chunk.stop]
+            assert chunk.zone.null_count == segment.count(None)
+
+
+# ----------------------------------------------------------------------
+# selection kernels
+# ----------------------------------------------------------------------
+class TestSelectionParity:
+    @given(values=mixed_values, data=st.data(),
+           keep_null=st.booleans(), use_subset=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_select_in_matches_scalar_reference(self, values, data,
+                                                keep_null, use_subset):
+        wanted = set(data.draw(
+            st.lists(st.one_of(st.none(), st.integers(-5, 5),
+                               st.sampled_from(["red", "green", "gold"])),
+                     max_size=4), label="wanted"))
+        rows = (subset_of(data, len(values)) if use_subset
+                else list(range(len(values))))
+        chunks = encode_column(values, SIZE)
+        out, scanned, skipped = vector.select_in_chunks(
+            chunks, wanted, rows if use_subset else None, keep_null)
+        # keep_null=True is plain set membership (None in wanted selects
+        # NULL rows); keep_null=False is SQL semantics (None never
+        # matches) — same convention as vector.select_in
+        if keep_null:
+            expected = [r for r in rows if values[r] in wanted]
+        else:
+            expected = [r for r in rows
+                        if values[r] is not None and values[r] in wanted]
+        assert out == expected
+        assert out == vector.select_in(values, wanted, rows, keep_null)
+        assert scanned + skipped <= len(chunks)
+
+    @given(values=numeric_values, data=st.data(),
+           low=st.integers(-60, 60), span=st.integers(0, 40),
+           inclusive=st.booleans(), use_subset=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_select_range_matches_scalar_reference(
+            self, values, data, low, span, inclusive, use_subset):
+        high = low + span
+        rows = (subset_of(data, len(values)) if use_subset
+                else list(range(len(values))))
+        chunks = encode_column(values, SIZE)
+        out, scanned, skipped = vector.select_range_chunks(
+            chunks, low, high, rows if use_subset else None, inclusive)
+
+        def match(v):
+            if v is None:
+                return False
+            return low <= v <= high if inclusive else low <= v < high
+
+        assert out == [r for r in rows if match(values[r])]
+        assert scanned + skipped <= len(chunks)
+
+    def test_zone_maps_skip_clustered_range(self):
+        values = sorted(v // 10 for v in range(400))
+        chunks = encode_column(values, SIZE)
+        out, scanned, skipped = vector.select_range_chunks(
+            chunks, 3, 5)
+        assert out == [r for r in range(400) if 3 <= values[r] < 5]
+        assert skipped > 0
+        assert out    # the window is non-empty, so skipping lost nothing
+
+
+# ----------------------------------------------------------------------
+# grouping and aggregate states
+# ----------------------------------------------------------------------
+class TestGroupingParity:
+    @given(values=mixed_values, data=st.data(), use_subset=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_group_rows_chunks_matches_plain(self, values, data,
+                                             use_subset):
+        rows = (subset_of(data, len(values)) if use_subset
+                else list(range(len(values))))
+        chunks = encode_column(values, SIZE)
+        groups, scanned = vector.group_rows_chunks(
+            chunks, rows if use_subset else None)
+        assert groups == vector.group_rows(values, rows)
+        for group_rows in groups.values():
+            assert group_rows == sorted(group_rows)
+
+    @given(keys=mixed_values, data=st.data(),
+           aggregate=st.sampled_from(["sum", "count", "avg", "min",
+                                      "max"]),
+           use_subset=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_states_match_scalar_reference(self, keys, data, aggregate,
+                                           use_subset):
+        measure = data.draw(
+            st.lists(measures, min_size=len(keys), max_size=len(keys)),
+            label="measure")
+        rows = (subset_of(data, len(keys)) if use_subset
+                else list(range(len(keys))))
+        chunks = encode_column(keys, SIZE)
+        states = chunked_group_states(
+            [chunks], measure, aggregate,
+            rows if use_subset else None)
+        result = finalize_group_states(aggregate, states[0])
+        assert result == pytest.approx(self.reference(
+            keys, measure, rows, aggregate))
+
+    @given(keys=mixed_values, data=st.data(),
+           aggregate=st.sampled_from(["sum", "count", "avg", "min",
+                                      "max"]))
+    @settings(max_examples=60, deadline=None)
+    def test_split_accumulate_then_merge_matches_serial(self, keys, data,
+                                                        aggregate):
+        measure = data.draw(
+            st.lists(measures, min_size=len(keys), max_size=len(keys)),
+            label="measure")
+        chunks = encode_column(keys, SIZE)
+        cut = data.draw(st.integers(0, len(keys)), label="cut")
+        first, second = list(range(cut)), list(range(cut, len(keys)))
+        partials = [
+            chunked_group_states([chunks], measure, aggregate, part)[0]
+            for part in (first, second) if part
+        ]
+        merged: dict = {}
+        for partial in partials:
+            merge_group_states(aggregate, merged, partial)
+        result = finalize_group_states(aggregate, merged)
+        assert result == pytest.approx(self.reference(
+            keys, measure, list(range(len(keys))), aggregate))
+
+    @staticmethod
+    def reference(keys, measure, rows, aggregate):
+        groups: dict = {}
+        for r in rows:
+            if keys[r] is not None:
+                groups.setdefault(keys[r], []).append(measure[r])
+        folds = {
+            "sum": lambda ms: sum(ms),
+            "count": lambda ms: len(ms),
+            "avg": lambda ms: sum(ms) / len(ms) if ms else None,
+            "min": lambda ms: min(ms) if ms else None,
+            "max": lambda ms: max(ms) if ms else None,
+        }
+        fold = folds[aggregate]
+        return {value: fold([m for m in ms if m is not None])
+                for value, ms in groups.items()}

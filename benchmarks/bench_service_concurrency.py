@@ -1,0 +1,248 @@
+"""Service concurrency benchmark: latency, throughput, shed behaviour.
+
+Drives a live :class:`repro.service.KdapService` over real sockets with
+N client threads issuing a mixed template workload (differentiate /
+explore / explain), in three scenarios:
+
+* **steady** — a provisioned server (4 workers, deep queue).  Reports
+  per-request p50/p95, throughput, and the shed rate, which must stay
+  essentially zero: a healthy server under its rated load answers
+  everything.
+* **overload** — a deliberately starved server (1 worker, queue depth
+  2) under a thundering herd.  The gate is *behavioural*: overload must
+  surface as fast 429s (shed > 0) with **zero** 5xx responses and zero
+  hung clients — the failure mode this PR exists to prevent.
+* **chaos** — injected backend faults (seeded, per-worker schedules)
+  behind the retry/failover ladder.  Every response must stay
+  well-formed while the resilience counters prove the faults actually
+  happened.
+
+``compare(schema, queries)`` returns ``(benchmarks, check)`` in the
+``run_all.py`` convention; the module also runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_concurrency.py \
+        --statz-out statz.json --trace-dir traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.datasets import build_aw_online
+from repro.obs.metrics import runs_summary
+from repro.service import KdapService, ServiceConfig
+from repro.textindex.index import AttributeTextIndex
+
+#: Steady-state acceptance thresholds (smoke scale, CI hardware).
+MAX_STEADY_SHED_RATE = 0.05
+MAX_STEADY_P95_S = 5.0
+
+DEFAULT_QUERIES = ("California Mountain Bikes", "Road Bikes", "Sydney")
+
+
+def _templates(queries):
+    """The mixed request workload, cycled per client."""
+    templates = []
+    for query in queries:
+        templates.append(("/v1/differentiate",
+                          {"query": query, "limit": 5}))
+        templates.append(("/v1/explore", {"query": query, "pick": 1}))
+    templates.append(("/v1/explain", {"query": queries[0]}))
+    return templates
+
+
+def _post(port: int, path: str, payload: dict,
+          timeout: float = 120.0) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=30.0) as resp:
+        return json.loads(resp.read())
+
+
+def _drive(port: int, clients: int, requests_each: int, queries
+           ) -> tuple[list[tuple[int, float]], float, list[str]]:
+    """Fire the workload; returns (per-request (status, seconds),
+    wall seconds, client-level errors)."""
+    templates = _templates(queries)
+    results: list[tuple[int, float]] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client(index: int) -> None:
+        try:
+            barrier.wait(timeout=30.0)
+            for n in range(requests_each):
+                path, payload = templates[(index + n) % len(templates)]
+                started = time.perf_counter()
+                status, _body = _post(port, path, payload)
+                elapsed = time.perf_counter() - started
+                with lock:
+                    results.append((status, elapsed))
+        except Exception as exc:  # noqa: BLE001 - reported as a failure
+            with lock:
+                errors.append(f"client {index}: {exc!r}")
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+    wall_s = time.perf_counter() - started
+    hung = [t for t in threads if t.is_alive()]
+    if hung:
+        errors.append(f"{len(hung)} client thread(s) hung")
+    return results, wall_s, errors
+
+
+def _scenario_entry(results, wall_s, errors) -> dict:
+    statuses = [status for status, _ in results]
+    latencies = [seconds for _, seconds in results] or [0.0]
+    total = len(results)
+    shed = statuses.count(429)
+    answered = [s for status, s in results if status != 429]
+    return {
+        "requests": total,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(total / wall_s, 2) if wall_s else 0.0,
+        "shed": shed,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "errors_5xx": sum(1 for s in statuses if s >= 500),
+        "client_errors": errors,
+        "status_counts": {str(s): statuses.count(s)
+                          for s in sorted(set(statuses))},
+        **runs_summary(answered or latencies, "service"),
+    }
+
+
+def compare(schema, queries=DEFAULT_QUERIES, trace_dir: str | None = None
+            ) -> tuple[dict, dict]:
+    """Run the three scenarios; ``(benchmarks, check)`` for run_all."""
+    index = AttributeTextIndex()
+    index.index_database(schema.database, schema.searchable)
+    benchmarks: dict[str, dict] = {}
+
+    # -- steady: provisioned server, rated load -------------------------
+    config = ServiceConfig(workers=4, queue_depth=32,
+                           enqueue_deadline_ms=60_000.0,
+                           trace_dir=trace_dir)
+    with KdapService(schema, config, index=index) as service:
+        results, wall_s, errors = _drive(service.port, clients=4,
+                                         requests_each=6, queries=queries)
+        benchmarks["service_steady"] = _scenario_entry(results, wall_s,
+                                                       errors)
+        steady_statz = service.statz()
+
+    # -- overload: starved server, thundering herd ----------------------
+    config = ServiceConfig(workers=1, queue_depth=2,
+                           enqueue_deadline_ms=500.0)
+    with KdapService(schema, config, index=index) as service:
+        results, wall_s, errors = _drive(service.port, clients=12,
+                                         requests_each=4, queries=queries)
+        benchmarks["service_overload"] = _scenario_entry(results, wall_s,
+                                                         errors)
+
+    # -- chaos: injected faults behind retry/failover -------------------
+    config = ServiceConfig(workers=2, queue_depth=16,
+                           enqueue_deadline_ms=60_000.0,
+                           backend="memory", chaos_error_rate=0.3,
+                           chaos_seed=29)
+    with KdapService(schema, config, index=index) as service:
+        results, wall_s, errors = _drive(service.port, clients=2,
+                                         requests_each=4, queries=queries)
+        benchmarks["service_chaos"] = _scenario_entry(results, wall_s,
+                                                      errors)
+        chaos_statz = service.statz()
+
+    steady = benchmarks["service_steady"]
+    overload = benchmarks["service_overload"]
+    chaos = benchmarks["service_chaos"]
+    chaos_resilience = chaos_statz["rollup"]["resilience"]
+    check = {
+        "steady": {
+            "p50_s": steady["p50_s"], "p95_s": steady["p95_s"],
+            "throughput_rps": steady["throughput_rps"],
+            "shed_rate": steady["shed_rate"],
+            "errors_5xx": steady["errors_5xx"],
+        },
+        "overload": {
+            "shed": overload["shed"],
+            "errors_5xx": overload["errors_5xx"],
+            "hung_clients": len(overload["client_errors"]),
+        },
+        "chaos": {
+            "resilience": chaos_resilience,
+            "errors_5xx": chaos["errors_5xx"],
+        },
+        "statz": {"steady": steady_statz, "chaos": chaos_statz},
+        "max_steady_shed_rate": MAX_STEADY_SHED_RATE,
+        "max_steady_p95_s": MAX_STEADY_P95_S,
+    }
+    return benchmarks, check
+
+
+def passes(check: dict) -> bool:
+    """The five-part acceptance gate over ``compare``'s check dict."""
+    steady, overload, chaos = (check["steady"], check["overload"],
+                               check["chaos"])
+    return (steady["shed_rate"] <= check["max_steady_shed_rate"]
+            and steady["p95_s"] <= check["max_steady_p95_s"]
+            and steady["errors_5xx"] == 0
+            and overload["shed"] > 0
+            and overload["errors_5xx"] == 0
+            and overload["hung_clients"] == 0
+            and chaos["resilience"]["transient_errors"] > 0
+            and chaos["errors_5xx"] == 0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--facts", type=int, default=8000)
+    parser.add_argument("--statz-out", default=None,
+                        help="write the steady + chaos /v1/statz "
+                             "snapshots as JSON (CI artifact)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="per-request Chrome traces for the steady "
+                             "scenario (CI artifact)")
+    args = parser.parse_args(argv)
+    schema = build_aw_online(num_customers=300, num_facts=args.facts,
+                             seed=42)
+    benchmarks, check = compare(schema, trace_dir=args.trace_dir)
+    for name in ("service_steady", "service_overload", "service_chaos"):
+        entry = benchmarks[name]
+        print(f"{name}: {entry['requests']} requests in "
+              f"{entry['wall_s']:.2f}s ({entry['throughput_rps']:.1f} "
+              f"req/s), p50 {entry['p50_s']:.3f}s p95 "
+              f"{entry['p95_s']:.3f}s, shed {entry['shed']}, "
+              f"5xx {entry['errors_5xx']}")
+    print(f"chaos resilience: {check['chaos']['resilience']}")
+    if args.statz_out:
+        with open(args.statz_out, "w", encoding="utf-8") as fh:
+            json.dump(check["statz"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.statz_out}")
+    ok = passes(check)
+    print("service concurrency gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

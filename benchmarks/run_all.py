@@ -23,7 +23,11 @@ slowdown:
   strategy by at least 2x on a million clustered fact rows, and the
   selective date-range scenario must skip at least one chunk via its
   zone maps.  This gate always runs at full scale (>= 1M rows), even
-  under ``--smoke``: the acceptance criterion is defined there.
+  under ``--smoke``: the acceptance criterion is defined there;
+* **service concurrency** — a live HTTP server under steady load,
+  overload, and chaos (:mod:`bench_service_concurrency`): steady-state
+  shed rate and p95 bounded, overload answered with 429s (never 5xx or
+  hangs), injected faults absorbed by retry/failover.
 
 Every timed entry also reports ``p50_s`` / ``p95_s`` computed through
 the observability histogram (:func:`repro.obs.metrics.runs_summary`),
@@ -65,6 +69,10 @@ from bench_morsel_scan import (
     compare as compare_morsel,
 )
 from bench_scan_aggregate import MIN_SPEEDUP, compare as compare_scan
+from bench_service_concurrency import (
+    compare as compare_service,
+    passes as service_passes,
+)
 from bench_tracing_overhead import MAX_OVERHEAD, compare as compare_tracing
 
 QUERY = "California Mountain Bikes"
@@ -251,6 +259,23 @@ class Suite:
                   f"(min {entry['min_s']:.4f} s, interleaved)")
         return check
 
+    def bench_service_concurrency(self) -> dict:
+        """Concurrent service scenarios: steady load, overload shedding,
+        and chaos-mode fault absorption (see
+        :mod:`bench_service_concurrency` for the behavioural gate)."""
+        benchmarks, check = compare_service(self.online)
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['requests']} requests, "
+                  f"{entry['throughput_rps']:.1f} req/s, "
+                  f"p95 {entry['p95_s']:.3f} s, shed {entry['shed']}, "
+                  f"5xx {entry['errors_5xx']}")
+        # the full statz snapshots are CI artifacts (the standalone
+        # runner's --statz-out), not baseline material
+        check.pop("statz", None)
+        return check
+
     def bench_tracing_overhead(self) -> dict:
         """Disabled-tracer overhead vs the pinned span-free reference
         (interleaved runs, min-run gate — see
@@ -314,6 +339,7 @@ def main(argv=None) -> int:
         scan_check = suite.bench_scan_aggregate()
         tracing_check = suite.bench_tracing_overhead()
         morsel_check = suite.bench_morsel_scan()
+        service_check = suite.bench_service_concurrency()
         suite.bench_figures()
         suite.bench_primitives()
     finally:
@@ -327,6 +353,7 @@ def main(argv=None) -> int:
     tracing_ok = tracing_check["overhead"] <= MAX_OVERHEAD
     morsel_ok = (morsel_check["speedup"] >= MORSEL_MIN_SPEEDUP
                  and morsel_check["zone_skip"]["chunks_skipped"] > 0)
+    service_ok = service_passes(service_check)
     report = {
         "suite": "kdap",
         "smoke": args.smoke,
@@ -337,6 +364,7 @@ def main(argv=None) -> int:
         "scan_check": {**scan_check, "pass": scan_ok},
         "tracing_check": {**tracing_check, "pass": tracing_ok},
         "morsel_check": {**morsel_check, "pass": morsel_ok},
+        "service_check": {**service_check, "pass": service_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -358,6 +386,14 @@ def main(argv=None) -> int:
           f"(required {MORSEL_MIN_SPEEDUP:.1f}x), zone maps skipped "
           f"{zone['chunks_skipped']} of "
           f"{zone['chunks_skipped'] + zone['chunks_scanned']} chunks")
+    steady = service_check["steady"]
+    print(f"service concurrency: steady p95 {steady['p95_s']:.3f}s at "
+          f"{steady['throughput_rps']:.1f} req/s (shed rate "
+          f"{steady['shed_rate']:.2%}), overload shed "
+          f"{service_check['overload']['shed']} with "
+          f"{service_check['overload']['errors_5xx']} 5xx, chaos "
+          f"absorbed {service_check['chaos']['resilience']['transient_errors']} "
+          "faults")
     if not fusion_ok:
         print("FUSION CHECK FAILED: fused facet workload slower than "
               "per-attribute path", file=sys.stderr)
@@ -376,6 +412,12 @@ def main(argv=None) -> int:
         print("MORSEL SCAN CHECK FAILED: chunked morsel-parallel "
               f"scan-aggregate below {MORSEL_MIN_SPEEDUP:.1f}x over the "
               "pre-chunk strategy, or zone maps skipped no chunks",
+              file=sys.stderr)
+        return 1
+    if not service_ok:
+        print("SERVICE CONCURRENCY CHECK FAILED: the server shed under "
+              "steady load, answered 5xx/hung under overload, or chaos "
+              "faults escaped the retry/failover ladder",
               file=sys.stderr)
         return 1
     return 0

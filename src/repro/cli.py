@@ -152,6 +152,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "which",
         choices=["figure4", "figure5", "figure6", "figure7"],
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the KDAP HTTP service: one shared warehouse, many "
+             "concurrent clients, admission control and load shedding "
+             "(the top-level --deadline-ms/--max-rows/"
+             "--max-interpretations become server-side budget ceilings; "
+             "--backend/--resilient/--workers shape each worker session)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default loopback)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free one")
+    serve.add_argument("--pool-workers", type=int, default=4,
+                       help="query worker threads, each with its own "
+                            "session (top-level --workers instead sets "
+                            "intra-query parallelism per session)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="admission queue capacity; arrivals beyond "
+                            "it are shed with 429 + Retry-After")
+    serve.add_argument("--enqueue-deadline-ms", type=float, default=2000.0,
+                       help="longest a request may wait queued before "
+                            "it is shed as stale")
+    serve.add_argument("--drain-deadline-s", type=float, default=10.0,
+                       help="how long SIGTERM drain waits for in-flight "
+                            "work before 503-aborting the remainder")
+    serve.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="write one Chrome trace per request to "
+                            "DIR/trace-<request_id>.json")
+    serve.add_argument("--chaos-error-rate", type=float, default=0.0,
+                       help="inject this fraction of transient backend "
+                            "faults per worker (behind retry/failover)")
+    serve.add_argument("--chaos-latency-s", type=float, default=0.0,
+                       help="inject this much latency per backend call")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="base seed for per-worker fault schedules")
     return parser
 
 
@@ -341,12 +376,53 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _serve_config(args):
+    """Map CLI flags onto a :class:`~repro.service.ServiceConfig`.
+
+    The top-level budget flags become *server ceilings* (clamping every
+    client's hints) rather than per-query budgets, and the top-level
+    --backend/--resilient/--workers shape each worker's session.  Kept
+    separate from :func:`_cmd_serve` so tests can check the mapping
+    without binding a socket.
+    """
+    from .service import ServiceConfig
+
+    overrides = {}
+    if args.deadline_ms is not None:
+        overrides["max_deadline_ms"] = args.deadline_ms
+    return ServiceConfig(
+        workers=args.pool_workers,
+        queue_depth=args.queue_depth,
+        enqueue_deadline_ms=args.enqueue_deadline_ms,
+        drain_deadline_s=args.drain_deadline_s,
+        max_rows=args.max_rows,
+        max_interpretations=args.max_interpretations,
+        backend=args.backend,
+        resilient=args.resilient,
+        session_workers=args.workers or 1,
+        chaos_error_rate=args.chaos_error_rate,
+        chaos_latency_s=args.chaos_latency_s,
+        chaos_seed=args.chaos_seed,
+        trace_dir=args.trace_dir,
+        **overrides,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .service import KdapService, serve_until_signalled
+
+    schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
+    service = KdapService(schema, _serve_config(args))
+    return serve_until_signalled(service, args.host, args.port)
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "explore": _cmd_explore,
     "explain": _cmd_explain,
     "sql": _cmd_sql,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
 }
 
 # Exit codes per error-taxonomy branch (argparse itself exits with 2 on

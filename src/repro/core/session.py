@@ -108,6 +108,19 @@ class KdapSession:
         in :attr:`slow_log` (query text, chosen interpretation, plan
         fingerprint, and — when tracing — the span tree).  None
         disables the slow-query log entirely.
+
+    **Threading**: a session is a single-caller object — its ray cache,
+    slow log, and last-query bookkeeping are not synchronised for
+    concurrent public calls.  It *owns* worker threads internally (ray
+    prefetch, morsel parallelism), and a sqlite-backed session may be
+    driven from a foreign thread because the mirror hands each thread
+    its own connection; but those per-thread connections only die with
+    the session, so thread-per-request callers leak one connection per
+    thread.  Concurrent servers therefore keep **one session per
+    long-lived worker thread** (see :mod:`repro.service`).  Using a
+    closed sqlite-backed session raises a typed
+    :class:`~repro.relational.errors.BackendError` — never a raw
+    ``sqlite3.ProgrammingError``.
     """
 
     def __init__(self, schema: StarSchema,

@@ -34,10 +34,12 @@ from .tracer import (
     NOOP_SPAN,
     Span,
     Tracer,
+    current_request_id,
     current_span,
     current_tracer,
     op_span,
     plan_digest,
+    request_scope,
     tracing_scope,
 )
 from .metrics import (
@@ -80,6 +82,7 @@ __all__ = [
     "Tracer",
     "collect_profiles",
     "current_registry",
+    "current_request_id",
     "current_span",
     "current_tracer",
     "metrics_scope",
@@ -88,6 +91,7 @@ __all__ = [
     "profile_plan",
     "render_plan",
     "render_span_tree",
+    "request_scope",
     "runs_summary",
     "tracing_scope",
 ]

@@ -251,6 +251,8 @@ _ACTIVE_TRACER: ContextVar["Tracer | _NoopTracer"] = \
     ContextVar("kdap_tracer", default=NOOP)
 _CURRENT_SPAN: ContextVar[Span | None] = ContextVar("kdap_span",
                                                     default=None)
+_REQUEST_ID: ContextVar[str | None] = ContextVar("kdap_request_id",
+                                                 default=None)
 
 
 def current_tracer() -> "Tracer | _NoopTracer":
@@ -280,6 +282,30 @@ def tracing_scope(tracer: "Tracer | _NoopTracer | None"):
         _ACTIVE_TRACER.reset(token)
 
 
+def current_request_id() -> str | None:
+    """The ambient request id, if a service request is executing."""
+    return _REQUEST_ID.get()
+
+
+@contextmanager
+def request_scope(request_id: str | None):
+    """Attribute work in this context to one service request.
+
+    The id rides a context variable — like the tracer and the budget, it
+    survives ``contextvars.copy_context().run`` into worker threads — so
+    operator spans recorded anywhere under a request carry its id and a
+    shared trace can be sliced per request.  ``None`` installs nothing.
+    """
+    if request_id is None:
+        yield None
+        return
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)
+
+
 def op_span(node):
     """A span for one plan-operator execution, or the no-op span.
 
@@ -289,4 +315,8 @@ def op_span(node):
     tracer = _ACTIVE_TRACER.get()
     if not tracer.enabled:
         return NOOP_SPAN
-    return tracer.span("op." + node.kind, fp=plan_digest(node))
+    span = tracer.span("op." + node.kind, fp=plan_digest(node))
+    request_id = _REQUEST_ID.get()
+    if request_id is not None:
+        span.set_tag("request", request_id)
+    return span

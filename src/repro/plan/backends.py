@@ -32,7 +32,7 @@ from contextvars import copy_context
 
 from ..obs.tracer import current_tracer, op_span
 from ..relational import vector
-from ..relational.errors import SchemaError
+from ..relational.errors import BackendError, SchemaError
 from ..relational.expressions import And, Between, Col, In, Predicate
 from ..relational.operators import (
     AGGREGATE_STATES,
@@ -644,6 +644,16 @@ class SqliteBackend:
     The mirror is loaded lazily on first use (loading a 60k-row warehouse
     into sqlite costs noticeable startup time that differentiate-only
     sessions should not pay).
+
+    **Thread affinity**: the mirror hands each thread its own sqlite3
+    connection, so a live backend may be queried from worker threads
+    (the session's ray-prefetch pool does).  But connections are only
+    released at :meth:`close`, so short-lived threads leak one
+    connection each — long-running servers must pin one session (and
+    thus one backend) per *long-lived* worker thread.  Using a closed
+    backend — from any thread — raises a typed
+    :class:`~repro.relational.errors.BackendError` instead of silently
+    reloading the mirror or letting ``sqlite3.ProgrammingError`` escape.
     """
 
     name = "sqlite"
@@ -654,11 +664,17 @@ class SqliteBackend:
         self.counters = PlanCounters()
         self._mirror: SqliteMirror | None = None
         self._mirror_lock = threading.Lock()
+        self._closed = False
 
     @property
     def mirror(self) -> SqliteMirror:
         """The sqlite3 mirror, loading it on first access (lock-guarded:
         worker threads may race to the first query)."""
+        if self._closed:
+            raise BackendError(
+                "sqlite backend is closed; it does not reopen — build a "
+                "new session (the service layer keeps one per worker "
+                "thread)")
         if self._mirror is None:
             with self._mirror_lock:
                 if self._mirror is None:
@@ -793,6 +809,9 @@ class SqliteBackend:
         return value
 
     def close(self) -> None:
+        """Release the mirror; idempotent, and terminal — a closed
+        backend refuses further queries with :class:`BackendError`."""
+        self._closed = True
         if self._mirror is not None:
             self._mirror.close()
             self._mirror = None

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..obs.metrics import current_registry
-from ..obs.tracer import current_tracer, plan_digest
+from ..obs.tracer import current_request_id, current_tracer, plan_digest
 from ..relational.operators import AGGREGATES
 from ..resilience.budget import check_deadline
 from ..warehouse.subspace import Subspace
@@ -120,7 +120,8 @@ class QueryEngine:
         check_deadline("materialize")
         # a failing backend call leaves the cache untouched: partial or
         # poisoned entries must never be served to later callers
-        with current_tracer().span("plan.materialize") as span:
+        with current_tracer().span("plan.materialize",
+                                   **self._request_tag()) as span:
             rows = self.backend.materialize(plan)
             span.set_tag("rows", len(rows))
         self.cache.put(fingerprint, rows)
@@ -134,12 +135,24 @@ class QueryEngine:
         if cached is _MISS:
             self._note_cache(plan, hit=False, kind="execute")
             check_deadline("execute")
-            with current_tracer().span("plan.execute"):
+            with current_tracer().span("plan.execute",
+                                       **self._request_tag()):
                 cached = self.backend.execute(plan)
             self.cache.put(fingerprint, cached)
         else:
             self._note_cache(plan, hit=True, kind="execute")
         return dict(cached) if isinstance(cached, dict) else cached
+
+    @staticmethod
+    def _request_tag() -> dict:
+        """``{"request": id}`` when a service request is ambient.
+
+        Engine spans carry the request id so one shared trace — or the
+        per-request trace the service writes — can attribute backend
+        work to the HTTP request that caused it, across worker threads.
+        """
+        request_id = current_request_id()
+        return {} if request_id is None else {"request": request_id}
 
     def _note_cache(self, plan: PlanNode, hit: bool, kind: str) -> None:
         """Record one plan-cache lookup in the ambient metrics registry
@@ -151,7 +164,8 @@ class QueryEngine:
         tracer = current_tracer()
         if tracer.enabled and hit:
             with tracer.span(f"plan.{kind}", cached=True,
-                             fp=plan_digest(plan)):
+                             fp=plan_digest(plan),
+                             **self._request_tag()):
                 pass
 
     # ------------------------------------------------------------------

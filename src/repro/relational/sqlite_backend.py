@@ -28,6 +28,7 @@ import threading
 from typing import Sequence
 
 from .catalog import Database
+from .errors import BackendError
 from .table import Table
 from .types import ColumnType
 
@@ -76,9 +77,25 @@ class SqliteBackend:
     shared-cache database — a plain ``:memory:`` connection would be a
     private, empty database per connection — anchored by the creator's
     connection so it lives exactly as long as the mirror.
+
+    Two misuse modes are enforced as a clear typed
+    :class:`~repro.relational.errors.BackendError` rather than a raw
+    ``sqlite3.ProgrammingError`` escaping from deep inside a query:
+
+    * querying after :meth:`close` (from the creator *or* a foreign
+      thread — per-thread connections all die with the mirror);
+    * any residual sqlite-level connection-affinity violation (a
+      connection touched by a thread it does not belong to).
+
+    Note the per-thread connections are opened lazily and only released
+    at :meth:`close`; callers with **short-lived threads** (a
+    thread-per-request server) must route queries through a bounded set
+    of long-lived workers — the service layer keeps one session per
+    worker thread for exactly this reason.
     """
 
     def __init__(self, database: Database, path: str = ":memory:"):
+        self._closed = False
         if path == ":memory:":
             name = next(_MEMORY_MIRROR_SEQ)
             self._uri = f"file:kdap-mirror-{name}?mode=memory&cache=shared"
@@ -135,12 +152,33 @@ class SqliteBackend:
 
     def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
         """Run a query and fetch all rows (declared-type columns come back
-        as engine values: bools as bool, dates as ISO strings)."""
-        cursor = self.connection_for_thread().execute(sql, params)
-        return cursor.fetchall()
+        as engine values: bools as bool, dates as ISO strings).
+
+        Raises :class:`BackendError` — never a raw
+        ``sqlite3.ProgrammingError`` — when the mirror is closed or a
+        connection is used off its owning thread.
+        """
+        if self._closed:
+            raise BackendError(
+                "sqlite mirror is closed; queries after close() are not "
+                "served (sessions are per-worker — build a new session "
+                "instead of reusing a closed one)")
+        try:
+            cursor = self.connection_for_thread().execute(sql, params)
+            return cursor.fetchall()
+        except sqlite3.ProgrammingError as exc:
+            raise BackendError(
+                f"sqlite connection misuse from thread "
+                f"{threading.get_ident()}: {exc} (connections are "
+                f"per-thread and die with the mirror; use one session "
+                f"per worker thread)") from exc
 
     def close(self) -> None:
-        """Close the primary connection and any per-thread ones."""
+        """Close the primary connection and any per-thread ones
+        (idempotent; later queries raise :class:`BackendError`)."""
+        if self._closed:
+            return
+        self._closed = True
         with self._lock:
             extras, self._thread_connections = self._thread_connections, []
         for connection in extras:

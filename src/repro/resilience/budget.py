@@ -19,6 +19,15 @@ partial result there.
 The module-level helpers (:func:`check_deadline`, :func:`charge_rows`,
 :func:`charge_groups`) are no-ops when no budget is active, so the
 unbudgeted hot path pays one context-variable read per operator.
+
+Scopes **nest safely**: entering a scope while another budget is already
+ambient (a per-request budget inside a process-level ceiling, as the
+service layer does) clamps the inner budget to the *minimum* of the two
+contracts — its deadline cannot outlive the outer scope's remaining
+time, and its row/group/interpretation caps cannot exceed the outer
+scope's remaining allowance.  On exit the outer budget absorbs the inner
+scope's consumption and truncation events, so sibling request scopes
+draw down one shared outer pool.
 """
 
 from __future__ import annotations
@@ -157,6 +166,51 @@ class Budget:
         """True once any layer recorded a truncation."""
         return bool(self.events)
 
+    # ------------------------------------------------------------------
+    # scope nesting
+    # ------------------------------------------------------------------
+    def clamp_to(self, outer: "Budget") -> None:
+        """Tighten this budget to ``outer``'s remaining allowance.
+
+        Called by :func:`budget_scope` when this budget is installed
+        inside an already-active scope: every ceiling becomes the
+        minimum of what this budget asked for and what the outer
+        contract still permits (its deadline's remaining milliseconds;
+        its caps minus what it has already consumed).  A nested scope
+        can therefore never out-spend the scope it runs inside.
+        """
+        with outer._lock:
+            consumed = (outer.rows_scanned, outer.groups_seen,
+                        outer.interpretations)
+        self.deadline_ms = _min_limit(self.deadline_ms,
+                                      outer.remaining_ms())
+        self.max_rows = _min_limit(
+            self.max_rows, _remaining(outer.max_rows, consumed[0]))
+        self.max_groups = _min_limit(
+            self.max_groups, _remaining(outer.max_groups, consumed[1]))
+        self.max_interpretations = _min_limit(
+            self.max_interpretations,
+            _remaining(outer.max_interpretations, consumed[2]))
+
+    def absorb(self, child: "Budget") -> None:
+        """Account a nested scope's consumption against this budget.
+
+        Pure bookkeeping — no limit is re-checked here (the child was
+        clamped on entry, so it could not have spent more than this
+        budget's remaining allowance by more than one charge's
+        overshoot).  Truncation events carry over so the outer scope's
+        diagnostics describe the whole nested execution.
+        """
+        with child._lock:
+            rows, groups, interps = (child.rows_scanned, child.groups_seen,
+                                     child.interpretations)
+            events = list(child.events)
+        with self._lock:
+            self.rows_scanned += rows
+            self.groups_seen += groups
+            self.interpretations += interps
+            self.events.extend(events)
+
     def limits(self) -> dict[str, float]:
         """The configured (non-None) limits by name."""
         pairs = {
@@ -173,6 +227,20 @@ class Budget:
         return f"Budget({limits or 'unlimited'})"
 
 
+def _min_limit(a: float | None, b: float | None) -> float | None:
+    """Minimum of two optional ceilings (None = unlimited)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _remaining(limit: int | None, consumed: int) -> int | None:
+    """What is left of an optional cap after ``consumed`` charges."""
+    return None if limit is None else limit - consumed
+
+
 # ----------------------------------------------------------------------
 # ambient scope
 # ----------------------------------------------------------------------
@@ -183,15 +251,30 @@ def budget_scope(budget: Budget | None):
     ``None`` is accepted (and installs nothing) so callers can write one
     ``with budget_scope(maybe_budget):`` regardless of whether a budget
     was requested.
+
+    When a *different* budget is already ambient, the new budget is
+    clamped to the outer one's remaining allowance on entry
+    (:meth:`Budget.clamp_to`) and its consumption is absorbed into the
+    outer budget on exit (:meth:`Budget.absorb`) — nesting a request
+    scope inside a process-level scope takes the minimum of the two
+    contracts rather than silently shadowing the outer one.
+    Re-installing the budget that is already ambient (the session's
+    explore path does this) stays a plain no-op shadow.
     """
     if budget is None:
         yield None
         return
+    outer = _ACTIVE.get()
+    nested = outer is not None and outer is not budget
+    if nested:
+        budget.clamp_to(outer)
     token = _ACTIVE.set(budget)
     try:
         yield budget
     finally:
         _ACTIVE.reset(token)
+        if nested:
+            outer.absorb(budget)
 
 
 def current_budget() -> Budget | None:

@@ -1,0 +1,58 @@
+"""Concurrent KDAP serving: admission control, shedding, graceful drain.
+
+One immutable warehouse, many concurrent clients::
+
+    from repro.service import KdapService, ServiceConfig
+
+    with KdapService(schema, ServiceConfig(workers=4)) as service:
+        port = service.port   # POST /v1/explore etc.
+
+Requests flow admission → clamp → execute → envelope (see
+:mod:`repro.service.server`); overload is answered with fast, honest
+429/503 responses rather than queue growth, and budget-truncated work
+degrades to 200 + ``"partial": true`` with diagnostics.
+
+Public surface::
+
+    from repro.service import (
+        KdapService, ServiceConfig, serve_until_signalled,
+        AdmissionQueue, WorkerPool, Job, QueueFull, Draining,
+        RequestSpec, RequestError, parse_request, make_budget,
+        EXIT_TO_HTTP,
+    )
+"""
+
+from .admission import AdmissionQueue, Draining, Job, QueueFull, WorkerPool
+from .config import MAX_HINT_COUNT, MAX_HINT_DEADLINE_MS, ServiceConfig
+from .protocol import (
+    EXIT_TO_HTTP,
+    HTTP_DRAINING,
+    HTTP_SHED,
+    RequestError,
+    RequestSpec,
+    error_payload,
+    make_budget,
+    parse_request,
+)
+from .server import KdapService, serve_until_signalled
+
+__all__ = [
+    "AdmissionQueue",
+    "Draining",
+    "EXIT_TO_HTTP",
+    "HTTP_DRAINING",
+    "HTTP_SHED",
+    "Job",
+    "KdapService",
+    "MAX_HINT_COUNT",
+    "MAX_HINT_DEADLINE_MS",
+    "QueueFull",
+    "RequestError",
+    "RequestSpec",
+    "ServiceConfig",
+    "WorkerPool",
+    "error_payload",
+    "make_budget",
+    "parse_request",
+    "serve_until_signalled",
+]

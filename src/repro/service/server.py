@@ -1,0 +1,515 @@
+"""The concurrent KDAP HTTP service (stdlib-only).
+
+:class:`KdapService` turns one immutable warehouse into a multi-client
+JSON service::
+
+    POST /v1/explore        {"query": "...", "pick": 1, "budget": {...}}
+    POST /v1/differentiate  {"query": "...", "limit": 10, ...}
+    POST /v1/explain        {"query": "...", "pick": 1, ...}
+    GET  /v1/healthz        liveness + overload state
+    GET  /v1/statz          admission counters, latency, per-worker stats
+
+The request path is admission → clamp → execute → envelope:
+
+1. the HTTP handler thread parses strictly (:func:`~repro.service.
+   protocol.parse_request`; any client defect → 400) and submits to the
+   bounded admission queue — full queue → 429 + ``Retry-After``,
+   draining → 503;
+2. a worker takes the job FIFO (shedding entries whose enqueue deadline
+   lapsed), builds the per-request budget by clamping client hints
+   against server ceilings, and executes on its *own* long-lived
+   :class:`~repro.core.session.KdapSession`;
+3. engine errors become envelope statuses via the CLI taxonomy
+   (deadline→504, backend→502, budget-partial→**200** with
+   ``"partial": true`` + diagnostics) — a client bug or an overloaded
+   server never produces a traceback or a hung connection.
+
+One session per worker gives each worker a private metrics registry and
+plan cache (no cross-request smearing; the text index *is* shared — it
+is immutable) and respects the sqlite mirror's connection lifetime.
+``/v1/statz`` rolls the per-worker registries up next to the server's
+own admission/latency instruments.
+
+Shutdown is a drain, not a drop: :meth:`KdapService.shutdown` stops
+admitting (503 + ``Retry-After``), lets queued and in-flight work finish
+within ``drain_deadline_s``, aborts the remainder with 503, then closes
+sessions and the listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core import BELLWETHER, SURPRISE, KdapSession, RankingMethod
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, current_tracer, request_scope, \
+    tracing_scope
+from ..plan.backends import InMemoryBackend, create_backend
+from ..relational.errors import (
+    BackendError,
+    BudgetExceeded,
+    DeadlineExceeded,
+    RelationalError,
+)
+from ..resilience import (
+    FaultInjectingBackend,
+    ResilientBackend,
+    create_resilient_backend,
+)
+from ..resilience.diagnostics import Diagnostics
+from ..textindex.index import AttributeTextIndex
+from .admission import AdmissionQueue, Draining, Job, QueueFull, WorkerPool
+from .config import ServiceConfig
+from .protocol import (
+    HTTP_DRAINING,
+    HTTP_SHED,
+    RequestError,
+    differentiate_payload,
+    error_payload,
+    explore_payload,
+    make_budget,
+    parse_request,
+)
+
+logger = logging.getLogger(__name__)
+
+ROUTES = {
+    "/v1/explore": "explore",
+    "/v1/differentiate": "differentiate",
+    "/v1/explain": "explain",
+}
+
+MAX_BODY_BYTES = 1_000_000
+
+#: Bucket edges for count-valued histograms (plan calls per request).
+COUNT_BOUNDARIES = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                    500.0, 1000.0, 5000.0, 20000.0)
+
+
+class KdapService:
+    """One warehouse, one admission queue, N worker sessions."""
+
+    def __init__(self, schema, config: ServiceConfig | None = None,
+                 index: AttributeTextIndex | None = None):
+        self.schema = schema
+        self.config = config or ServiceConfig()
+        if index is None:
+            index = AttributeTextIndex()
+            index.index_database(schema.database, schema.searchable)
+        self.index = index
+        self.registry = MetricsRegistry()
+        self.queue = AdmissionQueue(self.config.queue_depth, self.registry)
+        self.pool = WorkerPool(self.queue, self.config.workers,
+                               self._build_session, self._execute,
+                               self.registry)
+        self.state = "created"
+        self._started_at = time.monotonic()
+        self._request_seq = itertools.count(1)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        if self.config.trace_dir is not None:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0
+              ) -> tuple[str, int]:
+        """Bind, start workers and the accept loop; returns (host, port).
+
+        ``port=0`` binds an ephemeral port (tests run many servers).
+        """
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.pool.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            name="kdap-http", daemon=True)
+        self._serve_thread.start()
+        self.state = "serving"
+        self._started_at = time.monotonic()
+        bound = self._httpd.server_address
+        logger.info("kdap service on %s:%d (%d workers, queue depth %d)",
+                    bound[0], bound[1], self.config.workers,
+                    self.config.queue_depth)
+        return bound[0], bound[1]
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("service is not started")
+        return self._httpd.server_address[1]
+
+    def __enter__(self) -> "KdapService":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def drain(self) -> int:
+        """Stop admitting; wait for queued + in-flight work, then abort
+        the leftovers with 503.  Returns the number aborted."""
+        self.state = "draining"
+        self.queue.drain()
+        deadline = time.monotonic() + self.config.drain_deadline_s
+        while time.monotonic() < deadline:
+            if not len(self.queue) and self.pool.in_flight == 0:
+                break
+            time.sleep(0.02)
+        aborted = self.queue.abort_pending(self._abort_job)
+        if aborted:
+            logger.warning("drain deadline hit: aborted %d queued "
+                           "request(s) with 503", aborted)
+        return aborted
+
+    def _abort_job(self, job: Job) -> None:
+        job.finish(HTTP_DRAINING, error_payload(
+            "draining", "server shut down before this request ran"))
+
+    def shutdown(self) -> None:
+        """Graceful stop: drain, then stop workers and the listener."""
+        with self._shutdown_lock:
+            if self.state == "stopped":
+                return
+            if self.state != "created":
+                self.drain()
+            self.pool.stop()
+            if self._httpd is not None:
+                self._httpd.shutdown()
+                self._httpd.server_close()
+            self.state = "stopped"
+
+    # ------------------------------------------------------------------
+    # per-worker sessions
+    # ------------------------------------------------------------------
+    def _build_session(self, worker_index: int) -> KdapSession:
+        """The session a worker owns for its whole life.
+
+        Chaos mode wraps the primary in a per-worker-seeded
+        :class:`FaultInjectingBackend` *behind* the resilient wrapper,
+        with a clean in-memory fallback — so injected faults exercise
+        the retry/failover ladder instead of surfacing to clients.
+        """
+        config = self.config
+        if config.chaotic:
+            primary = FaultInjectingBackend(
+                create_backend(self.schema, config.backend),
+                error_rate=config.chaos_error_rate,
+                latency_s=config.chaos_latency_s,
+                seed=config.chaos_seed + worker_index)
+            backend = ResilientBackend(
+                primary, fallback=lambda: InMemoryBackend(self.schema))
+        elif config.resilient:
+            backend = create_resilient_backend(self.schema, config.backend)
+        else:
+            backend = create_backend(self.schema, config.backend,
+                                     workers=config.session_workers)
+        return KdapSession(self.schema, index=self.index, backend=backend,
+                           workers=config.session_workers)
+
+    # ------------------------------------------------------------------
+    # the request path (handler thread side)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, body: bytes
+               ) -> tuple[int, dict, dict]:
+        """Parse → admit → wait; returns (status, payload, headers)."""
+        request_id = f"r{next(self._request_seq):06d}"
+        headers = {"X-Request-Id": request_id}
+        try:
+            spec = parse_request(kind, body)
+        except RequestError as exc:
+            return 400, self._finalize(request_id, exc.payload()), headers
+        now = time.monotonic()
+        job = Job(spec, request_id, now,
+                  now + self.config.enqueue_deadline_ms / 1000.0)
+        retry_after = str(max(1, round(self.config.retry_after_s)))
+        try:
+            self.queue.submit(job)
+        except Draining:
+            headers["Retry-After"] = retry_after
+            return HTTP_DRAINING, self._finalize(request_id, error_payload(
+                "draining", "server is draining; retry elsewhere"
+            )), headers
+        except QueueFull as exc:
+            headers["Retry-After"] = retry_after
+            return HTTP_SHED, self._finalize(request_id, error_payload(
+                "overloaded", str(exc))), headers
+        if not job.wait(self._wait_timeout_s(spec)):
+            # belt and braces: the per-request deadline should always fire
+            # first, but a handler must never hang on a lost job
+            job.finish(504, error_payload(
+                "timeout", "request did not complete in time"))
+        return job.status, self._finalize(request_id, job.body), headers
+
+    @staticmethod
+    def _finalize(request_id: str, body: dict) -> dict:
+        return {"request_id": request_id, **(body or {})}
+
+    def _wait_timeout_s(self, spec) -> float:
+        """Upper bound on a handler's wait: queue sojourn + the clamped
+        execution deadline + slack for envelope building."""
+        hint = spec.budget_hints.get("deadline_ms")
+        deadline_ms = (self.config.max_deadline_ms if hint is None
+                       else min(hint, self.config.max_deadline_ms))
+        return (self.config.enqueue_deadline_ms + deadline_ms) / 1000.0 \
+            + 30.0
+
+    # ------------------------------------------------------------------
+    # the request path (worker side)
+    # ------------------------------------------------------------------
+    def _execute(self, session: KdapSession, job: Job) -> None:
+        spec = job.spec
+        queue_wait_s = time.monotonic() - job.enqueued_at
+        budget = make_budget(spec, self.config)
+        tracer = (Tracer() if self.config.trace_dir is not None else None)
+        calls_before = session.engine.counters.total_calls
+        started = time.perf_counter()
+        try:
+            with request_scope(job.request_id), tracing_scope(tracer):
+                with current_tracer().span(
+                        "request", id=job.request_id, kind=spec.kind,
+                        query=spec.query) as span:
+                    status, body = self._dispatch(session, spec, budget)
+                    span.set_tag("status", status)
+        except DeadlineExceeded as exc:
+            status, body = 504, error_payload(
+                "deadline", str(exc),
+                diagnostics=Diagnostics.from_budget(budget).as_dict())
+        except BudgetExceeded as exc:
+            # normally the session degrades in place; an escaped budget
+            # error still honours the taxonomy: 200 + partial flag,
+            # with the diagnostics standing in for the missing result
+            status, body = 200, {
+                "partial": True,
+                "diagnostics": Diagnostics.from_budget(budget).as_dict(),
+                "error": {"type": "budget", "message": str(exc)},
+            }
+        except BackendError as exc:
+            status, body = 502, error_payload("backend", str(exc))
+        except RelationalError as exc:
+            status, body = 500, error_payload("engine", str(exc))
+        except Exception as exc:  # noqa: BLE001 - worker must survive
+            logger.exception("request %s crashed", job.request_id)
+            status, body = 500, error_payload(
+                "internal", f"unexpected {type(exc).__name__}")
+        elapsed_s = time.perf_counter() - started
+        self._observe(spec.kind, status, elapsed_s, queue_wait_s,
+                      session.engine.counters.total_calls - calls_before)
+        if tracer is not None:
+            self._write_trace(tracer, job.request_id)
+        job.finish(status, body)
+
+    def _dispatch(self, session: KdapSession, spec, budget
+                  ) -> tuple[int, dict]:
+        measure = SURPRISE if spec.measure == "surprise" else BELLWETHER
+        if spec.kind == "differentiate":
+            ranked = session.differentiate(
+                spec.query, method=RankingMethod(spec.method),
+                limit=spec.limit, preview_sizes=spec.preview_sizes,
+                budget=budget)
+            if not ranked:
+                return 404, error_payload(
+                    "no_result", "no interpretation found")
+            return 200, differentiate_payload(ranked, budget)
+        if spec.kind == "explore":
+            ranked = session.differentiate(
+                spec.query, limit=max(spec.pick, 5), budget=budget)
+            if len(ranked) < spec.pick:
+                return 404, error_payload(
+                    "no_result",
+                    f"only {len(ranked)} interpretation(s) found")
+            result = session.explore(ranked[spec.pick - 1].star_net,
+                                     interestingness=measure,
+                                     budget=budget)
+            return 200, explore_payload(result)
+        # explain: reuses the ambient per-request tracer when one is
+        # installed, so the explained spans land in the request trace
+        result = session.explain(spec.query, pick=spec.pick,
+                                 interestingness=measure, budget=budget)
+        if result is None:
+            return 404, error_payload(
+                "no_result",
+                f"fewer than {spec.pick} interpretations found")
+        return 200, {"explain": result.as_dict(),
+                     "partial": budget.truncated}
+
+    def _observe(self, kind: str, status: int, elapsed_s: float,
+                 queue_wait_s: float, plan_calls: int) -> None:
+        self.registry.histogram(f"kdap.service.seconds.{kind}").observe(
+            elapsed_s)
+        self.registry.histogram("kdap.service.queue_wait_s").observe(
+            queue_wait_s)
+        self.registry.histogram(
+            "kdap.service.plan_calls",
+            boundaries=COUNT_BOUNDARIES).observe(plan_calls)
+        self.registry.counter(f"kdap.service.status.{status}").inc()
+        if status >= 500:
+            self.registry.counter("kdap.service.failed").inc()
+
+    def _write_trace(self, tracer: Tracer, request_id: str) -> None:
+        path = os.path.join(self.config.trace_dir,
+                            f"trace-{request_id}.json")
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(tracer.to_chrome_trace(), fh)
+        except OSError as exc:  # tracing must never fail a request
+            logger.warning("could not write %s: %s", path, exc)
+
+    # ------------------------------------------------------------------
+    # introspection endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> tuple[int, dict]:
+        healthy = self.state == "serving"
+        return (200 if healthy else HTTP_DRAINING), {
+            "status": "ok" if healthy else self.state,
+            "state": self.state,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self.config.workers,
+            "queued": len(self.queue),
+            "in_flight": self.pool.in_flight,
+        }
+
+    def statz(self) -> dict:
+        """Server admission/latency instruments plus per-worker session
+        stats and a cross-session rollup."""
+        workers = []
+        rollup: dict[str, int] = {}
+        resilience_rollup = {"retries": 0, "failovers": 0,
+                             "transient_errors": 0}
+        for position, session in enumerate(list(self.pool.sessions)):
+            snapshot = session.metrics.snapshot()
+            cache = session.engine.cache_stats
+            entry = {
+                "worker": position,
+                "backend": session.engine.backend_name,
+                "plan_cache": {"hits": cache.hits,
+                               "misses": cache.misses,
+                               "evictions": cache.evictions},
+                "metrics": snapshot,
+            }
+            stats = getattr(session.engine.backend, "resilience", None)
+            if stats is not None:
+                entry["resilience"] = stats.as_dict()
+                resilience_rollup["retries"] += stats.retries
+                resilience_rollup["failovers"] += stats.failovers
+                resilience_rollup["transient_errors"] += \
+                    stats.transient_errors
+            for name, value in snapshot["counters"].items():
+                rollup[name] = rollup.get(name, 0) + value
+            workers.append(entry)
+        return {
+            "state": self.state,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "config": {
+                "workers": self.config.workers,
+                "queue_depth": self.config.queue_depth,
+                "enqueue_deadline_ms": self.config.enqueue_deadline_ms,
+                "max_deadline_ms": self.config.max_deadline_ms,
+                "backend": self.config.backend,
+                "chaotic": self.config.chaotic,
+            },
+            "service": self.registry.snapshot(),
+            "workers": workers,
+            "rollup": {"counters": dict(sorted(rollup.items())),
+                       "resilience": resilience_rollup},
+        }
+
+
+def _make_handler(service: KdapService):
+    """A handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib API
+            kind = ROUTES.get(self.path)
+            if kind is None:
+                self._send(404, error_payload(
+                    "not_found", f"no such endpoint: {self.path}"))
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._send(400, error_payload(
+                    "bad_request", "invalid Content-Length"))
+                return
+            if length > MAX_BODY_BYTES:
+                self._send(400, error_payload(
+                    "bad_request",
+                    f"body too large (> {MAX_BODY_BYTES} bytes)"))
+                return
+            body = self.rfile.read(length) if length else b""
+            status, payload, headers = service.submit(kind, body)
+            self._send(status, payload, headers)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib API
+            if self.path == "/v1/healthz":
+                status, payload = service.healthz()
+                self._send(status, payload)
+            elif self.path == "/v1/statz":
+                self._send(200, service.statz())
+            else:
+                self._send(404, error_payload(
+                    "not_found", f"no such endpoint: {self.path}"))
+
+        def _send(self, status: int, payload: dict,
+                  headers: dict | None = None) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            try:
+                self.wfile.write(data)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # the client hung up; nothing to salvage
+
+        def log_message(self, fmt: str, *args) -> None:
+            logger.debug("%s " + fmt, self.address_string(), *args)
+
+    return Handler
+
+
+def serve_until_signalled(service: KdapService, host: str, port: int
+                          ) -> int:
+    """Run ``service`` until SIGTERM/SIGINT, then drain and stop.
+
+    The signal handler only sets an event — the drain itself runs on the
+    main thread, so in-flight requests finish (or are 503-aborted at the
+    drain deadline) before the process exits.  Returns 0.
+    """
+    import signal
+
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame):
+        logger.info("signal %d: draining", signum)
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    try:
+        bound_host, bound_port = service.start(host, port)
+        print(f"kdap service listening on http://{bound_host}:{bound_port}"
+              f" ({service.config.workers} workers, queue depth "
+              f"{service.config.queue_depth})")
+        stop.wait()
+        service.shutdown()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0

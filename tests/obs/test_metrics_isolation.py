@@ -1,0 +1,59 @@
+"""Concurrent per-session metrics isolation.
+
+Two sessions exploring simultaneously on different threads must never
+bleed counters into each other's registry (or into the process-wide
+default): ``metrics_scope`` rides a context variable, so each thread's
+deep layers resolve their own session's registry even while interleaved.
+This is the invariant the service layer's per-worker sessions (and its
+``/v1/statz`` per-worker breakdown) stand on.
+"""
+
+import threading
+
+from repro.core import KdapSession
+from repro.obs.metrics import DEFAULT_REGISTRY
+from repro.textindex.index import AttributeTextIndex
+
+
+def _explore_n(session: KdapSession, query: str, times: int,
+               barrier: threading.Barrier, errors: list) -> None:
+    try:
+        barrier.wait(timeout=10.0)
+        for _ in range(times):
+            net = session.differentiate(query, limit=1)[0].star_net
+            session.explore(net)
+    except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+        errors.append(exc)
+
+
+def test_concurrent_sessions_never_bleed_counters(ebiz):
+    index = AttributeTextIndex()
+    index.index_database(ebiz.database, ebiz.searchable)
+    first = KdapSession(ebiz, index=index)
+    second = KdapSession(ebiz, index=index)
+    default_before = DEFAULT_REGISTRY.snapshot()["counters"].get(
+        "kdap.queries", 0)
+
+    barrier = threading.Barrier(2)
+    errors: list = []
+    threads = [
+        threading.Thread(target=_explore_n,
+                         args=(first, "Columbus", 3, barrier, errors)),
+        threading.Thread(target=_explore_n,
+                         args=(second, "Seattle", 5, barrier, errors)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+
+    # each registry saw exactly its own session's work
+    assert first.metrics.counter("kdap.queries").value == 3
+    assert second.metrics.counter("kdap.queries").value == 5
+    assert first.metrics.histogram("kdap.explore.seconds").count == 3
+    assert second.metrics.histogram("kdap.explore.seconds").count == 5
+    # and nothing leaked to the process-wide default registry
+    default_after = DEFAULT_REGISTRY.snapshot()["counters"].get(
+        "kdap.queries", 0)
+    assert default_after == default_before

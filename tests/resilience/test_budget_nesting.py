@@ -1,0 +1,136 @@
+"""Nested budget scopes: the inner contract can never exceed the outer.
+
+The service layer installs a fresh per-request Budget inside whatever
+process-level scope is already active; these tests pin the clamp/absorb
+semantics :func:`repro.resilience.budget.budget_scope` applies when two
+*different* budgets nest.
+"""
+
+import pytest
+
+from repro.relational.errors import BudgetExceeded, DeadlineExceeded
+from repro.resilience.budget import (
+    Budget,
+    budget_scope,
+    charge_rows,
+    check_deadline,
+    current_budget,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCeilingClamp:
+    def test_inner_rows_clamped_to_outer_ceiling(self):
+        outer = Budget(max_rows=100)
+        with budget_scope(outer):
+            inner = Budget(max_rows=1000)
+            with budget_scope(inner):
+                with pytest.raises(BudgetExceeded):
+                    charge_rows(150)
+        assert inner.max_rows == 100
+
+    def test_inner_deadline_clamped_to_outer_remaining(self):
+        clock = FakeClock()
+        outer = Budget(deadline_ms=100, clock=clock)
+        clock.advance(0.09)  # 10 ms of the outer deadline left
+        with budget_scope(outer):
+            inner = Budget(deadline_ms=60_000, clock=clock)
+            with budget_scope(inner):
+                assert inner.deadline_ms == pytest.approx(10, abs=1e-6)
+                clock.advance(0.05)
+                with pytest.raises(DeadlineExceeded):
+                    check_deadline("test")
+
+    def test_outer_unlimited_keeps_inner_limits(self):
+        outer = Budget()
+        with budget_scope(outer):
+            inner = Budget(max_rows=5, max_groups=7,
+                           max_interpretations=3, deadline_ms=50)
+            with budget_scope(inner):
+                pass
+        assert inner.max_rows == 5
+        assert inner.max_groups == 7
+        assert inner.max_interpretations == 3
+
+    def test_inner_unlimited_takes_outer_ceiling(self):
+        outer = Budget(max_rows=40, max_groups=8)
+        with budget_scope(outer):
+            inner = Budget()
+            with budget_scope(inner):
+                assert inner.max_rows == 40
+                assert inner.max_groups == 8
+
+    def test_clamp_accounts_for_outer_consumption(self):
+        outer = Budget(max_rows=100)
+        outer.charge_rows(60)
+        with budget_scope(outer):
+            inner = Budget(max_rows=90)
+            with budget_scope(inner):
+                assert inner.max_rows == 40
+
+
+class TestAbsorb:
+    def test_sibling_scopes_share_the_outer_pool(self):
+        outer = Budget(max_rows=100)
+        with budget_scope(outer):
+            with budget_scope(Budget(max_rows=100)):
+                charge_rows(60)
+            assert outer.rows_scanned == 60
+            second = Budget(max_rows=100)
+            with budget_scope(second):
+                assert second.max_rows == 40
+                with pytest.raises(BudgetExceeded):
+                    charge_rows(60)
+
+    def test_truncation_events_carry_over(self):
+        outer = Budget(max_rows=100)
+        with budget_scope(outer):
+            inner = Budget()
+            with budget_scope(inner):
+                inner.record_truncation("facet:Store", "rows", "cut short")
+        assert outer.truncated
+        assert outer.events[0].stage == "facet:Store"
+
+    def test_all_consumption_kinds_absorbed(self):
+        outer = Budget()
+        with budget_scope(outer):
+            inner = Budget()
+            with budget_scope(inner):
+                inner.charge_rows(11)
+                inner.charge_groups(5)
+                inner.charge_interpretations(3)
+        assert outer.rows_scanned == 11
+        assert outer.groups_seen == 5
+        assert outer.interpretations == 3
+
+
+class TestSameBudgetReentry:
+    def test_reinstalling_the_ambient_budget_is_a_noop(self):
+        budget = Budget(max_rows=10, deadline_ms=1000)
+        with budget_scope(budget):
+            with budget_scope(budget):
+                assert current_budget() is budget
+                charge_rows(4)
+        # no self-absorb: consumption is not double counted
+        assert budget.rows_scanned == 4
+        assert budget.max_rows == 10
+
+    def test_explicit_budget_equal_to_ambient_via_session_path(self):
+        # the session pattern: budget = budget or current_budget(), then
+        # budget_scope(budget) again — must not clamp or double count
+        budget = Budget(max_rows=50)
+        with budget_scope(budget):
+            ambient = current_budget()
+            with budget_scope(ambient):
+                charge_rows(20)
+        assert budget.rows_scanned == 20

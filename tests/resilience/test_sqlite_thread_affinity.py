@@ -1,0 +1,101 @@
+"""sqlite session thread-affinity and lifetime enforcement.
+
+A sqlite-backed session may be *used* from a foreign thread while live
+(the mirror hands every thread its own connection — the ray-prefetch
+pool depends on it), but a **closed** session must refuse queries with a
+typed :class:`BackendError` from any thread, never a raw
+``sqlite3.ProgrammingError`` and never by silently reloading the mirror.
+The service layer leans on this: workers own their sessions for their
+whole life, and nothing downstream ever sees an untyped sqlite error.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.core import KdapSession
+from repro.plan import SqliteBackend
+from repro.relational.errors import BackendError
+from repro.relational.sqlite_backend import SqliteBackend as SqliteMirror
+
+
+class TestForeignThreadUse:
+    def test_live_session_serves_foreign_threads(self, ebiz):
+        with KdapSession(ebiz, backend="sqlite") as session:
+            net = session.differentiate("Columbus", limit=1)[0].star_net
+            results = []
+
+            def explore():
+                results.append(session.explore(net))
+
+            thread = threading.Thread(target=explore)
+            thread.start()
+            thread.join()
+            assert len(results) == 1
+            assert len(results[0].subspace) > 0
+
+
+class TestClosedSession:
+    def test_query_after_close_raises_backend_error(self, ebiz):
+        session = KdapSession(ebiz, backend="sqlite")
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        session.explore(net)
+        session.close()
+        # the plan cache would happily serve the repeat query; clear it
+        # so the explore must reach the (closed) backend
+        session.engine.cache.clear()
+        with pytest.raises(BackendError, match="closed"):
+            session.explore(net)
+
+    def test_closed_backend_does_not_resurrect_mirror(self, ebiz):
+        backend = SqliteBackend(ebiz)
+        backend.mirror  # force the lazy load
+        backend.close()
+        assert backend._mirror is None
+        with pytest.raises(BackendError):
+            backend.mirror
+        assert backend._mirror is None  # still no silent reload
+
+    def test_close_after_close_stays_idempotent(self, ebiz):
+        backend = SqliteBackend(ebiz)
+        backend.close()
+        backend.close()  # no error
+
+    def test_foreign_thread_sees_backend_error_after_close(self, ebiz):
+        session = KdapSession(ebiz, backend="sqlite")
+        net = session.differentiate("Columbus", limit=1)[0].star_net
+        session.explore(net)
+        session.close()
+        session.engine.cache.clear()
+        caught = []
+
+        def use():
+            try:
+                session.explore(net)
+            except BaseException as exc:  # noqa: BLE001 - asserting type
+                caught.append(exc)
+
+        thread = threading.Thread(target=use)
+        thread.start()
+        thread.join()
+        assert len(caught) == 1
+        assert isinstance(caught[0], BackendError)
+        assert not isinstance(caught[0], sqlite3.ProgrammingError)
+
+
+class TestMirrorErrorTranslation:
+    def test_closed_mirror_execute_is_typed(self, ebiz):
+        mirror = SqliteMirror(ebiz.database)
+        mirror.close()
+        with pytest.raises(BackendError, match="closed"):
+            mirror.execute("SELECT 1")
+
+    def test_programming_error_is_translated(self, ebiz):
+        mirror = SqliteMirror(ebiz.database)
+        # sabotage the creator connection behind the mirror's back: the
+        # next execute hits sqlite3.ProgrammingError internally and must
+        # surface it as a BackendError
+        mirror.connection.close()
+        with pytest.raises(BackendError, match="misuse"):
+            mirror.execute("SELECT 1")

@@ -1,0 +1,48 @@
+"""Service-test helpers: a tiny urllib client and shared text index."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.textindex.index import AttributeTextIndex
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client against one running service."""
+
+    def __init__(self, port: int):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def post(self, path: str, payload, timeout: float = 60.0,
+             raw: bytes | None = None):
+        """(status, body, headers) for one POST; HTTP errors are returns,
+        not raises."""
+        data = raw if raw is not None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base + path, data=data,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read()), resp.headers
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read()), exc.headers
+
+    def get(self, path: str, timeout: float = 10.0):
+        try:
+            with urllib.request.urlopen(self.base + path,
+                                        timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="session")
+def ebiz_index(ebiz):
+    """One shared text index so every test server skips the rebuild."""
+    index = AttributeTextIndex()
+    index.index_database(ebiz.database, ebiz.searchable)
+    return index

@@ -1,0 +1,127 @@
+"""Admission queue and job mechanics, clock-controlled (no sockets)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionQueue, Draining, Job, QueueFull
+from repro.service.protocol import RequestSpec
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _spec() -> RequestSpec:
+    return RequestSpec(kind="explore", query="q")
+
+
+def _job(request_id: str, clock: FakeClock,
+         deadline_s: float = 10.0) -> Job:
+    return Job(_spec(), request_id, clock.now, clock.now + deadline_s)
+
+
+class TestJob:
+    def test_first_finish_wins(self):
+        job = _job("r1", FakeClock())
+        assert job.finish(200, {"ok": True})
+        assert not job.finish(503, {"late": True})
+        assert job.status == 200
+        assert job.body == {"ok": True}
+        assert job.wait(0.1)
+
+
+class TestSubmit:
+    def test_fifo_order(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(4, MetricsRegistry(), clock=clock)
+        jobs = [_job(f"r{i}", clock) for i in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        taken = [queue.take(0.01, lambda j: None) for _ in range(3)]
+        assert [j.request_id for j in taken] == ["r0", "r1", "r2"]
+
+    def test_full_queue_sheds(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(2, registry, clock=clock)
+        queue.submit(_job("r0", clock))
+        queue.submit(_job("r1", clock))
+        with pytest.raises(QueueFull):
+            queue.submit(_job("r2", clock))
+        assert registry.counter("kdap.service.shed.queue_full").value == 1
+        assert registry.counter("kdap.service.admitted").value == 2
+
+    def test_draining_rejects_submission(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(2, registry, clock=clock)
+        queue.submit(_job("r0", clock))
+        queue.drain()
+        with pytest.raises(Draining):
+            queue.submit(_job("r1", clock))
+        assert registry.counter(
+            "kdap.service.rejected.draining").value == 1
+        # already-admitted work stays consumable during drain
+        assert queue.take(0.01, lambda j: None).request_id == "r0"
+
+
+class TestTake:
+    def test_expired_jobs_are_shed_at_dequeue(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(4, registry, clock=clock)
+        stale = _job("stale", clock, deadline_s=1.0)
+        fresh = _job("fresh", clock, deadline_s=60.0)
+        queue.submit(stale)
+        queue.submit(fresh)
+        clock.advance(5.0)
+        shed = []
+        taken = queue.take(0.01, shed.append)
+        assert taken.request_id == "fresh"
+        assert [j.request_id for j in shed] == ["stale"]
+        assert registry.counter(
+            "kdap.service.shed.queue_timeout").value == 1
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue(2, MetricsRegistry())
+        assert queue.take(0.01, lambda j: None) is None
+
+    def test_stop_wakes_blocked_takers(self):
+        queue = AdmissionQueue(2, MetricsRegistry())
+        out = []
+
+        def taker():
+            out.append(queue.take(5.0, lambda j: None))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.stop()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert out == [None]
+
+
+class TestAbort:
+    def test_abort_pending_completes_leftovers(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(4, registry, clock=clock)
+        jobs = [_job(f"r{i}", clock) for i in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        aborted = queue.abort_pending(
+            lambda j: j.finish(503, {"aborted": True}))
+        assert aborted == 3
+        assert all(j.status == 503 for j in jobs)
+        assert len(queue) == 0
+        assert registry.counter("kdap.service.aborted.drain").value == 3
+        assert registry.gauge("kdap.service.queued").value == 0

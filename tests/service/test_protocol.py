@@ -1,0 +1,206 @@
+"""Wire-protocol hardening: strict parsing, clamping, taxonomy mapping.
+
+The fuzz section feeds arbitrary bytes and arbitrary JSON objects to
+:func:`parse_request` and asserts the only two outcomes are a valid
+:class:`RequestSpec` or a typed :class:`RequestError` — never any other
+exception, which is what guarantees the server's 400 path is total.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    EXIT_TO_HTTP,
+    RequestError,
+    RequestSpec,
+    ServiceConfig,
+    make_budget,
+    parse_request,
+)
+
+
+def _parse(kind: str, payload) -> RequestSpec:
+    return parse_request(kind, json.dumps(payload).encode())
+
+
+class TestParseHappyPath:
+    def test_minimal_explore(self):
+        spec = _parse("explore", {"query": "  Columbus  "})
+        assert spec.kind == "explore"
+        assert spec.query == "Columbus"
+        assert spec.pick == 1
+        assert spec.budget_hints == {}
+
+    def test_full_differentiate(self):
+        spec = _parse("differentiate", {
+            "query": "Road Bikes", "limit": 7, "method": "baseline",
+            "preview_sizes": True,
+            "budget": {"deadline_ms": 1500.5, "max_rows": 10},
+        })
+        assert spec.limit == 7
+        assert spec.method == "baseline"
+        assert spec.preview_sizes is True
+        assert spec.budget_hints == {"deadline_ms": 1500.5,
+                                     "max_rows": 10}
+
+
+class TestParseRejections:
+    @pytest.mark.parametrize("body", [
+        b"", b"not json", b"\xff\xfe", b"[1, 2]", b'"a string"',
+        b"null", b"42",
+    ])
+    def test_non_object_bodies(self, body):
+        with pytest.raises(RequestError):
+            parse_request("explore", body)
+
+    def test_unknown_field(self):
+        with pytest.raises(RequestError, match="buget"):
+            _parse("explore", {"query": "q", "buget": {}})
+
+    def test_field_from_other_endpoint(self):
+        # "limit" belongs to differentiate, not explore
+        with pytest.raises(RequestError, match="limit"):
+            _parse("explore", {"query": "q", "limit": 5})
+
+    @pytest.mark.parametrize("query", [None, 12, "", "   ", ["q"],
+                                       "x" * 10_001])
+    def test_bad_query(self, query):
+        with pytest.raises(RequestError):
+            _parse("explore", {"query": query})
+
+    @pytest.mark.parametrize("pick", [0, -1, 1001, 1.5, True, "2"])
+    def test_bad_pick(self, pick):
+        with pytest.raises(RequestError):
+            _parse("explore", {"query": "q", "pick": pick})
+
+    def test_bad_method(self):
+        with pytest.raises(RequestError, match="method"):
+            _parse("differentiate", {"query": "q", "method": "best"})
+
+    def test_unknown_endpoint_kind(self):
+        with pytest.raises(RequestError, match="endpoint"):
+            parse_request("drop_tables", b"{}")
+
+
+class TestBudgetHintRejections:
+    @pytest.mark.parametrize("budget", [
+        [], "fast", 5,                      # not an object
+        {"rows": 5},                        # unknown hint name
+        {"max_rows": -1},                   # negative
+        {"max_rows": 0},                    # zero
+        {"max_rows": 10 ** 18},             # absurd
+        {"deadline_ms": 1e19},              # absurd deadline
+        {"max_rows": 1.5},                  # count must be an int
+        {"max_rows": True},                 # bool is not a count
+        {"deadline_ms": "100"},             # string number
+        {"deadline_ms": float("nan")},
+        {"deadline_ms": float("inf")},
+    ])
+    def test_rejected(self, budget):
+        payload = json.dumps({"query": "q", "budget": budget},
+                             allow_nan=True).encode()
+        with pytest.raises(RequestError):
+            parse_request("explore", payload)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(RequestError) as excinfo:
+            _parse("explore", {"query": "q", "budget": {"max_rows": -5}})
+        assert excinfo.value.field == "budget.max_rows"
+        assert excinfo.value.payload()["error"]["type"] == "bad_request"
+
+
+class TestMakeBudget:
+    def test_hint_clamped_by_ceiling(self):
+        config = ServiceConfig(max_deadline_ms=1000.0, max_rows=100)
+        spec = RequestSpec(kind="explore", query="q", budget_hints={
+            "deadline_ms": 60_000.0, "max_rows": 10_000})
+        budget = make_budget(spec, config)
+        assert budget.deadline_ms == 1000.0
+        assert budget.max_rows == 100
+
+    def test_modest_hint_survives(self):
+        config = ServiceConfig(max_deadline_ms=30_000.0, max_rows=100)
+        spec = RequestSpec(kind="explore", query="q", budget_hints={
+            "deadline_ms": 500.0, "max_rows": 7})
+        budget = make_budget(spec, config)
+        assert budget.deadline_ms == 500.0
+        assert budget.max_rows == 7
+
+    def test_no_hints_get_server_ceilings(self):
+        config = ServiceConfig(max_deadline_ms=2000.0)
+        budget = make_budget(RequestSpec(kind="explore", query="q"),
+                             config)
+        assert budget.deadline_ms == 2000.0  # always finite
+        assert budget.max_rows is None
+
+
+class TestTaxonomy:
+    def test_every_cli_exit_code_is_mapped(self):
+        assert set(EXIT_TO_HTTP) == {0, 1, 2, 3, 4, 5, 6}
+        assert EXIT_TO_HTTP[3] == 504   # deadline
+        assert EXIT_TO_HTTP[4] == 200   # budget -> partial, not an error
+        assert EXIT_TO_HTTP[5] == 502   # backend
+
+
+# ----------------------------------------------------------------------
+# fuzz: parse_request is total over arbitrary input
+# ----------------------------------------------------------------------
+_JSON_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.floats(allow_nan=False) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(body=st.binary(max_size=200))
+def test_fuzz_raw_bytes_never_crash(body):
+    try:
+        spec = parse_request("explore", body)
+    except RequestError:
+        return
+    assert isinstance(spec, RequestSpec)
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=st.dictionaries(st.text(max_size=12), _JSON_VALUES,
+                               max_size=6),
+       kind=st.sampled_from(["explore", "differentiate", "explain"]))
+def test_fuzz_json_objects_parse_or_reject_typed(payload, kind):
+    try:
+        spec = parse_request(kind, json.dumps(payload).encode())
+    except RequestError as exc:
+        assert exc.payload()["error"]["type"] == "bad_request"
+        return
+    # anything accepted must be fully normalised and in range
+    assert spec.query.strip() == spec.query and spec.query
+    assert 1 <= spec.pick <= 1000
+    assert 1 <= spec.limit <= 1000
+    for name, value in spec.budget_hints.items():
+        assert value > 0 and math.isfinite(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(hints=st.fixed_dictionaries({}, optional={
+    # ranges chosen to pass validation, so the property under test is
+    # the clamping, not the rejection path
+    "deadline_ms": st.integers(min_value=1, max_value=3_600_000),
+    "max_rows": st.integers(min_value=1, max_value=10 ** 9),
+    "max_groups": st.integers(min_value=1, max_value=10 ** 9),
+    "max_interpretations": st.integers(min_value=1, max_value=10 ** 9),
+}))
+def test_fuzz_accepted_hints_always_clamp_under_ceilings(hints):
+    config = ServiceConfig(max_deadline_ms=5000.0, max_rows=500,
+                           max_groups=50, max_interpretations=5)
+    spec = _parse("explore", {"query": "q", "budget": hints})
+    budget = make_budget(spec, config)
+    assert budget.deadline_ms <= 5000.0
+    assert budget.max_rows <= 500
+    assert budget.max_groups <= 50
+    assert budget.max_interpretations <= 5

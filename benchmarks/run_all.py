@@ -24,6 +24,12 @@ slowdown:
   selective date-range scenario must skip at least one chunk via its
   zone maps.  This gate always runs at full scale (>= 1M rows), even
   under ``--smoke``: the acceptance criterion is defined there;
+* **materialize** — the sub-cube tier (:mod:`bench_materialize`) must
+  answer the categorical partition workload at least 2x faster than
+  direct scanning on a million fact rows (with real view hits,
+  including a lattice roll-up), and append maintenance must fold
+  exactly the delta — no full rebuilds.  Like the morsel gate, always
+  at full scale;
 * **service concurrency** — a live HTTP server under steady load,
   overload, and chaos (:mod:`bench_service_concurrency`): steady-state
   shed rate and p95 bounded, overload answered with 429s (never 5xx or
@@ -64,6 +70,11 @@ from repro.evalkit import (
 from repro.obs.metrics import runs_summary
 from repro.plan import FusionStats, QueryEngine
 
+from bench_materialize import (
+    MIN_SPEEDUP as MATERIALIZE_MIN_SPEEDUP,
+    compare as compare_materialize,
+    passes as materialize_passes,
+)
 from bench_morsel_scan import (
     MIN_SPEEDUP as MORSEL_MIN_SPEEDUP,
     compare as compare_morsel,
@@ -259,6 +270,21 @@ class Suite:
                   f"(min {entry['min_s']:.4f} s, interleaved)")
         return check
 
+    def bench_materialize(self) -> dict:
+        """Materialized sub-cube tier vs direct scanning, plus the
+        incremental append-refresh scenario — always at one million
+        fact rows (see :mod:`bench_materialize`; builds its own
+        warehouse because the append scenario mutates it)."""
+        schema = build_scale(num_facts=1_000_000, seed=7)
+        benchmarks, check = compare_materialize(schema,
+                                                max(self.repeats, 3))
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['median_s']:.4f} s "
+                  f"(min {entry['min_s']:.4f} s, interleaved)")
+        return check
+
     def bench_service_concurrency(self) -> dict:
         """Concurrent service scenarios: steady load, overload shedding,
         and chaos-mode fault absorption (see
@@ -339,6 +365,7 @@ def main(argv=None) -> int:
         scan_check = suite.bench_scan_aggregate()
         tracing_check = suite.bench_tracing_overhead()
         morsel_check = suite.bench_morsel_scan()
+        materialize_check = suite.bench_materialize()
         service_check = suite.bench_service_concurrency()
         suite.bench_figures()
         suite.bench_primitives()
@@ -353,6 +380,7 @@ def main(argv=None) -> int:
     tracing_ok = tracing_check["overhead"] <= MAX_OVERHEAD
     morsel_ok = (morsel_check["speedup"] >= MORSEL_MIN_SPEEDUP
                  and morsel_check["zone_skip"]["chunks_skipped"] > 0)
+    materialize_ok = materialize_passes(materialize_check)
     service_ok = service_passes(service_check)
     report = {
         "suite": "kdap",
@@ -364,6 +392,7 @@ def main(argv=None) -> int:
         "scan_check": {**scan_check, "pass": scan_ok},
         "tracing_check": {**tracing_check, "pass": tracing_ok},
         "morsel_check": {**morsel_check, "pass": morsel_ok},
+        "materialize_check": {**materialize_check, "pass": materialize_ok},
         "service_check": {**service_check, "pass": service_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -386,6 +415,17 @@ def main(argv=None) -> int:
           f"(required {MORSEL_MIN_SPEEDUP:.1f}x), zone maps skipped "
           f"{zone['chunks_skipped']} of "
           f"{zone['chunks_skipped'] + zone['chunks_scanned']} chunks")
+    refresh = materialize_check["refresh"]
+    print(f"materialized tier: {materialize_check['speedup']:.2f}x over "
+          f"direct scans at {materialize_check['fact_rows']} rows "
+          f"(required {MATERIALIZE_MIN_SPEEDUP:.1f}x), "
+          f"{materialize_check['views']} views / "
+          f"{materialize_check['hits']} hits "
+          f"({materialize_check['rollup_hits']} roll-ups); append folded "
+          f"{refresh['refreshed_rows']} rows over "
+          f"{refresh['refreshes']} refreshes for a "
+          f"{refresh['delta_rows']}-row delta, "
+          f"{refresh['rebuilds']} rebuilds")
     steady = service_check["steady"]
     print(f"service concurrency: steady p95 {steady['p95_s']:.3f}s at "
           f"{steady['throughput_rps']:.1f} req/s (shed rate "
@@ -413,6 +453,12 @@ def main(argv=None) -> int:
               f"scan-aggregate below {MORSEL_MIN_SPEEDUP:.1f}x over the "
               "pre-chunk strategy, or zone maps skipped no chunks",
               file=sys.stderr)
+        return 1
+    if not materialize_ok:
+        print("MATERIALIZATION CHECK FAILED: the sub-cube tier fell "
+              f"below {MATERIALIZE_MIN_SPEEDUP:.1f}x over direct scans, "
+              "served no (roll-up) hits, or append maintenance did not "
+              "fold exactly the delta", file=sys.stderr)
         return 1
     if not service_ok:
         print("SERVICE CONCURRENCY CHECK FAILED: the server shed under "

@@ -34,6 +34,7 @@ from .datasets import (
     build_aw_reseller,
     build_ebiz,
 )
+from .datasets.scale import build_scale
 from .evalkit import (
     ALL_METHODS,
     DEFAULT_BUCKET_COUNTS,
@@ -53,6 +54,7 @@ _WAREHOUSES = {
                                                       seed=seed),
     "ebiz": lambda facts, seed: build_ebiz(num_trans=max(facts // 2, 100),
                                            seed=seed),
+    "scale": lambda facts, seed: build_scale(num_facts=facts, seed=seed),
 }
 
 
@@ -74,6 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="query execution backend (logical plans run "
                              "on in-memory row-id chains or a sqlite3 "
                              "mirror)")
+    parser.add_argument("--no-materialize", action="store_true",
+                        help="disable the materialized sub-cube tier "
+                             "(sessions enable it by default: recurring "
+                             "facet/roll-up aggregates are answered from "
+                             "materialized states instead of re-scanning "
+                             "fact rows)")
     parser.add_argument("--resilient", action="store_true",
                         help="wrap the backend in retry-with-backoff and "
                              "automatic failover to the in-memory "
@@ -153,6 +161,35 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["figure4", "figure5", "figure6", "figure7"],
     )
 
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="warehouse tooling: generate million-row scale warehouses "
+             "from the command line and persist them to sqlite")
+    wsub = warehouse.add_subparsers(dest="warehouse_command",
+                                    required=True)
+    generate = wsub.add_parser(
+        "generate",
+        help="build datasets.scale:build_scale (seeded, deterministic) "
+             "and dump data + schema metadata to a sqlite file; reload "
+             "with datasets.scale:load_scale (top-level --seed applies)")
+    generate.add_argument("--scale", type=int, default=1_000_000,
+                          help="fact rows (default 1,000,000)")
+    generate.add_argument("--products", type=int, default=24,
+                          help="DimProduct catalogue size")
+    generate.add_argument("--days", type=int, default=730,
+                          help="DimDate calendar length")
+    generate.add_argument("--out", required=True, metavar="PATH",
+                          help="sqlite file to write (replaced if "
+                               "present)")
+    generate.add_argument("--materialize-views", action="store_true",
+                          help="also precompute the default full-space "
+                               "materialized views and store them in the "
+                               "same file, so warm starts answer facet "
+                               "roll-ups without recomputation")
+    generate.add_argument("--measure", default="revenue",
+                          help="measure to precompute views for "
+                               "(with --materialize-views)")
+
     serve = sub.add_parser(
         "serve",
         help="run the KDAP HTTP service: one shared warehouse, many "
@@ -195,7 +232,8 @@ def _session(args) -> KdapSession:
     backend = (create_resilient_backend(schema, args.backend)
                if args.resilient else args.backend)
     return KdapSession(schema, backend=backend, workers=args.workers,
-                       slow_query_ms=args.slow_query_ms)
+                       slow_query_ms=args.slow_query_ms,
+                       materialize=not args.no_materialize)
 
 
 def _budget(args) -> Budget | None:
@@ -230,6 +268,9 @@ def _stats_payload(session) -> dict:
         "operators": engine.counters.as_dict(),
         "metrics": session.metrics.snapshot(),
     }
+    tier = getattr(engine, "tier", None)
+    if tier is not None:
+        payload["materialize"] = tier.snapshot()
     fusion = getattr(engine, "fusion", None)
     if fusion is not None:
         payload["fusion"] = {
@@ -376,6 +417,28 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_warehouse(args) -> int:
+    import os
+
+    from .relational.persistence import dump_database
+    from .warehouse import MaterializationTier
+
+    schema = build_scale(num_facts=args.scale, seed=args.seed,
+                         num_products=args.products, num_days=args.days)
+    if os.path.exists(args.out):
+        os.remove(args.out)
+    dump_database(schema.database, args.out)
+    message = (f"wrote {schema.num_fact_rows:,} fact rows "
+               f"(seed {args.seed}) to {args.out}")
+    if args.materialize_views:
+        tier = MaterializationTier(schema)
+        built = tier.precompute(args.measure)
+        tier.save(args.out)
+        message += f"; materialized {built} full-space views"
+    print(message)
+    return 0
+
+
 def _serve_config(args):
     """Map CLI flags onto a :class:`~repro.service.ServiceConfig`.
 
@@ -403,6 +466,7 @@ def _serve_config(args):
         chaos_error_rate=args.chaos_error_rate,
         chaos_latency_s=args.chaos_latency_s,
         chaos_seed=args.chaos_seed,
+        materialize=not args.no_materialize,
         trace_dir=args.trace_dir,
         **overrides,
     )
@@ -422,6 +486,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "sql": _cmd_sql,
     "experiment": _cmd_experiment,
+    "warehouse": _cmd_warehouse,
     "serve": _cmd_serve,
 }
 

@@ -108,6 +108,15 @@ class KdapSession:
         in :attr:`slow_log` (query text, chosen interpretation, plan
         fingerprint, and — when tracing — the span tree).  None
         disables the slow-query log entirely.
+    materialize:
+        Materialized sub-cube tier (default True): facet and roll-up
+        aggregates are answered from materialized mergeable states —
+        exact views, or lattice roll-ups of finer-grained ones — with
+        incremental maintenance on fact appends, instead of re-scanning
+        fact rows.  ``kdap.materialize.*`` counters land in
+        :attr:`metrics`.  False disables the tier; passing a
+        :class:`~repro.warehouse.materialize.MaterializationTier`
+        shares one (e.g. warm-started from a persisted warehouse).
 
     **Threading**: a session is a single-caller object — its ray cache,
     slow log, and last-query bookkeeping are not synchronised for
@@ -128,7 +137,8 @@ class KdapSession:
                  backend: str | ExecutionBackend = "memory",
                  workers: int | None = None,
                  metrics: MetricsRegistry | None = None,
-                 slow_query_ms: float | None = None):
+                 slow_query_ms: float | None = None,
+                 materialize: bool | object = True):
         self.schema = schema
         self.workers = (workers if workers is not None
                         else min(4, os.cpu_count() or 1))
@@ -142,8 +152,13 @@ class KdapSession:
         self.slow_log = (SlowQueryLog(slow_query_ms)
                          if slow_query_ms is not None else None)
         self._last_query = ""
+        # sessions default the materialization tier ON (facet roll-ups
+        # over recurring subspaces are exactly its workload); pass False
+        # for raw execution or a shared MaterializationTier instance to
+        # pool admission history across sessions
         self.engine = QueryEngine(schema, backend=backend,
-                                  workers=self.workers)
+                                  workers=self.workers,
+                                  materialize=materialize)
         # per-ray fact-set memo: the same (hit group, path) ray recurs
         # across many candidate star nets of one query.  The engine's plan
         # cache holds the row tuples; this memo only avoids re-building

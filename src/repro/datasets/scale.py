@@ -124,6 +124,15 @@ def build_scale(num_facts: int = 1_000_000, seed: int = 7,
     return _scale_schema(db)
 
 
+def load_scale(path: str) -> StarSchema:
+    """Rehydrate a scale warehouse dumped by ``repro warehouse generate``
+    (the sqlite file written via
+    :func:`~repro.relational.persistence.dump_database`)."""
+    from ..relational.persistence import load_database
+
+    return _scale_schema(load_database(path))
+
+
 def _scale_schema(db: Database) -> StarSchema:
     fact = "FactScaleSales"
 
@@ -144,6 +153,8 @@ def _scale_schema(db: Database) -> StarSchema:
             )),
         ),
         groupbys=(
+            gb("DimProduct", "ProductName", AttributeKind.CATEGORICAL,
+               ["fk_scale_product"]),
             gb("DimProduct", "Color", AttributeKind.CATEGORICAL,
                ["fk_scale_product"]),
             gb("DimProduct", "CategoryName", AttributeKind.CATEGORICAL,

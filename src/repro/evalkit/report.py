@@ -82,6 +82,17 @@ def render_counters(engine) -> str:
         f"plan cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions",
     ]
+    tier = getattr(engine, "tier", None)
+    if tier is not None:
+        snap = tier.snapshot()
+        lines.append(
+            f"materialize: {snap['views']} views, {snap['hits']} hits "
+            f"({snap['rollup_hits']} roll-ups) / {snap['misses']} misses"
+            f" ({snap['hit_rate']:.1%} hit rate), "
+            f"{snap['refreshes']} refreshes "
+            f"({snap['refreshed_rows']} delta rows), "
+            f"{snap['rebuilds']} rebuilds"
+        )
     fusion = getattr(engine, "fusion", None)
     if fusion is not None and fusion.fused_queries:
         lines.append(

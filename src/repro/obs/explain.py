@@ -29,6 +29,7 @@ class OpProfile:
     batches: int = 0
     seconds: float = 0.0
     cache_hits: int = 0
+    materialized: int = 0
     pushed_to_sql: bool = False
     chunks_scanned: int = 0
     chunks_skipped: int = 0
@@ -39,6 +40,7 @@ class OpProfile:
             "calls": self.calls, "rows": self.rows,
             "batches": self.batches, "seconds": round(self.seconds, 6),
             "cache_hits": self.cache_hits,
+            "materialized": self.materialized,
             "pushed_to_sql": self.pushed_to_sql,
             "chunks_scanned": self.chunks_scanned,
             "chunks_skipped": self.chunks_skipped,
@@ -100,6 +102,8 @@ def collect_profiles(tracer: Tracer) -> dict[str, OpProfile]:
     ``op.*`` spans (backends) contribute calls/rows/batches/seconds;
     ``plan.materialize`` / ``plan.execute`` spans tagged ``cached=True``
     (the engine's cache-hit markers) contribute cache hits; spans tagged
+    ``materialized=True`` mark aggregates the materialization tier
+    answered from mergeable states without a scan; spans tagged
     ``pushed_to_sql`` mark nodes the sqlite backend compiled away into
     one statement rather than executing individually.
     """
@@ -125,6 +129,8 @@ def collect_profiles(tracer: Tracer) -> dict[str, OpProfile]:
                 profile.seconds += span.duration_s
         elif span.tags.get("cached"):
             profile.cache_hits += 1
+        elif span.tags.get("materialized"):
+            profile.materialized += 1
     return profiles
 
 
@@ -158,7 +164,7 @@ def render_plan(root: ExplainNode) -> str:
         stats = node.profile
         if stats.pushed_to_sql:
             actual = f"(calls={stats.calls} [in SQL])"
-        elif stats.calls or stats.cache_hits:
+        elif stats.calls or stats.cache_hits or stats.materialized:
             actual = (f"(calls={stats.calls} rows={stats.rows} "
                       f"batches={stats.batches} "
                       f"seconds={stats.seconds:.6f}")
@@ -169,6 +175,8 @@ def render_plan(root: ExplainNode) -> str:
                 actual += f" morsels={stats.morsels}"
             if stats.cache_hits:
                 actual += f" cache_hits={stats.cache_hits}"
+            if stats.materialized:
+                actual += f" materialized={stats.materialized}"
             actual += ")"
         else:
             actual = "(never executed)"

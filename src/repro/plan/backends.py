@@ -168,7 +168,7 @@ class InMemoryBackend:
         self.batch_size = batch_size
         self.workers = max(1, workers)
         self.counters = PlanCounters()
-        self._measure_vectors: dict[str, list] = {}
+        self._measure_vectors: dict[str, tuple[int, list]] = {}
         self._scan_rows: dict[str, tuple[int, list[int]]] = {}
 
     # -- rows ----------------------------------------------------------
@@ -583,16 +583,16 @@ class InMemoryBackend:
         measure-extraction code path.
         """
         key = plan.measure_sql
-        cached = self._measure_vectors.get(key)
-        if cached is not None:
-            return cached
         fact = self.schema.database.table(_leaf(plan).table)
+        cached = self._measure_vectors.get(key)
+        if cached is not None and cached[0] == fact.version:
+            return cached[1]
         if plan.measure_expr is None:
             values = [1] * len(fact)
         else:
             plan.measure_expr.validate(fact)
             values = plan.measure_expr.evaluate_batch(fact)
-        self._measure_vectors[key] = values
+        self._measure_vectors[key] = (fact.version, values)
         return values
 
     def close(self) -> None:

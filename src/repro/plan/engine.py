@@ -75,13 +75,30 @@ class QueryEngine:
 
     def __init__(self, schema, backend: str | ExecutionBackend = "memory",
                  max_cache_entries: int = 4096, fuse_partitions: bool = True,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 materialize: bool | object = False):
         self.schema = schema
         self.backend = create_backend(schema, backend, workers=workers)
         self.cache = PlanCache(max_entries=max_cache_entries)
         self.fuse_partitions = fuse_partitions
         self.fusion = FusionStats()
         self._fusion_lock = threading.Lock()
+        # the materialization tier answers partition aggregates from
+        # mergeable states (exact views or lattice roll-ups) before the
+        # backend is consulted; off by default at this level — sessions
+        # opt in — so counter-sensitive consumers see raw execution.
+        # Pass a MaterializationTier instance to share one tier (and its
+        # admission history) across engines.
+        if materialize is True:
+            from ..warehouse.materialize import MaterializationTier
+
+            self.tier = MaterializationTier(schema)
+        elif materialize is False or materialize is None:
+            self.tier = None
+        else:
+            # identity checks above, not truthiness: an empty shared
+            # tier is len() == 0 and must still be adopted
+            self.tier = materialize
 
     # ------------------------------------------------------------------
     # identity
@@ -109,10 +126,27 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # primitive evaluation (cached)
     # ------------------------------------------------------------------
+    def cache_key(self, fingerprint):
+        """Epoch-qualified plan-cache key for a plan fingerprint.
+
+        Plan fingerprints are pure descriptions of the question (a
+        ``Scan`` of the fact table prints the same before and after an
+        append), so raw fingerprints could serve stale rows once tables
+        grow.  Every cache access is therefore keyed by the database
+        epoch — the sum of all table version counters, monotonic under
+        the append-only contract — and a mutation simply strands the old
+        epoch's entries for LRU eviction.  External caches that share
+        entries with this engine (:class:`~repro.warehouse.cube_cache.
+        AggregateCache`) must key through this method too.
+        """
+        return (sum(table.version
+                    for table in self.schema.database.tables()),
+                fingerprint)
+
     def materialize(self, plan: PlanNode) -> tuple[int, ...]:
         """Row ids selected by a row-producing plan (cached)."""
-        fingerprint = plan.fingerprint()
-        cached = self.cache.get(fingerprint, _MISS)
+        key = self.cache_key(plan.fingerprint())
+        cached = self.cache.get(key, _MISS)
         if cached is not _MISS:
             self._note_cache(plan, hit=True, kind="materialize")
             return cached
@@ -124,21 +158,21 @@ class QueryEngine:
                                    **self._request_tag()) as span:
             rows = self.backend.materialize(plan)
             span.set_tag("rows", len(rows))
-        self.cache.put(fingerprint, rows)
+        self.cache.put(key, rows)
         return rows
 
     def execute(self, plan: GroupAggregate):
         """Aggregate result of a plan (cached; dicts are copied on the
         way out so callers cannot corrupt cache entries)."""
-        fingerprint = plan.fingerprint()
-        cached = self.cache.get(fingerprint, _MISS)
+        key = self.cache_key(plan.fingerprint())
+        cached = self.cache.get(key, _MISS)
         if cached is _MISS:
             self._note_cache(plan, hit=False, kind="execute")
             check_deadline("execute")
             with current_tracer().span("plan.execute",
                                        **self._request_tag()):
                 cached = self.backend.execute(plan)
-            self.cache.put(fingerprint, cached)
+            self.cache.put(key, cached)
         else:
             self._note_cache(plan, hit=True, kind="execute")
         return dict(cached) if isinstance(cached, dict) else cached
@@ -164,6 +198,17 @@ class QueryEngine:
         tracer = current_tracer()
         if tracer.enabled and hit:
             with tracer.span(f"plan.{kind}", cached=True,
+                             fp=plan_digest(plan),
+                             **self._request_tag()):
+                pass
+
+    def _note_materialized(self, plan: PlanNode) -> None:
+        """Marker span for an aggregate answered by the materialization
+        tier (no backend scan ran); EXPLAIN ANALYZE attributes it to the
+        plan node like a cache hit, under its own ``materialized`` tag."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("plan.execute", materialized=True,
                              fp=plan_digest(plan),
                              **self._request_tag()):
                 pass
@@ -232,7 +277,21 @@ class QueryEngine:
             return {value: fill for value in domain_key}
         plan = subspace_partition_plan(self.schema, subspace.fact_rows,
                                        gb, measure, domain=domain_key)
-        return self.execute(plan)
+        if self.tier is None:
+            return self.execute(plan)
+        key = self.cache_key(plan.fingerprint())
+        if key in self.cache:  # stat-free peek; execute() counts the hit
+            return self.execute(plan)
+        answer = self.tier.answer(subspace.fact_rows, gb, measure_name,
+                                  domain=domain_key)
+        if answer is not None:
+            self._note_materialized(plan)
+            self.cache.put(key, answer)
+            return dict(answer)
+        result = self.execute(plan)
+        self.tier.note_miss(subspace.fact_rows, gb, measure_name,
+                            plan.fingerprint())
+        return result
 
     def multi_partition_aggregates(
         self,
@@ -294,12 +353,21 @@ class QueryEngine:
                 single = subspace_partition_plan(
                     self.schema, subspace.fact_rows, gb, measure,
                     domain=dk)
-                cached = self.cache.get(single.fingerprint(), _MISS)
+                single_fp = single.fingerprint()
+                single_key = self.cache_key(single_fp)
+                cached = self.cache.get(single_key, _MISS)
                 if cached is not _MISS:
                     results[index] = dict(cached)
                     continue
-                fused[fingerprint] = (gb, dk, single.fingerprint(),
-                                      [index])
+                if self.tier is not None:
+                    answer = self.tier.answer(subspace.fact_rows, gb,
+                                              measure_name, domain=dk)
+                    if answer is not None:
+                        self._note_materialized(single)
+                        self.cache.put(single_key, answer)
+                        results[index] = dict(answer)
+                        continue
+                fused[fingerprint] = (gb, dk, single_fp, [index])
             elif entry[1] == dk:
                 entry[3].append(index)
             else:  # same attribute, different domain: separate query
@@ -325,7 +393,10 @@ class QueryEngine:
                 groups = executed[fingerprint]
                 # seed the equivalent single-plan entry so later
                 # single-key (or partially-overlapping fused) calls hit
-                self.cache.put(single_fp, groups)
+                self.cache.put(self.cache_key(single_fp), groups)
+                if self.tier is not None:
+                    self.tier.note_miss(subspace.fact_rows, gb,
+                                        measure_name, single_fp)
                 for slot in slots:
                     # inner dicts belong to the cache entry: copy out
                     results[slot] = dict(groups)

@@ -90,6 +90,18 @@ class Table:
         """Number of rows in the table."""
         return len(self)
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every append.
+
+        Caches layered above the table (encoded chunks, fact-aligned
+        vectors, materialized views) key their entries by this counter:
+        an append-only table whose version is unchanged is guaranteed
+        bit-identical, and a grown version means exactly that rows were
+        appended past the old length (existing rows never mutate).
+        """
+        return self._version
+
     def column_values(self, name: str) -> list:
         """The full value list of one column (shared, do not mutate)."""
         try:

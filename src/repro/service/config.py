@@ -72,6 +72,13 @@ class ServiceConfig:
         retries/failover and shedding compose under injected faults.
         Workers get distinct derived seeds so their fault schedules
         differ deterministically.
+    materialize:
+        Share one
+        :class:`~repro.warehouse.materialize.MaterializationTier`
+        across every worker session (default True): a view admitted or
+        rolled up by one worker answers all of them, and the pooled
+        ``kdap.materialize.*`` counters surface in ``/v1/statz``.
+        False runs workers without the tier.
     trace_dir:
         When set, each request runs under its own tracer and its Chrome
         trace is written to ``<trace_dir>/trace-<request_id>.json``.
@@ -93,6 +100,7 @@ class ServiceConfig:
     chaos_error_rate: float = 0.0
     chaos_latency_s: float = 0.0
     chaos_seed: int = 0
+    materialize: bool = True
     trace_dir: str | None = None
     retry_after_s: float = 1.0
 

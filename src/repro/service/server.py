@@ -104,6 +104,15 @@ class KdapService:
             index.index_database(schema.database, schema.searchable)
         self.index = index
         self.registry = MetricsRegistry()
+        # one materialization tier shared by every worker session: a
+        # view admitted (or lattice-derived) under one worker answers
+        # all of them, and admission history pools across the fleet
+        if self.config.materialize:
+            from ..warehouse.materialize import MaterializationTier
+
+            self.tier = MaterializationTier(schema)
+        else:
+            self.tier = None
         self.queue = AdmissionQueue(self.config.queue_depth, self.registry)
         self.pool = WorkerPool(self.queue, self.config.workers,
                                self._build_session, self._execute,
@@ -215,7 +224,9 @@ class KdapService:
             backend = create_backend(self.schema, config.backend,
                                      workers=config.session_workers)
         return KdapSession(self.schema, index=self.index, backend=backend,
-                           workers=config.session_workers)
+                           workers=config.session_workers,
+                           materialize=(self.tier if self.tier is not None
+                                        else False))
 
     # ------------------------------------------------------------------
     # the request path (handler thread side)
@@ -421,7 +432,9 @@ class KdapService:
             "service": self.registry.snapshot(),
             "workers": workers,
             "rollup": {"counters": dict(sorted(rollup.items())),
-                       "resilience": resilience_rollup},
+                       "resilience": resilience_rollup,
+                       **({"materialize": self.tier.snapshot()}
+                          if self.tier is not None else {})},
         }
 
 

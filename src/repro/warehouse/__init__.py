@@ -19,6 +19,12 @@ from .graph import (
 )
 from .cube_cache import AggregateCache, CacheStats
 from .describe import describe_schema, schema_statistics
+from .materialize import (
+    FULL_SCOPE,
+    MaterializationTier,
+    MaterializedView,
+    MaterializeStats,
+)
 from .validate import validate_schema
 from .operations import PivotTable, dice, drill_down, pivot, roll_up, slice_
 from .rollup import generalize_values, select_rows_by_values, slice_facts
@@ -40,9 +46,13 @@ __all__ = [
     "CacheStats",
     "Dimension",
     "EMPTY_PATH",
+    "FULL_SCOPE",
     "GroupByAttribute",
     "Hierarchy",
     "JoinPath",
+    "MaterializationTier",
+    "MaterializeStats",
+    "MaterializedView",
     "Measure",
     "PathStep",
     "PivotTable",

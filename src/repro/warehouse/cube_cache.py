@@ -24,7 +24,10 @@ for KDAP."
   effect.
 
 The cache is layered *around* :class:`~repro.warehouse.subspace.Subspace`
-(wrap calls in :meth:`partition_aggregates`); nothing else changes.
+(wrap calls in :meth:`partition_aggregates`); nothing else changes.  The
+full materialization tier — lattice roll-up answering, incremental
+append maintenance, admission, persistence — lives in
+:mod:`repro.warehouse.materialize` and plugs into the engine directly.
 """
 
 from __future__ import annotations
@@ -42,11 +45,26 @@ _MISS = object()
 
 
 class AggregateCache:
-    """Memoised partition aggregation over one star schema."""
+    """Memoised partition aggregation over one star schema.
 
-    def __init__(self, schema: StarSchema, max_entries: int = 4096):
+    Bound to an ``engine``, the memo *is* that engine's
+    :class:`~repro.plan.cache.PlanCache` — entries written by either side
+    (engine execution, fused-query seeding, or this wrapper) serve the
+    other, because both key by the canonical plan fingerprint qualified
+    through :meth:`~repro.plan.engine.QueryEngine.cache_key`.  Unbound,
+    it keeps a private cache keyed by raw fingerprints (the standalone
+    fold path cannot observe table mutations, matching the historical
+    contract).
+    """
+
+    def __init__(self, schema: StarSchema, max_entries: int = 4096,
+                 engine=None):
         self.schema = schema
-        self._cache = PlanCache(max_entries=max_entries)
+        self.engine = engine
+        if engine is not None:
+            self._cache = engine.cache
+        else:
+            self._cache = PlanCache(max_entries=max_entries)
 
     @property
     def max_entries(self) -> int:
@@ -68,6 +86,13 @@ class AggregateCache:
     ) -> dict:
         """Memoised :meth:`Subspace.partition_aggregates`."""
         domain = None if domain is None else tuple(domain)
+        if self.engine is not None:
+            # route through the engine: it performs the (single) shared
+            # cache lookup itself, writes the shared entry on a miss, and
+            # may answer from the materialization tier without a scan
+            return self.engine.subspace_partition_aggregates(
+                self.engine.bind(subspace), gb, measure_name,
+                domain=domain)
         measure = self.schema.measures[measure_name]
         plan = subspace_partition_plan(self.schema, subspace.fact_rows,
                                        gb, measure, domain=domain)

@@ -1,0 +1,594 @@
+"""Materialized sub-cube tier: lattice answering + incremental upkeep.
+
+The paper's §7 names aggregation over keyword-selected sub-dataspaces as
+the dominant cost and calls for "new specialized techniques optimized
+for KDAP".  :class:`MaterializationTier` is that tier for this engine —
+the classic OLAP materialized-view move, adapted to the append-only
+warehouse and the canonical-fingerprint plan layer:
+
+* **exact hits** — a materialized ``(scope, group-by, measure)`` view
+  answers the identical aggregate from its mergeable states, no scan;
+* **lattice roll-up answering** — a miss at a coarser hierarchy level is
+  answered by re-aggregating a *finer* materialized view (per-Product
+  sums merge into per-Category sums) through the dimension hierarchy's
+  child→parent value maps.  Sound only across *functional* steps with no
+  NULL child keys, which the tier verifies per step; the derived coarse
+  view is registered so the next query is an exact hit;
+* **incremental maintenance** — fact tables are append-only, so each
+  view keeps a high-water mark of folded rows and folds only the delta
+  on refresh (cost ∝ appended rows).  Dimension mutations can re-map
+  existing fact rows and fall back to a full rebuild;
+* **cost-based admission** — views are not built eagerly: after
+  ``admit_after`` fingerprint-distinct misses that share a finer
+  ancestor, that ancestor is materialized (one view then serves its
+  whole hierarchy upward);
+* **persistence** — full-space views serialize through the sqlite side
+  table of :mod:`repro.relational.persistence`, keyed by attribute
+  fingerprint, so a warm start skips recomputation.
+
+Maintenance work (builds, delta folds, rebuilds) deliberately does not
+charge the ambient row :class:`~repro.resilience.budget.Budget` — budget
+caps bound *query* work, and truncating a half-built view would corrupt
+it — but it does honor deadlines cooperatively: an expired deadline
+aborts the build into fresh state dicts, leaving existing views intact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..obs.metrics import current_registry
+from ..plan.builders import attr_key
+from ..relational.errors import ResourceExhausted, SchemaError
+from ..relational.operators import (
+    AGGREGATE_STATES,
+    chunked_group_states,
+    finalize_group_states,
+    merge_group_states,
+)
+from ..resilience.budget import check_deadline
+from .schema import GroupByAttribute, Hierarchy, StarSchema
+
+__all__ = [
+    "FULL_SCOPE",
+    "MaterializationTier",
+    "MaterializeStats",
+    "MaterializedView",
+]
+
+FULL_SCOPE = ("full",)
+"""Scope key of the whole dataspace (the only scope that grows)."""
+
+_NULLS_UNKNOWN = -1
+"""Sentinel ``null_rows``: a derived view that dropped unmapped children
+cannot vouch for its NULL-key rows, so it must not seed further roll-ups."""
+
+
+@dataclass
+class MaterializeStats:
+    """Tier-level effectiveness counters (mirrored into the ambient
+    metrics registry as ``kdap.materialize.*`` for /v1/statz rollup)."""
+
+    hits: int = 0
+    rollup_hits: int = 0
+    misses: int = 0
+    admitted: int = 0
+    refreshes: int = 0
+    refreshed_rows: int = 0
+    rebuilds: int = 0
+    evicted: int = 0
+    restored: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "rollup_hits": self.rollup_hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "admitted": self.admitted,
+            "refreshes": self.refreshes,
+            "refreshed_rows": self.refreshed_rows,
+            "rebuilds": self.rebuilds,
+            "evicted": self.evicted,
+            "restored": self.restored,
+        }
+
+
+@dataclass
+class MaterializedView:
+    """One materialized group-by partition with mergeable states.
+
+    ``states`` maps each group value to the aggregate's decomposable
+    state (see :data:`~repro.relational.operators.AGGREGATE_STATES`;
+    avg stores ``[sum, count]``), so views merge upward through the
+    lattice and fold append deltas without touching finalized numbers.
+    ``hwm_rows`` is the fact-row high-water mark already folded in;
+    ``null_rows`` counts in-scope rows whose group key resolved to NULL
+    (only a view with zero may seed a roll-up).  ``rows`` pins the frozen
+    row set of a non-full scope (None for the full dataspace).
+    """
+
+    gb: GroupByAttribute
+    measure_name: str
+    aggregate: str
+    scope: tuple
+    states: dict
+    hwm_rows: int
+    null_rows: int
+    dim_versions: tuple
+    rows: tuple | None
+    refreshes: int = 0
+    rebuilds: int = 0
+
+
+class MaterializationTier:
+    """Lattice-aware materialized aggregates over one star schema.
+
+    Thread-safe: one lock covers lookup, roll-up derivation, admission,
+    and maintenance, matching the per-worker-session deployment in the
+    service layer (cheap relative to the scans it avoids).
+    """
+
+    def __init__(self, schema: StarSchema, admit_after: int = 2,
+                 max_views: int = 256):
+        if admit_after < 1:
+            raise ValueError("admit_after must be positive")
+        if max_views < 1:
+            raise ValueError("max_views must be positive")
+        self.schema = schema
+        self.admit_after = admit_after
+        self.max_views = max_views
+        self.stats = MaterializeStats()
+        self._lock = threading.RLock()
+        self._views: OrderedDict[tuple, MaterializedView] = OrderedDict()
+        # admission log: anchor view key -> distinct missed fingerprints
+        self._miss_log: dict[tuple, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MaterializationTier({len(self._views)} views, "
+                f"{self.stats.hits} hits / {self.stats.misses} misses)")
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def answer(self, rows: Sequence[int], gb: GroupByAttribute,
+               measure_name: str,
+               domain: Iterable | None = None) -> dict | None:
+        """value → aggregate for ``(rows, gb, measure)``, or None.
+
+        Served from an exact view when one exists (after folding any
+        append delta), else derived by lattice roll-up from a finer view
+        in the same hierarchy; a true miss returns None and the caller
+        should execute the plan and report it via :meth:`note_miss`.
+        """
+        if self._supported(measure_name) is None:
+            return None
+        domain_key = None if domain is None else tuple(domain)
+        with self._lock:
+            scope = self._scope(rows)
+            key = self._view_key(scope, gb, measure_name)
+            view = self._get_fresh(key)
+            rolled = False
+            if view is None:
+                view = self._rollup(scope, gb, measure_name)
+                if view is None:
+                    return None
+                rolled = True
+            self.stats.hits += 1
+            current_registry().counter("kdap.materialize.hit").inc()
+            if rolled:
+                self.stats.rollup_hits += 1
+                current_registry().counter(
+                    "kdap.materialize.rollup").inc()
+            return finalize_group_states(view.aggregate, view.states,
+                                         domain=domain_key)
+
+    def note_miss(self, rows: Sequence[int], gb: GroupByAttribute,
+                  measure_name: str, fingerprint) -> None:
+        """Admission accounting for a query the tier could not answer.
+
+        After :attr:`admit_after` fingerprint-distinct misses that share
+        a finer ancestor — the finest hierarchy level reachable from the
+        missed attribute across functional steps, or the attribute
+        itself — that ancestor is materialized, so one build serves its
+        whole hierarchy upward via roll-up.
+        """
+        with self._lock:
+            self.stats.misses += 1
+            current_registry().counter("kdap.materialize.miss").inc()
+            if self._supported(measure_name) is None:
+                return
+            scope = self._scope(rows)
+            anchor = self._finest_ancestor(gb)
+            akey = self._view_key(scope, anchor, measure_name)
+            if akey in self._views and anchor is not gb:
+                # the ancestor exists yet could not answer (NULL child
+                # keys, non-functional suffix): admit the attribute itself
+                anchor = gb
+                akey = self._view_key(scope, anchor, measure_name)
+            if akey in self._views:
+                return
+            log = self._miss_log.setdefault(akey, set())
+            log.add(fingerprint)
+            if len(log) < self.admit_after:
+                return
+            stored = None if scope == FULL_SCOPE else tuple(rows)
+            try:
+                view = self._build_view(anchor, measure_name, scope,
+                                        stored)
+            except ResourceExhausted:
+                return  # deadline pressure: retry on a later miss
+            self._miss_log.pop(akey, None)
+            self._admit(akey, view)
+            self.stats.admitted += 1
+            current_registry().counter("kdap.materialize.admitted").inc()
+
+    # ------------------------------------------------------------------
+    # precomputation (warehouse generate / warm start)
+    # ------------------------------------------------------------------
+    def precompute(self, measure_name: str,
+                   attributes: Iterable[GroupByAttribute] | None = None
+                   ) -> int:
+        """Materialize full-space views eagerly; returns views built."""
+        if self._supported(measure_name) is None:
+            raise SchemaError(
+                f"measure {measure_name!r} has no mergeable aggregate "
+                "states; cannot materialize")
+        if attributes is None:
+            attributes = self.default_attributes()
+        count = 0
+        with self._lock:
+            for gb in attributes:
+                key = self._view_key(FULL_SCOPE, gb, measure_name)
+                if self._get_fresh(key) is not None:
+                    continue
+                view = self._build_view(gb, measure_name, FULL_SCOPE,
+                                        None)
+                self._admit(key, view)
+                self.stats.admitted += 1
+                count += 1
+        return count
+
+    def default_attributes(self) -> list[GroupByAttribute]:
+        """Candidates worth precomputing: for every categorical group-by
+        its finest functional ancestor (one finest view answers the whole
+        hierarchy above it), deduplicated."""
+        chosen: dict = {}
+        for dim in self.schema.dimensions:
+            for gb in dim.groupbys:
+                if gb.is_numerical:
+                    continue
+                anchor = self._finest_ancestor(gb)
+                chosen.setdefault(attr_key(anchor).fingerprint(), anchor)
+        return list(chosen.values())
+
+    def snapshot(self) -> dict:
+        """Stats plus view count, for ``--stats`` / ``/v1/statz``."""
+        with self._lock:
+            return {"views": len(self._views), **self.stats.as_dict()}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Serializable snapshot of the hot full-space views.
+
+        Rowset-scoped views are session artifacts — their frozen row
+        sets only mean something against a live subspace — so only
+        full-space partitions persist, keyed by attribute fingerprint.
+        """
+        views = []
+        with self._lock:
+            for key, view in self._views.items():
+                if view.scope != FULL_SCOPE:
+                    continue
+                views.append({
+                    "fingerprint": repr(key[1]),
+                    "table": view.gb.ref.table,
+                    "column": view.gb.ref.column,
+                    "path": list(view.gb.path_from_fact.fk_names),
+                    "measure": view.measure_name,
+                    "aggregate": view.aggregate,
+                    "hwm_rows": view.hwm_rows,
+                    "null_rows": view.null_rows,
+                    "groups": [[value, state]
+                               for value, state in view.states.items()],
+                })
+        return {"format": 1, "views": views}
+
+    def restore(self, payload: dict) -> int:
+        """Load persisted full-space views (warm start); returns count.
+
+        Views whose group-by or measure no longer resolves, or whose
+        high-water mark exceeds the live fact table, are skipped.
+        Restored views adopt the live dimension versions — a dump is
+        only meaningful against the database it was written with — and
+        fold any fact-append delta lazily on first use.
+        """
+        restored = 0
+        n = self.schema.num_fact_rows
+        with self._lock:
+            for spec in payload.get("views", ()):
+                try:
+                    gb = self.schema.groupby_attribute(spec["table"],
+                                                       spec["column"])
+                except SchemaError:
+                    continue
+                if tuple(spec["path"]) != gb.path_from_fact.fk_names:
+                    continue
+                measure = self.schema.measures.get(spec["measure"])
+                if (measure is None
+                        or measure.aggregate != spec["aggregate"]
+                        or spec["aggregate"] not in AGGREGATE_STATES):
+                    continue
+                if spec["hwm_rows"] > n:
+                    continue
+                states = {value: list(state)
+                          for value, state in spec["groups"]}
+                view = MaterializedView(
+                    gb=gb, measure_name=spec["measure"],
+                    aggregate=spec["aggregate"], scope=FULL_SCOPE,
+                    states=states, hwm_rows=spec["hwm_rows"],
+                    null_rows=spec["null_rows"],
+                    dim_versions=self._dim_versions(gb), rows=None,
+                )
+                self._admit(self._view_key(FULL_SCOPE, gb,
+                                           spec["measure"]), view)
+                restored += 1
+            self.stats.restored += restored
+        return restored
+
+    def save(self, path: str) -> int:
+        """Persist full-space views into the warehouse's sqlite file."""
+        from ..relational.persistence import save_materialized
+
+        payload = self.to_payload()
+        save_materialized(path, payload)
+        return len(payload["views"])
+
+    def load(self, path: str) -> int:
+        """Warm-start from a sqlite file written by :meth:`save`."""
+        from ..relational.persistence import load_materialized
+
+        payload = load_materialized(path)
+        if payload is None:
+            return 0
+        return self.restore(payload)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _supported(self, measure_name: str):
+        measure = self.schema.measures.get(measure_name)
+        if measure is None or measure.aggregate not in AGGREGATE_STATES:
+            return None
+        return measure
+
+    def _scope(self, rows: Sequence[int]) -> tuple:
+        # subspace rows are sorted distinct ids below num_fact_rows, so
+        # a full-length row set IS the full dataspace — checked first to
+        # keep the common full-space path free of O(n) tuple hashing
+        if len(rows) == self.schema.num_fact_rows:
+            return FULL_SCOPE
+        return ("rowset", len(rows), hash(tuple(rows)))
+
+    @staticmethod
+    def _view_key(scope: tuple, gb: GroupByAttribute,
+                  measure_name: str) -> tuple:
+        return (scope, attr_key(gb).fingerprint(), measure_name)
+
+    def _dim_versions(self, gb: GroupByAttribute) -> tuple:
+        return self.schema._path_versions(gb.path_from_fact)
+
+    def _get_fresh(self, key: tuple) -> MaterializedView | None:
+        view = self._views.get(key)
+        if view is None:
+            return None
+        try:
+            self._freshen(view)
+        except ResourceExhausted:
+            # deadline mid-maintenance: the view is untouched (folds go
+            # into fresh dicts); report a miss and let the query path
+            # surface the deadline itself
+            return None
+        self._views.move_to_end(key)
+        return view
+
+    def _freshen(self, view: MaterializedView) -> None:
+        """Bring a view up to date with the live tables.
+
+        Fact appends fold only the delta rows past the high-water mark;
+        dimension mutations can re-map existing fact rows — the
+        non-foldable case — and trigger the full-rebuild fallback.
+        """
+        if view.dim_versions != self._dim_versions(view.gb):
+            self._rebuild(view)
+            return
+        if view.scope == FULL_SCOPE:
+            n = self.schema.num_fact_rows
+            if n > view.hwm_rows:
+                self._fold_delta(view, n)
+
+    def _fold_delta(self, view: MaterializedView, n: int) -> None:
+        gb = view.gb
+        chunks = self.schema.fact_chunks(gb.path_from_fact, gb.ref.column)
+        measure = self.schema.measure_vector(view.measure_name)
+        delta = range(view.hwm_rows, n)
+        # fold into fresh states first: an abort mid-fold must not leave
+        # the view half-updated
+        fresh = chunked_group_states(
+            [chunks], measure, view.aggregate, row_ids=delta,
+            on_chunk=lambda _rows: check_deadline("materialize.refresh"),
+        )[0]
+        vector = self.schema.fact_vector(gb.path_from_fact, gb.ref.column)
+        nulls = sum(1 for r in delta if vector[r] is None)
+        merge_group_states(view.aggregate, view.states, fresh)
+        if view.null_rows != _NULLS_UNKNOWN:
+            view.null_rows += nulls
+        view.hwm_rows = n
+        view.refreshes += 1
+        self.stats.refreshes += 1
+        self.stats.refreshed_rows += len(delta)
+        current_registry().counter("kdap.materialize.refresh").inc()
+
+    def _rebuild(self, view: MaterializedView) -> None:
+        states, nulls = self._compute(view.gb, view.measure_name,
+                                      view.rows)
+        view.states = states
+        view.null_rows = nulls
+        view.hwm_rows = self.schema.num_fact_rows
+        view.dim_versions = self._dim_versions(view.gb)
+        view.rebuilds += 1
+        self.stats.rebuilds += 1
+        current_registry().counter("kdap.materialize.rebuild").inc()
+
+    def _compute(self, gb: GroupByAttribute, measure_name: str,
+                 rows: tuple | None) -> tuple[dict, int]:
+        measure = self.schema.measures[measure_name]
+        chunks = self.schema.fact_chunks(gb.path_from_fact, gb.ref.column)
+        mvec = self.schema.measure_vector(measure_name)
+        states = chunked_group_states(
+            [chunks], mvec, measure.aggregate, row_ids=rows,
+            on_chunk=lambda _rows: check_deadline("materialize.build"),
+        )[0]
+        if rows is None:
+            nulls = sum(c.zone.null_count for c in chunks)
+        else:
+            vector = self.schema.fact_vector(gb.path_from_fact,
+                                             gb.ref.column)
+            nulls = sum(1 for r in rows if vector[r] is None)
+        return states, nulls
+
+    def _build_view(self, gb: GroupByAttribute, measure_name: str,
+                    scope: tuple, rows: tuple | None) -> MaterializedView:
+        measure = self.schema.measures[measure_name]
+        states, nulls = self._compute(gb, measure_name, rows)
+        return MaterializedView(
+            gb=gb, measure_name=measure_name,
+            aggregate=measure.aggregate, scope=scope, states=states,
+            hwm_rows=self.schema.num_fact_rows, null_rows=nulls,
+            dim_versions=self._dim_versions(gb), rows=rows,
+        )
+
+    def _admit(self, key: tuple, view: MaterializedView) -> None:
+        self._views[key] = view
+        self._views.move_to_end(key)
+        while len(self._views) > self.max_views:
+            self._views.popitem(last=False)
+            self.stats.evicted += 1
+
+    # ------------------------------------------------------------------
+    # lattice
+    # ------------------------------------------------------------------
+    def _rollup(self, scope: tuple, gb: GroupByAttribute,
+                measure_name: str) -> MaterializedView | None:
+        """Derive ``gb``'s view from a finer materialized one, merging
+        its states through the hierarchy's child→parent value maps.
+
+        Requires every traversed step to be functional (each child value
+        owns exactly one non-NULL parent) and the source view to have no
+        NULL child keys — otherwise per-row partitioning and per-value
+        mapping could disagree and the tier refuses, falling back to the
+        scan path.  The derived view is registered so later queries at
+        this level are exact hits.
+        """
+        position = self.schema.hierarchy_position(gb.ref)
+        if position is None:
+            return None
+        _dim, hierarchy, idx = position
+        for level in range(idx - 1, -1, -1):
+            child_gb = self._level_groupby(hierarchy, level, gb)
+            if child_gb is None:
+                continue
+            child_view = self._get_fresh(
+                self._view_key(scope, child_gb, measure_name))
+            if child_view is None or child_view.null_rows != 0:
+                continue
+            mapping = self._composed_map(hierarchy, level, idx)
+            if mapping is None:
+                continue
+            acc = AGGREGATE_STATES[child_view.aggregate]
+            states: dict = {}
+            dropped = False
+            for child_value, state in child_view.states.items():
+                parent = mapping.get(child_value)
+                if parent is None:
+                    dropped = True  # coarse key is NULL for these rows
+                    continue
+                target = states.get(parent)
+                if target is None:
+                    states[parent] = list(state)
+                else:
+                    acc.merge(target, state)
+            view = MaterializedView(
+                gb=gb, measure_name=measure_name,
+                aggregate=child_view.aggregate, scope=scope,
+                states=states, hwm_rows=child_view.hwm_rows,
+                null_rows=(_NULLS_UNKNOWN if dropped else 0),
+                dim_versions=self._dim_versions(gb),
+                rows=child_view.rows,
+            )
+            self._admit(self._view_key(scope, gb, measure_name), view)
+            return view
+        return None
+
+    def _level_groupby(self, hierarchy: Hierarchy, level: int,
+                       gb: GroupByAttribute) -> GroupByAttribute | None:
+        """The declared group-by for a finer level, role-checked: its
+        fact path must be a prefix of ``gb``'s (same shared-table role)."""
+        ref = hierarchy.levels[level]
+        try:
+            child_gb = self.schema.groupby_attribute(ref.table, ref.column)
+        except SchemaError:
+            return None
+        prefix = child_gb.path_from_fact.fk_names
+        if gb.path_from_fact.fk_names[:len(prefix)] != prefix:
+            return None
+        return child_gb
+
+    def _composed_map(self, hierarchy: Hierarchy, level: int,
+                      idx: int) -> dict | None:
+        """child→ancestor value map across ``level .. idx``, or None when
+        any step is non-functional."""
+        composed: dict | None = None
+        for step in range(level, idx):
+            step_map = self.schema.functional_parent_map(hierarchy, step)
+            if step_map is None:
+                return None
+            if composed is None:
+                composed = dict(step_map)
+            else:
+                composed = {
+                    child: step_map[parent]
+                    for child, parent in composed.items()
+                    if parent in step_map
+                }
+        return composed
+
+    def _finest_ancestor(self, gb: GroupByAttribute) -> GroupByAttribute:
+        """The finest hierarchy level below ``gb`` reachable across
+        functional steps with compatible paths; ``gb`` itself otherwise."""
+        position = self.schema.hierarchy_position(gb.ref)
+        if position is None:
+            return gb
+        _dim, hierarchy, idx = position
+        best = gb
+        for level in range(idx - 1, -1, -1):
+            if self.schema.functional_parent_map(hierarchy, level) is None:
+                break
+            child_gb = self._level_groupby(hierarchy, level, gb)
+            if child_gb is None:
+                break
+            best = child_gb
+        return best

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..relational.catalog import Database
-from ..relational.chunks import ColumnChunk, encode_column
+from ..relational.chunks import (
+    CHUNK_SIZE,
+    ColumnChunk,
+    encode_chunk,
+    encode_column,
+)
 from ..relational.errors import SchemaError, UnknownColumnError
 from ..relational.expressions import Expression
 from .graph import JoinPath, SchemaGraph
@@ -163,12 +168,17 @@ class StarSchema:
         # caches -------------------------------------------------------
         # lock-guarded: ray-prefetch and morsel workers resolve vectors
         # and chunks concurrently, and an unguarded dict fill would let
-        # two threads race to (re)compute the same entry
+        # two threads race to (re)compute the same entry.
+        # Every entry is version-stamped: fact-aligned entries carry the
+        # versions of the non-fact tables behind them plus the fact row
+        # count at fill time (append-only tables ⇒ an unchanged prefix),
+        # so dimension mutations invalidate and fact appends extend the
+        # cached payload incrementally instead of invalidating it.
         self._cache_lock = threading.Lock()
-        self._fact_vectors: dict[tuple, list] = {}
-        self._fact_chunks: dict[tuple, list[ColumnChunk]] = {}
-        self._measure_vectors: dict[str, list] = {}
-        self._parent_maps: dict[tuple, dict] = {}
+        self._fact_vectors: dict[tuple, tuple] = {}
+        self._fact_chunks: dict[tuple, tuple] = {}
+        self._measure_vectors: dict[str, tuple] = {}
+        self._parent_maps: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # validation
@@ -253,15 +263,19 @@ class StarSchema:
     # row-level resolution (fact-aligned vectors)
     # ------------------------------------------------------------------
     def resolve_column(self, base_table: str, path: JoinPath,
-                       column: str) -> list:
+                       column: str,
+                       row_ids: Sequence[int] | None = None) -> list:
         """One value of ``column`` per row of ``base_table``, resolved by
         walking ``path`` (every step must move towards an FK parent, i.e.
         many-to-one, so each base row maps to at most one value).
 
-        Rows whose FK chain dangles resolve to None.
+        Rows whose FK chain dangles resolve to None.  ``row_ids``
+        restricts resolution to a selection of base rows (the delta path
+        of incremental cache maintenance); the result aligns with it.
         """
         table = self.database.table(base_table)
-        current: list = list(range(len(table)))
+        current: list = (list(range(len(table))) if row_ids is None
+                         else list(row_ids))
         current_table = table
         for step in path.steps:
             if not step.towards_parent:
@@ -283,21 +297,42 @@ class StarSchema:
         values = current_table.column_values(column)
         return [values[rid] if rid is not None else None for rid in current]
 
+    def _path_versions(self, path: JoinPath) -> tuple[int, ...]:
+        """Versions of every non-fact table a resolution path reads."""
+        return tuple(self.database.table(t).version for t in path.tables
+                     if t != self.fact_table)
+
     def fact_vector(self, path: JoinPath, column: str) -> list:
         """Cached fact-aligned vector of ``column`` reached via ``path``.
 
         Thread-safe: concurrent workers may race to the first resolve;
         whichever finishes first wins the cache slot and every caller
-        sees one consistent vector.
+        sees one consistent vector.  Fact appends extend the cached
+        vector by resolving only the delta rows; dimension mutations
+        (which can re-target existing fact rows) recompute it.
         """
         key = (path.fk_names, column)
+        n = self.num_fact_rows
+        dims = self._path_versions(path)
         with self._cache_lock:
-            cached = self._fact_vectors.get(key)
-        if cached is not None:
-            return cached
+            entry = self._fact_vectors.get(key)
+        if entry is not None and entry[0] == dims:
+            if entry[1] == n:
+                return entry[2]
+            if entry[1] < n:
+                # append-only growth: resolve just the delta and publish
+                # a fresh extended list (holders of the old snapshot keep
+                # a consistent shorter vector)
+                delta = self.resolve_column(self.fact_table, path, column,
+                                            row_ids=range(entry[1], n))
+                values = entry[2] + delta
+                with self._cache_lock:
+                    self._fact_vectors[key] = (dims, n, values)
+                return values
         values = self.resolve_column(self.fact_table, path, column)
         with self._cache_lock:
-            return self._fact_vectors.setdefault(key, values)
+            self._fact_vectors[key] = (dims, n, values)
+        return values
 
     def fact_chunks(self, path: JoinPath, column: str) -> list[ColumnChunk]:
         """Encoded column chunks of one fact-aligned vector (cached).
@@ -306,16 +341,33 @@ class StarSchema:
         distinct values, so these almost always dictionary- or
         run-length-encode; the chunk list is index-aligned with every
         other fact-grain chunk list, letting multi-key operators walk
-        them in lockstep and skip chunks via zone maps.
+        them in lockstep and skip chunks via zone maps.  On fact appends
+        only the tail is re-encoded: full chunks are immutable, so the
+        old list is reused up to the last chunk boundary.
         """
         key = (path.fk_names, column)
+        n = self.num_fact_rows
+        dims = self._path_versions(path)
         with self._cache_lock:
-            cached = self._fact_chunks.get(key)
-        if cached is not None:
-            return cached
-        chunks = encode_column(self.fact_vector(path, column))
+            entry = self._fact_chunks.get(key)
+        if entry is not None and entry[0] == dims and entry[1] == n:
+            return entry[2]
+        base = self.fact_vector(path, column)
+        if (entry is not None and entry[0] == dims and entry[1] < n
+                and entry[2]):
+            chunks = list(entry[2])
+            if chunks[-1].stop - chunks[-1].start < CHUNK_SIZE:
+                chunks.pop()    # partial tail chunk: re-encode it
+            start = chunks[-1].stop if chunks else 0
+            while start < n:
+                stop = min(start + CHUNK_SIZE, n)
+                chunks.append(encode_chunk(base, start, stop))
+                start = stop
+        else:
+            chunks = encode_column(base)
         with self._cache_lock:
-            return self._fact_chunks.setdefault(key, chunks)
+            self._fact_chunks[key] = (dims, n, chunks)
+        return chunks
 
     def groupby_vector(self, gb: GroupByAttribute) -> list:
         """Fact-aligned values of a group-by attribute."""
@@ -323,17 +375,25 @@ class StarSchema:
 
     def measure_vector(self, measure_name: str) -> list:
         """Cached per-fact-row measure values (computed through the
-        expression batch seam, one kernel pass over the fact table)."""
+        expression batch seam, one kernel pass over the fact table).
+        Fact appends evaluate only the delta rows."""
+        n = self.num_fact_rows
         with self._cache_lock:
-            cached = self._measure_vectors.get(measure_name)
-        if cached is not None:
-            return cached
+            entry = self._measure_vectors.get(measure_name)
+        if entry is not None and entry[0] == n:
+            return entry[1]
         measure = self.measures[measure_name]
         fact = self.database.table(self.fact_table)
-        measure.expression.validate(fact)
-        values = measure.expression.evaluate_batch(fact)
+        if entry is not None and entry[0] < n:
+            delta = measure.expression.evaluate_batch(
+                fact, range(entry[0], n))
+            values = entry[1] + delta
+        else:
+            measure.expression.validate(fact)
+            values = measure.expression.evaluate_batch(fact)
         with self._cache_lock:
-            return self._measure_vectors.setdefault(measure_name, values)
+            self._measure_vectors[measure_name] = (n, values)
+        return values
 
     # ------------------------------------------------------------------
     # hierarchy value mappings (for roll-up)
@@ -344,31 +404,71 @@ class StarSchema:
         Derived from the data: project (child, parent) pairs, joining across
         tables when the levels live in different tables.
         """
+        return self._parent_entry(hierarchy, level_index)[1]
+
+    def functional_parent_map(self, hierarchy: Hierarchy,
+                              level_index: int) -> dict | None:
+        """:meth:`parent_map`, but only when the step is *functional*.
+
+        Returns None when any child value maps to more than one parent —
+        including a mix of NULL and non-NULL parents (e.g. scale's
+        MonthName, where "January" belongs to several calendar years).
+        Lattice roll-up may only re-aggregate a finer materialized view
+        across functional steps; otherwise per-row re-partitioning and
+        per-value mapping would disagree.
+        """
+        versions, mapping, functional = self._parent_entry(hierarchy,
+                                                           level_index)
+        del versions
+        return mapping if functional else None
+
+    def _parent_entry(self, hierarchy: Hierarchy,
+                      level_index: int) -> tuple:
         if level_index + 1 >= len(hierarchy.levels):
             raise SchemaError(
                 f"level {level_index} of hierarchy {hierarchy.name!r} "
                 "has no parent level"
             )
         key = (hierarchy.name, level_index)
-        if key in self._parent_maps:
-            return self._parent_maps[key]
         child_ref = hierarchy.levels[level_index]
         parent_ref = hierarchy.levels[level_index + 1]
+        tables = {child_ref.table, parent_ref.table}
+        if child_ref.table != parent_ref.table:
+            path = self._hierarchy_link_path(child_ref.table,
+                                             parent_ref.table)
+            tables.update(path.tables)
+        versions = tuple(self.database.table(t).version
+                         for t in sorted(tables))
+        with self._cache_lock:
+            entry = self._parent_maps.get(key)
+        if entry is not None and entry[0] == versions:
+            return entry
         child_table = self.database.table(child_ref.table)
         if child_ref.table == parent_ref.table:
             parent_values = child_table.column_values(parent_ref.column)
         else:
-            path = self._hierarchy_link_path(child_ref.table, parent_ref.table)
+            path = self._hierarchy_link_path(child_ref.table,
+                                             parent_ref.table)
             parent_values = self.resolve_column(
                 child_ref.table, path, parent_ref.column
             )
         child_values = child_table.column_values(child_ref.column)
         mapping: dict = {}
+        conflicted = False
+        null_parents: set = set()
         for child, parent in zip(child_values, parent_values):
-            if child is not None and parent is not None:
-                mapping.setdefault(child, parent)
-        self._parent_maps[key] = mapping
-        return mapping
+            if child is None:
+                continue
+            if parent is None:
+                null_parents.add(child)
+                continue
+            if mapping.setdefault(child, parent) != parent:
+                conflicted = True
+        functional = not conflicted and not (null_parents & mapping.keys())
+        entry = (versions, mapping, functional)
+        with self._cache_lock:
+            self._parent_maps[key] = entry
+        return entry
 
     def _hierarchy_link_path(self, child_table: str,
                              parent_table: str) -> JoinPath:

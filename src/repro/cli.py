@@ -112,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="record explore calls slower than this "
                              "threshold in the session's slow-query log "
                              "(printed to stderr at exit)")
+    parser.add_argument("--matchers", default=None, metavar="LIST",
+                        help="comma-separated matcher chain for the "
+                             "interpretation front end, in order "
+                             "(default value,metadata,pattern); e.g. "
+                             "--matchers value for the legacy value-only "
+                             "pipeline")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query",
@@ -189,6 +195,10 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--measure", default="revenue",
                           help="measure to precompute views for "
                                "(with --materialize-views)")
+    generate.add_argument("--synonyms", metavar="PATH", default=None,
+                          help="also dump the schema's synonym registry "
+                               "(business term -> attribute/measure, for "
+                               "the metadata matcher) as editable JSON")
 
     serve = sub.add_parser(
         "serve",
@@ -231,9 +241,14 @@ def _session(args) -> KdapSession:
     schema = _WAREHOUSES[args.warehouse](args.facts, args.seed)
     backend = (create_resilient_backend(schema, args.backend)
                if args.resilient else args.backend)
+    matchers = None
+    if args.matchers is not None:
+        matchers = tuple(name.strip() for name in args.matchers.split(",")
+                         if name.strip())
     return KdapSession(schema, backend=backend, workers=args.workers,
                        slow_query_ms=args.slow_query_ms,
-                       materialize=not args.no_materialize)
+                       materialize=not args.no_materialize,
+                       matchers=matchers)
 
 
 def _budget(args) -> Budget | None:
@@ -297,6 +312,16 @@ def _report_slow_queries(session) -> None:
         print(f"  {record.describe()}", file=sys.stderr)
 
 
+def _print_match_notes(session) -> None:
+    """Keywords the matcher chain dropped, so empty/odd results are
+    explainable from the terminal (satellite: no silent drops)."""
+    report = session.last_match_report
+    if report is None:
+        return
+    for note in report.notes():
+        print(f"  note: {note}")
+
+
 def _cmd_query(args) -> int:
     with _session(args) as session:
         ranked = session.differentiate(args.keywords,
@@ -305,18 +330,22 @@ def _cmd_query(args) -> int:
                                        budget=_budget(args))
         if not ranked:
             print("no interpretation found")
+            _print_match_notes(session)
             return 1
         print(render_star_nets(ranked, limit=args.limit))
+        _print_match_notes(session)
         return 0
 
 
 def _pick(session, args, budget=None):
+    """The ``--pick``-th ranked interpretation (scored), or None."""
     ranked = session.differentiate(args.keywords, limit=max(args.pick, 5),
                                    budget=budget)
     if len(ranked) < args.pick:
         print(f"only {len(ranked)} interpretations found")
+        _print_match_notes(session)
         return None
-    return ranked[args.pick - 1].star_net
+    return ranked[args.pick - 1]
 
 
 def _cmd_explore(args) -> int:
@@ -324,13 +353,13 @@ def _cmd_explore(args) -> int:
 
     with _session(args) as session:
         budget = _budget(args)
-        net = _pick(session, args, budget=budget)
-        if net is None:
+        scored = _pick(session, args, budget=budget)
+        if scored is None:
             return 1
         measure = SURPRISE if args.measure == "surprise" else BELLWETHER
-        result = session.explore(net, interestingness=measure,
+        result = session.explore(scored, interestingness=measure,
                                  budget=budget)
-        print(f"interpretation: {net}")
+        print(f"interpretation: {scored.interpretation.describe()}")
         print(f"{len(result.subspace)} fact rows, total = "
               f"{result.total_aggregate:,.2f}\n")
         print(render_facets(result.interface))
@@ -339,7 +368,7 @@ def _cmd_explore(args) -> int:
             from .evalkit import render_counters
 
             print()
-            print(render_counters(session.engine))
+            print(render_counters(session.engine, session.metrics))
         if args.stats_json is not None:
             payload = json.dumps(_stats_payload(session), indent=2,
                                  sort_keys=True)
@@ -373,10 +402,13 @@ def _cmd_explain(args) -> int:
 
 def _cmd_sql(args) -> int:
     with _session(args) as session:
-        net = _pick(session, args)
-        if net is None:
+        scored = _pick(session, args)
+        if scored is None:
             return 1
-        print(net.to_sql(session.schema, "revenue"))
+        measure = scored.interpretation.measure_hint or "revenue"
+        if measure not in session.schema.measures:
+            measure = "revenue"
+        print(scored.star_net.to_sql(session.schema, measure))
         return 0
 
 
@@ -435,6 +467,13 @@ def _cmd_warehouse(args) -> int:
         built = tier.precompute(args.measure)
         tier.save(args.out)
         message += f"; materialized {built} full-space views"
+    if args.synonyms is not None:
+        from .core import SynonymRegistry
+
+        registry = SynonymRegistry(schema.synonyms)
+        registry.save(args.synonyms)
+        message += (f"; wrote {len(registry)} synonym terms to "
+                    f"{args.synonyms}")
     print(message)
     return 0
 
@@ -496,6 +535,7 @@ _COMMANDS = {
 # written on the success paths and exit code 0 still means "explored
 # something", so scripts can parse the JSON without re-checking stderr.
 EXIT_NO_RESULT = 1
+EXIT_USAGE = 2
 EXIT_DEADLINE = 3
 EXIT_BUDGET = 4
 EXIT_BACKEND = 5
@@ -518,6 +558,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         with tracing_scope(tracer):
             return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        # bad flag *values* argparse can't see (e.g. --matchers junk)
+        # rank with its usage errors, not with engine failures
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE

@@ -317,6 +317,7 @@ def build_facets(
     config: ExploreConfig = ExploreConfig(),
     rollups: Sequence[Subspace] | None = None,
     engine=None,
+    promote: Sequence[GroupByAttribute] = (),
 ) -> FacetedInterface:
     """Construct the full dynamic multi-faceted interface for a star net.
 
@@ -324,6 +325,11 @@ def build_facets(
     per hitted dimension is derived from the star net (§5.2.1).  Drill-
     down navigation passes the previous subspace here so interestingness
     is measured against the space the user just left.
+
+    ``promote`` lists extra group-by attributes (metadata/pattern match
+    hints such as "by month") promoted into their dimension's facet
+    exactly like hit-group attributes, ahead of interestingness-ranked
+    ones.
 
     With an ``engine`` (a :class:`~repro.plan.engine.QueryEngine`), the
     subspace, roll-up spaces, and all facet aggregation evaluate through
@@ -364,7 +370,7 @@ def build_facets(
                 with tracer.span("facet.dimension", dimension=dim.name):
                     facet = _build_dimension_facet(
                         schema, star_net, dim, subspace, rollups,
-                        interestingness, config)
+                        interestingness, config, promote=promote)
             except ResourceExhausted as exc:
                 if budget is None:
                     raise
@@ -392,10 +398,15 @@ def _build_dimension_facet(
     rollups: Sequence[Subspace],
     interestingness: InterestingnessMeasure,
     config: ExploreConfig,
+    promote: Sequence[GroupByAttribute] = (),
 ) -> DynamicFacet | None:
     """One dimension's facet (None when nothing qualifies)."""
     promoted = _promoted_attributes(schema, star_net, dim.name)
     promoted_refs = {gb.ref for gb in promoted}
+    for gb in promote:
+        if gb in dim.groupbys and gb.ref not in promoted_refs:
+            promoted.append(gb)
+            promoted_refs.add(gb.ref)
     others = [gb for gb in dim.groupbys if gb.ref not in promoted_refs]
     remaining_slots = max(config.top_k_attributes - len(promoted), 0)
     ranked_others = rank_groupby_attributes(
@@ -437,6 +448,46 @@ def _build_dimension_facet(
     if not attributes:
         return None
     return DynamicFacet(dim.name, tuple(attributes))
+
+
+def apply_modifier(interface: FacetedInterface, modifier,
+                   targets: Sequence[GroupByAttribute] = ()
+                   ) -> FacetedInterface:
+    """Re-shape facet entries per a pattern-match :class:`Modifier`.
+
+    "top 3" / "lowest" style hints never filter the subspace (§4 keeps
+    keywords non-predicative); they only re-order and truncate the entry
+    lists shown for the hinted attributes.  ``targets`` limits the
+    rewrite to specific group-bys (the modifier's own group-by hints);
+    when empty, every attribute's entries are reshaped.
+    """
+    if modifier is None or not modifier.active:
+        return interface
+    target_refs = {gb.ref for gb in targets}
+    facets = []
+    for facet in interface.facets:
+        attributes = []
+        for attr in facet.attributes:
+            if target_refs and attr.attribute.ref not in target_refs:
+                attributes.append(attr)
+                continue
+            entries = attr.entries
+            if modifier.order == "desc":
+                entries = tuple(sorted(
+                    entries, key=lambda e: (-e.aggregate, e.label)))
+            elif modifier.order == "asc":
+                entries = tuple(sorted(
+                    entries, key=lambda e: (e.aggregate, e.label)))
+            if modifier.limit is not None:
+                entries = entries[:modifier.limit]
+            attributes.append(FacetAttribute(
+                attr.attribute, attr.score, attr.promoted, entries))
+        facets.append(DynamicFacet(facet.dimension, tuple(attributes)))
+    return FacetedInterface(
+        subspace=interface.subspace,
+        total_aggregate=interface.total_aggregate,
+        facets=tuple(facets),
+    )
 
 
 def _safe_total(subspace: Subspace, config: ExploreConfig,

@@ -1,0 +1,391 @@
+"""The staged keyword-interpretation pipeline: tokenize → match →
+enumerate → rank.
+
+This replaces the monolithic keyword→hit-group→star-net path as the
+session front end.  The stages:
+
+1. **tokenize** — whitespace keyword split + measure-predicate peeling
+   (unchanged from :mod:`repro.core.generation`);
+2. **match** — the :class:`~repro.core.matching.MatcherChain` turns the
+   keyword list into ordered :class:`~repro.core.matching.MatchSlot`\\ s
+   of typed candidates (predicate hit groups, attribute/measure
+   references, modifier hints) plus per-keyword diagnostics;
+3. **enumerate** — the cross product over slots generalises the legacy
+   hit-group cross product: value candidates still phrase-merge,
+   rescore against the full query, and fan out over OLAP-valid join
+   paths, while attribute/measure/modifier candidates ride along as
+   hints on the :class:`Interpretation`;
+4. **rank** — the paper's star-net score, multiplied by the combined
+   match confidence.  Value candidates carry confidence 1.0, so a
+   query whose keywords all hit cell values ranks *identically* to the
+   pre-refactor front end (the parity suite pins this).
+
+An interpretation whose slots produced no hit group at all ("revenue
+by month top 3" on a warehouse with no such cell values) yields an
+empty-ray star net — the whole dataspace — plus hints; the explore
+phase promotes the hinted group-bys and applies order/limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+from ..obs.tracer import current_tracer
+from ..relational.errors import ResourceExhausted
+from ..resilience.budget import current_budget
+from ..textindex.index import AttributeTextIndex
+from ..warehouse.schema import GroupByAttribute, StarSchema
+from .generation import (
+    DEFAULT_CONFIG,
+    GenerationConfig,
+    rescore_group,
+    split_query,
+    valid_ray_paths,
+)
+from .matching import (
+    DEFAULT_MATCHERS,
+    EMPTY_MODIFIER,
+    MatchCandidate,
+    MatcherChain,
+    MatchKind,
+    Modifier,
+)
+from .phrases import merge_seed_groups
+from .ranking import RankingMethod, score_star_net
+from .starnet import Ray, StarNet
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """One candidate reading of a keyword query.
+
+    Generalises the bare :class:`~repro.core.starnet.StarNet`: besides
+    the predicate structure (rays + measure predicates) it carries the
+    *hints* non-value matchers contributed — group-by attributes,
+    measure references, and presentation modifiers — plus the match
+    provenance and combined confidence.
+    """
+
+    star_net: StarNet
+    attributes: tuple[GroupByAttribute, ...] = ()
+    measures: tuple[str, ...] = ()
+    modifier: Modifier = EMPTY_MODIFIER
+    matches: tuple[MatchCandidate, ...] = ()
+    confidence: float = 1.0
+
+    @property
+    def group_by_hints(self) -> tuple[GroupByAttribute, ...]:
+        """Attribute hints + modifier group-bys, deduplicated in order."""
+        out: list[GroupByAttribute] = []
+        for gb in (*self.attributes, *self.modifier.group_by):
+            if gb not in out:
+                out.append(gb)
+        return tuple(out)
+
+    @property
+    def measure_hint(self) -> str | None:
+        """The first matched measure name, if any."""
+        return self.measures[0] if self.measures else None
+
+    @property
+    def has_hints(self) -> bool:
+        return bool(self.attributes or self.measures
+                    or self.modifier.active)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the interpretation's full shape (star net,
+        hints, modifiers) — the cache/slow-log analogue of a plan
+        fingerprint for the widened interpretation space."""
+        return hashlib.sha1(
+            self.describe().encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        parts = [str(self.star_net)] if self.star_net.rays \
+            or self.star_net.measure_predicates else []
+        if self.attributes:
+            parts.append("attrs[" + ", ".join(
+                str(gb.ref) for gb in self.attributes) + "]")
+        if self.measures:
+            parts.append("measures[" + ", ".join(self.measures) + "]")
+        if self.modifier.active:
+            parts.append(f"modifier[{self.modifier}]")
+        if not parts:
+            return str(self.star_net)
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class ScoredInterpretation:
+    """A ranked interpretation (drop-in for the old ``ScoredStarNet``:
+    ``.star_net``, ``.score`` and ``.subspace_size`` keep working)."""
+
+    interpretation: Interpretation
+    score: float
+    subspace_size: int | None = None
+
+    @property
+    def star_net(self) -> StarNet:
+        return self.interpretation.star_net
+
+    def __str__(self) -> str:
+        size = "" if self.subspace_size is None \
+            else f" ({self.subspace_size} facts)"
+        return f"{self.interpretation}  [{self.score:.6f}]{size}"
+
+
+@dataclass
+class MatchReport:
+    """Per-query diagnostics of the match stage.
+
+    ``counters`` holds ``<matcher>.candidates`` / ``<matcher>.accepted``
+    for every enabled matcher; ``unmatched`` lists keywords no matcher
+    accepted (each becomes a diagnostics note instead of being silently
+    dropped, as the seed front end did).
+    """
+
+    query: str = ""
+    keywords: tuple[str, ...] = ()
+    matchers: tuple[str, ...] = DEFAULT_MATCHERS
+    unmatched: tuple[str, ...] = ()
+    skipped: tuple[str, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+    interpretations: int = 0
+
+    def notes(self) -> list[str]:
+        return [f"keyword {kw!r} matched no enabled matcher "
+                f"({', '.join(self.matchers)})"
+                for kw in self.unmatched]
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "keywords": list(self.keywords),
+            "matchers": list(self.matchers),
+            "unmatched": list(self.unmatched),
+            "skipped": list(self.skipped),
+            "counters": dict(sorted(self.counters.items())),
+            "interpretations": self.interpretations,
+        }
+
+
+# ----------------------------------------------------------------------
+# stage 3: enumeration
+# ----------------------------------------------------------------------
+def _combine(combo) -> tuple[tuple, tuple[GroupByAttribute, ...],
+                             tuple[str, ...], Modifier, float]:
+    """Split one slot-candidate combo into its typed parts."""
+    groups = tuple(c.hit_group for c in combo
+                   if c.kind is MatchKind.VALUE)
+    attributes: list[GroupByAttribute] = []
+    measures: list[str] = []
+    modifier = EMPTY_MODIFIER
+    confidence = 1.0
+    for cand in combo:
+        confidence *= cand.confidence
+        if cand.kind is MatchKind.ATTRIBUTE:
+            if cand.attribute not in attributes:
+                attributes.append(cand.attribute)
+        elif cand.kind is MatchKind.MEASURE:
+            if cand.measure not in measures:
+                measures.append(cand.measure)
+        elif cand.kind is MatchKind.MODIFIER:
+            modifier = modifier.merged(cand.modifier)
+    return groups, tuple(attributes), tuple(measures), modifier, \
+        confidence
+
+
+def _hint_key(attributes, measures, modifier) -> tuple:
+    return (tuple(str(gb.ref) for gb in attributes), measures,
+            str(modifier))
+
+
+def enumerate_interpretations(
+    schema: StarSchema,
+    index: AttributeTextIndex,
+    query: str,
+    slots,
+    measure_predicates: tuple,
+    config: GenerationConfig,
+) -> list[Interpretation]:
+    """Cross product over slots → deduplicated interpretations.
+
+    Mirrors the legacy two-level enumeration (seed cross product, then
+    join-path cross product) with the same caps, budget charging, and
+    truncation messages, generalised to mixed candidate kinds.
+    """
+    budget = current_budget()
+    seeds: list[tuple] = []
+    seen_seeds: set[tuple] = set()
+    for combo in itertools.islice(
+        itertools.product(*[slot.candidates for slot in slots]),
+        config.max_seeds * 4,
+    ):
+        if budget is not None:
+            try:
+                budget.check_deadline("generation")
+            except ResourceExhausted as exc:
+                budget.record_truncation(
+                    "generation", exc.reason,
+                    f"seed enumeration stopped after {len(seeds)} seeds")
+                break
+        groups, attributes, measures, modifier, confidence = \
+            _combine(combo)
+        merged = merge_seed_groups(groups, index) if groups else ()
+        merged = tuple(rescore_group(g, index, query) for g in merged)
+        key = (tuple(sorted((g.domain, g.values) for g in merged)),
+               _hint_key(attributes, measures, modifier))
+        if key in seen_seeds:
+            continue
+        seen_seeds.add(key)
+        seeds.append((merged, attributes, measures, modifier,
+                      confidence, combo))
+        if len(seeds) >= config.max_seeds:
+            break
+
+    interpretations: list[Interpretation] = []
+    seen: set[tuple] = set()
+    for merged, attributes, measures, modifier, confidence, combo \
+            in seeds:
+        path_options = []
+        feasible = True
+        for group in merged:
+            options = valid_ray_paths(schema, group.table,
+                                      config.max_path_length)
+            if not options:
+                feasible = False
+                break
+            path_options.append(
+                [(group, path, dim) for path, dim in options])
+        if not feasible:
+            continue
+        for path_combo in itertools.product(*path_options):
+            rays = tuple(Ray(group, path, dim)
+                         for group, path, dim in path_combo)
+            key = (tuple(sorted((r.hit_group.domain, r.hit_group.values,
+                                 r.path_to_fact.fk_names)
+                                for r in rays)),
+                   _hint_key(attributes, measures, modifier))
+            if key in seen:
+                continue
+            seen.add(key)
+            if budget is not None:
+                try:
+                    budget.check_deadline("generation")
+                    budget.charge_interpretations(1)
+                except ResourceExhausted as exc:
+                    budget.record_truncation(
+                        "generation", exc.reason,
+                        f"star-net enumeration stopped after "
+                        f"{len(interpretations)} candidates")
+                    return interpretations
+            interpretations.append(Interpretation(
+                star_net=StarNet(schema.fact_table, rays,
+                                 measure_predicates=measure_predicates),
+                attributes=attributes,
+                measures=measures,
+                modifier=modifier,
+                matches=tuple(combo),
+                confidence=confidence,
+            ))
+            if len(interpretations) >= config.max_candidates:
+                return interpretations
+    return interpretations
+
+
+# ----------------------------------------------------------------------
+# the pipeline end to end
+# ----------------------------------------------------------------------
+def interpret_query(
+    schema: StarSchema,
+    index: AttributeTextIndex,
+    query: str,
+    config: GenerationConfig = DEFAULT_CONFIG,
+    matchers: tuple[str, ...] = DEFAULT_MATCHERS,
+    chain: MatcherChain | None = None,
+) -> tuple[list[Interpretation], MatchReport]:
+    """Stages 1–3: tokenize, match, enumerate.
+
+    Returns the candidate interpretations plus the match-stage report.
+    ``chain`` lets a session reuse its prebuilt matcher chain (the
+    metadata name table is schema-derived and query-independent).
+    """
+    if chain is None:
+        chain = MatcherChain(schema, index)
+    keywords, predicates = split_query(schema, query, config)
+    measure_predicates = tuple(predicates)
+    tracer = current_tracer()
+
+    with tracer.span("interpret.match", query=query):
+        outcome = chain.match(keywords, config, matchers)
+    report = MatchReport(
+        query=query,
+        keywords=tuple(keywords),
+        matchers=tuple(matchers),
+        unmatched=outcome.unmatched,
+        skipped=outcome.skipped,
+        counters=outcome.counters,
+    )
+
+    if not keywords and measure_predicates:
+        # pure measure queries select a subspace of the whole dataspace
+        report.interpretations = 1
+        return [Interpretation(StarNet(
+            schema.fact_table, (),
+            measure_predicates=measure_predicates))], report
+    if outcome.unmatched and config.require_all_keywords:
+        return [], report
+    if not outcome.slots:
+        return [], report
+
+    with tracer.span("starnet.enumerate") as span:
+        interpretations = enumerate_interpretations(
+            schema, index, query, outcome.slots, measure_predicates,
+            config)
+        span.set_tag("candidates", len(interpretations))
+    report.interpretations = len(interpretations)
+    return interpretations, report
+
+
+def score_interpretation(
+    interpretation: Interpretation,
+    method: RankingMethod = RankingMethod.STANDARD,
+) -> float:
+    """The star-net score with match confidence folded in.
+
+    Interpretations with rays keep the paper's SCORE(SN, q) as the
+    base — all-value interpretations have confidence 1.0, so their
+    scores equal the pre-refactor ranking exactly.  A ray-less
+    interpretation that still says something (hints or measure
+    predicates from non-value matchers) gets base 1.0 scaled by its
+    confidence; a ray-less one without hints (pure measure-predicate
+    queries) keeps the legacy score of 0.0.
+    """
+    net = interpretation.star_net
+    if net.rays:
+        base = score_star_net(net, method)
+    elif interpretation.has_hints:
+        base = 1.0
+    else:
+        base = 0.0
+    return base * interpretation.confidence
+
+
+def rank_interpretations(
+    interpretations: list[Interpretation],
+    method: RankingMethod = RankingMethod.STANDARD,
+) -> list[ScoredInterpretation]:
+    """Score and sort, best first; ties break on textual form (star
+    net first, hints second), matching the legacy order for all-value
+    interpretations."""
+    scored = [
+        ScoredInterpretation(interp, score_interpretation(interp, method))
+        for interp in interpretations
+    ]
+    scored.sort(key=lambda s: (-s.score, str(s.star_net),
+                               s.interpretation.describe()))
+    return scored

@@ -16,7 +16,8 @@ import logging
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 from ..obs.explain import ExplainResult, profile_plan
 from ..obs.metrics import MetricsRegistry, metrics_scope
@@ -37,11 +38,25 @@ from ..textindex.index import AttributeTextIndex
 from ..warehouse.operations import drill_down as _drill_subspace
 from ..warehouse.schema import GroupByAttribute, StarSchema
 from ..warehouse.subspace import Subspace
-from .facets import ExploreConfig, FacetedInterface, build_facets
-from .generation import DEFAULT_CONFIG, GenerationConfig, generate_candidates
+from .facets import (
+    ExploreConfig,
+    FacetedInterface,
+    apply_modifier,
+    build_facets,
+)
+from .generation import DEFAULT_CONFIG, GenerationConfig
 from .interestingness import InterestingnessMeasure, SURPRISE
-from .ranking import RankingMethod, ScoredStarNet, rank_candidates
+from .interpret import (
+    Interpretation,
+    MatchReport,
+    ScoredInterpretation,
+    interpret_query,
+    rank_interpretations,
+)
+from .matching import DEFAULT_MATCHERS, MatcherChain, validate_matchers
+from .ranking import RankingMethod
 from .starnet import StarNet
+from .synonyms import SynonymRegistry
 
 
 @dataclass(frozen=True)
@@ -57,6 +72,9 @@ class ExploreResult:
     subspace: Subspace
     interface: FacetedInterface
     diagnostics: Diagnostics | None = None
+    interpretation: Interpretation | None = None
+    """The full interpretation explored, when the caller passed one
+    (hints + provenance beyond the bare star net)."""
 
     @property
     def total_aggregate(self) -> float:
@@ -138,7 +156,9 @@ class KdapSession:
                  workers: int | None = None,
                  metrics: MetricsRegistry | None = None,
                  slow_query_ms: float | None = None,
-                 materialize: bool | object = True):
+                 materialize: bool | object = True,
+                 matchers: Sequence[str] | None = None,
+                 synonyms: SynonymRegistry | None = None):
         self.schema = schema
         self.workers = (workers if workers is not None
                         else min(4, os.cpu_count() or 1))
@@ -148,6 +168,13 @@ class KdapSession:
             index = AttributeTextIndex()
             index.index_database(schema.database, schema.searchable)
         self.index = index
+        # the interpretation front end: matcher chain (value/metadata/
+        # pattern) built once — the metadata name table is derived from
+        # the schema and its synonym registry, not per query
+        self.matchers = (validate_matchers(matchers)
+                         if matchers is not None else DEFAULT_MATCHERS)
+        self.chain = MatcherChain(schema, index, synonyms)
+        self.last_match_report: MatchReport | None = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.slow_log = (SlowQueryLog(slow_query_ms)
                          if slow_query_ms is not None else None)
@@ -244,8 +271,17 @@ class KdapSession:
         config: GenerationConfig = DEFAULT_CONFIG,
         preview_sizes: bool = False,
         budget: Budget | None = None,
-    ) -> list[ScoredStarNet]:
+        matchers: Sequence[str] | None = None,
+    ) -> list[ScoredInterpretation]:
         """Ranked candidate interpretations of a keyword query.
+
+        Runs the staged pipeline (tokenize → match → enumerate → rank):
+        the matcher chain turns keywords into typed candidates — cell-
+        value hit groups, metadata attribute/measure references, pattern
+        modifiers — and enumeration crosses them into
+        :class:`~repro.core.interpret.Interpretation` candidates.
+        ``matchers`` overrides the session's chain selection for this
+        query (e.g. ``("value",)`` for the legacy value-only front end).
 
         With ``preview_sizes`` each returned candidate carries the number
         of fact rows its subspace would contain (computed with per-ray
@@ -255,18 +291,30 @@ class KdapSession:
         :func:`~repro.resilience.budget.budget_scope`) enumeration is
         truncated cooperatively instead of raising: the ranked prefix
         produced so far is returned and the truncation is recorded on the
-        budget's diagnostics.
+        budget's diagnostics.  Keywords no matcher accepted become notes
+        on the budget's diagnostics (and :attr:`last_match_report`)
+        instead of disappearing silently.
         """
         budget = budget or current_budget()
         tracer = current_tracer()
+        selection = (validate_matchers(matchers) if matchers is not None
+                     else self.matchers)
         started = time.perf_counter()
         with metrics_scope(self.metrics), budget_scope(budget), \
                 tracer.span("differentiate", query=query) as span:
             self._last_query = query
-            candidates = generate_candidates(self.schema, self.index,
-                                             query, config)
+            candidates, report = interpret_query(
+                self.schema, self.index, query, config,
+                matchers=selection, chain=self.chain)
+            self.last_match_report = report
+            for name, value in report.counters.items():
+                if value:
+                    self.metrics.counter(f"kdap.match.{name}").inc(value)
+            if budget is not None:
+                for note in report.notes():
+                    budget.add_note(note)
             with tracer.span("starnet.rank", method=method.value):
-                ranked = rank_candidates(candidates, method)
+                ranked = rank_interpretations(candidates, method)
             logger.info("differentiate %r: %d candidates (%s)", query,
                         len(candidates), method.value)
             if limit is not None:
@@ -281,7 +329,7 @@ class KdapSession:
             time.perf_counter() - started)
         return ranked
 
-    def _prefetch_rays(self, ranked: list[ScoredStarNet]) -> None:
+    def _prefetch_rays(self, ranked: list[ScoredInterpretation]) -> None:
         """Evaluate the distinct uncached rays of ``ranked`` in parallel.
 
         Candidates of one query share most rays, so sizing N candidates
@@ -317,11 +365,12 @@ class KdapSession:
                 except ResourceExhausted:
                     pass
 
-    def _preview_sizes(self, ranked: list[ScoredStarNet],
-                       budget: Budget | None) -> list[ScoredStarNet]:
+    def _preview_sizes(self, ranked: list[ScoredInterpretation],
+                       budget: Budget | None
+                       ) -> list[ScoredInterpretation]:
         """Attach subspace sizes, stopping (not failing) on exhaustion."""
         self._prefetch_rays(ranked)
-        previewed: list[ScoredStarNet] = []
+        previewed: list[ScoredInterpretation] = []
         for position, scored in enumerate(ranked):
             try:
                 size = self.subspace_size(scored.star_net)
@@ -334,8 +383,8 @@ class KdapSession:
                     f"of {len(ranked)} candidates")
                 previewed.extend(ranked[position:])
                 break
-            previewed.append(
-                ScoredStarNet(scored.star_net, scored.score, size))
+            previewed.append(ScoredInterpretation(
+                scored.interpretation, scored.score, size))
         return previewed
 
     # ------------------------------------------------------------------
@@ -343,12 +392,20 @@ class KdapSession:
     # ------------------------------------------------------------------
     def explore(
         self,
-        star_net: StarNet,
+        star_net: (StarNet | Interpretation | ScoredInterpretation),
         interestingness: InterestingnessMeasure = SURPRISE,
         config: ExploreConfig = ExploreConfig(),
         budget: Budget | None = None,
     ) -> ExploreResult:
-        """Aggregate a chosen star net's subspace and build its facets.
+        """Aggregate a chosen interpretation's subspace and build facets.
+
+        Accepts a bare :class:`~repro.core.starnet.StarNet` or a full
+        :class:`~repro.core.interpret.Interpretation` (scored or not).
+        With an interpretation its hints shape the result: a matched
+        measure overrides ``config.measure_name``, hinted group-by
+        attributes are promoted into their dimensions' facets, and
+        order/limit modifiers ("top 3") re-rank and truncate the hinted
+        facet entries.
 
         Evaluation goes through the session's query engine: the star net
         compiles to a logical plan, the subspace comes back engine-bound,
@@ -365,6 +422,20 @@ class KdapSession:
         query's record carries its span tree; fast queries only pay for
         spans they would have paid for anyway.
         """
+        interpretation: Interpretation | None = None
+        if isinstance(star_net, ScoredInterpretation):
+            interpretation = star_net.interpretation
+        elif isinstance(star_net, Interpretation):
+            interpretation = star_net
+        net = (interpretation.star_net if interpretation is not None
+               else star_net)
+        if interpretation is not None:
+            hint = interpretation.measure_hint
+            if hint is not None and hint in self.schema.measures \
+                    and hint != config.measure_name:
+                config = replace(config, measure_name=hint)
+        label = (interpretation.describe() if interpretation is not None
+                 else str(net))
         budget = budget or current_budget()
         tracer = current_tracer()
         local_tracer = None
@@ -374,22 +445,22 @@ class KdapSession:
         started = time.perf_counter()
         with tracing_scope(local_tracer), metrics_scope(self.metrics), \
                 budget_scope(budget), \
-                tracer.span("explore", star_net=str(star_net)) as span:
-            result = self._explore_inner(star_net, interestingness,
-                                         config, budget)
+                tracer.span("explore", star_net=label) as span:
+            result = self._explore_inner(net, interestingness,
+                                         config, budget, interpretation)
         elapsed_s = time.perf_counter() - started
         self.metrics.histogram("kdap.explore.seconds").observe(elapsed_s)
         if self.slow_log is not None:
             recorded = self.slow_log.observe(
-                self._last_query, str(star_net),
-                plan_digest(star_net.to_plan(self.schema)),
+                self._last_query, label,
+                plan_digest(net.to_plan(self.schema)),
                 elapsed_s * 1000.0,
                 span_tree=(span.to_dict() if tracer.enabled else None))
             if recorded:
                 logger.warning(
                     "slow query (%.1f ms > %.1f ms): %s",
                     elapsed_s * 1000.0, self.slow_log.threshold_ms,
-                    star_net)
+                    label)
         return result
 
     def _explore_inner(
@@ -398,6 +469,7 @@ class KdapSession:
         interestingness: InterestingnessMeasure,
         config: ExploreConfig,
         budget: Budget | None,
+        interpretation: Interpretation | None = None,
     ) -> ExploreResult:
         try:
             subspace = self.engine.evaluate(star_net)
@@ -412,18 +484,27 @@ class KdapSession:
             interface = FacetedInterface(subspace, 0.0, ())
             return ExploreResult(star_net, subspace, interface,
                                  diagnostics=Diagnostics.from_budget(
-                                     budget))
+                                     budget),
+                                 interpretation=interpretation)
         logger.info("explore %s: %d fact rows (%s backend)", star_net,
                     len(subspace), self.engine.backend_name)
+        promote = (interpretation.group_by_hints
+                   if interpretation is not None else ())
         interface = build_facets(
             self.schema, star_net, subspace=subspace,
             interestingness=interestingness, config=config,
-            engine=self.engine,
+            engine=self.engine, promote=promote,
         )
+        if interpretation is not None \
+                and interpretation.modifier.active:
+            interface = apply_modifier(interface,
+                                       interpretation.modifier,
+                                       promote)
         diagnostics = (Diagnostics.from_budget(budget)
                        if budget is not None else None)
         return ExploreResult(star_net, subspace, interface,
-                             diagnostics=diagnostics)
+                             diagnostics=diagnostics,
+                             interpretation=interpretation)
 
     def drill_down(
         self,
@@ -473,7 +554,7 @@ class KdapSession:
                                         budget=budget)
             if not ranked:
                 return None
-            return self.explore(ranked[0].star_net,
+            return self.explore(ranked[0],
                                 interestingness=interestingness,
                                 config=explore_config, budget=budget)
 
@@ -489,6 +570,7 @@ class KdapSession:
         explore_config: ExploreConfig = ExploreConfig(),
         generation_config: GenerationConfig = DEFAULT_CONFIG,
         budget: Budget | None = None,
+        matchers: Sequence[str] | None = None,
     ) -> ExplainResult | None:
         """EXPLAIN ANALYZE: run a keyword query traced, report actuals.
 
@@ -514,25 +596,33 @@ class KdapSession:
                 tracer.span("query", query=query, mode="explain"):
             ranked = self.differentiate(query, method=method, limit=pick,
                                         config=generation_config,
-                                        budget=budget)
+                                        budget=budget, matchers=matchers)
             if len(ranked) < pick:
                 return None
-            net = ranked[pick - 1].star_net
-            result = self.explore(net, interestingness=interestingness,
+            scored = ranked[pick - 1]
+            net = scored.star_net
+            result = self.explore(scored,
+                                  interestingness=interestingness,
                                   config=explore_config, budget=budget)
         elapsed_s = time.perf_counter() - started
+        measure_name = explore_config.measure_name
+        hint = scored.interpretation.measure_hint
+        if hint is not None and hint in self.schema.measures:
+            measure_name = hint
         total_plan = None
         if not result.subspace.is_empty:
-            measure = self.schema.measures[explore_config.measure_name]
+            measure = self.schema.measures[measure_name]
             total_plan = subspace_aggregate_plan(
                 self.schema, result.subspace.fact_rows, measure)
         return ExplainResult(
             query=query,
-            interpretation=str(net),
+            interpretation=scored.interpretation.describe(),
             backend=self.engine.backend_name,
             elapsed_s=elapsed_s,
             plan=profile_plan(net.to_plan(self.schema), tracer),
             total_plan=(profile_plan(total_plan, tracer)
                         if total_plan is not None else None),
             tracer=tracer,
+            match=(self.last_match_report.as_dict()
+                   if self.last_match_report is not None else None),
         )

@@ -1,0 +1,142 @@
+"""Per-schema synonym registry (SODA-style metadata matching).
+
+Business users rarely type the warehouse's physical column names: they
+say "sales" for the ``revenue`` measure and "month" for
+``DimDate.MonthName``.  A :class:`SynonymRegistry` maps such business
+terms onto schema targets so the metadata matcher
+(:class:`~repro.core.matching.MetadataMatcher`) can resolve keywords
+that have no cell-value hit at all.
+
+Targets use a compact textual form so registries round-trip through a
+JSON sidecar (``repro warehouse generate --synonyms out.json``):
+
+* ``"Table.Column"`` — an attribute target (must name a declared
+  group-by attribute to resolve);
+* ``"measure:name"`` — a measure target.
+
+Lookup keys are normalised with the same Porter stemmer the text index
+uses, so "sales"/"sale" and "categories"/"category" collapse onto one
+entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..textindex.stemmer import stem
+
+
+@dataclass(frozen=True)
+class SynonymTarget:
+    """One resolved synonym target: an attribute domain or a measure."""
+
+    kind: str  # "attribute" | "measure"
+    table: str = ""
+    column: str = ""
+    measure: str = ""
+
+    @staticmethod
+    def parse(raw: str) -> "SynonymTarget":
+        """Parse the sidecar form (``Table.Column`` / ``measure:name``)."""
+        if raw.startswith("measure:"):
+            name = raw[len("measure:"):].strip()
+            if not name:
+                raise ValueError(f"empty measure target in {raw!r}")
+            return SynonymTarget(kind="measure", measure=name)
+        table, sep, column = raw.partition(".")
+        if not sep or not table or not column:
+            raise ValueError(
+                f"synonym target {raw!r} is neither 'Table.Column' nor "
+                f"'measure:name'")
+        return SynonymTarget(kind="attribute", table=table, column=column)
+
+    def __str__(self) -> str:
+        if self.kind == "measure":
+            return f"measure:{self.measure}"
+        return f"{self.table}.{self.column}"
+
+
+def _normalize(term: str) -> str:
+    return stem(term.strip().lower())
+
+
+class SynonymRegistry:
+    """Stemmed business-term → schema-target lookup table.
+
+    ``entries`` maps raw terms to target strings; terms are single
+    words (multi-word phrases are matched token-by-token upstream, so a
+    phrase entry would never be probed).
+    """
+
+    def __init__(self,
+                 entries: Mapping[str, Sequence[str]] | None = None):
+        self._raw: dict[str, tuple[str, ...]] = {}
+        self._lookup: dict[str, tuple[SynonymTarget, ...]] = {}
+        for term, targets in (entries or {}).items():
+            self.add(term, targets)
+
+    def add(self, term: str, targets: Sequence[str]) -> None:
+        """Register one term; repeated adds extend its target list."""
+        if not term.strip():
+            raise ValueError("synonym term must be non-empty")
+        parsed = tuple(SynonymTarget.parse(t) for t in targets)
+        existing = self._raw.get(term, ())
+        self._raw[term] = existing + tuple(str(t) for t in parsed)
+        key = _normalize(term)
+        self._lookup[key] = self._lookup.get(key, ()) + parsed
+
+    def lookup(self, token: str) -> tuple[SynonymTarget, ...]:
+        """All targets of ``token`` (stem-normalised; () when unknown)."""
+        return self._lookup.get(_normalize(token), ())
+
+    def terms(self) -> list[str]:
+        return sorted(self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __bool__(self) -> bool:
+        return bool(self._raw)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._raw))
+
+    # ------------------------------------------------------------------
+    # JSON sidecar round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, list[str]]:
+        return {term: list(targets)
+                for term, targets in sorted(self._raw.items())}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynonymRegistry":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("synonym sidecar must be a JSON object")
+        entries: dict[str, list[str]] = {}
+        for term, targets in data.items():
+            if isinstance(targets, str):
+                targets = [targets]
+            if not isinstance(targets, list) or \
+                    not all(isinstance(t, str) for t in targets):
+                raise ValueError(
+                    f"targets of {term!r} must be a list of strings")
+            entries[term] = targets
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "SynonymRegistry":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+EMPTY_REGISTRY = SynonymRegistry()

@@ -613,7 +613,34 @@ def _online_schema(db: Database) -> StarSchema:
                     currency],
         measures=[REVENUE],
         searchable=searchable,
+        synonyms=AW_ONLINE_SYNONYMS,
     )
+
+
+#: Business-term seed for the metadata matcher on the demo star.  Terms
+#: map onto declared group-by attributes or measures; dump/extend via
+#: ``repro warehouse generate --synonyms out.json``.
+AW_ONLINE_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "city": ("DimGeography.City",),
+    "state": ("DimGeography.StateProvinceName",),
+    "country": ("DimGeography.CountryRegionName",),
+    "job": ("DimCustomer.Occupation",),
+    "income": ("DimCustomer.YearlyIncome",),
+    "category": ("DimProductCategory.ProductCategoryName",),
+    "subcategory": ("DimProductSubcategory.ProductSubcategoryName",),
+    "model": ("DimProduct.ModelName",),
+    "color": ("DimProduct.Color",),
+    "price": ("DimProduct.ListPrice",),
+    "month": ("DimDate.MonthName",),
+    "quarter": ("DimDate.CalendarQuarter",),
+    "year": ("DimDate.CalendarYearName",),
+    "weekday": ("DimDate.DayNameOfWeek",),
+    "discount": ("DimPromotion.PromotionName",),
+    "region": ("DimSalesTerritory.SalesTerritoryRegion",),
+    "revenue": ("measure:revenue",),
+    "sales": ("measure:revenue",),
+    "turnover": ("measure:revenue",),
+}
 
 
 # ======================================================================

@@ -183,4 +183,22 @@ def _scale_schema(db: Database) -> StarSchema:
         "DimProduct": ["ProductName", "Color", "CategoryName"],
         "DimDate": ["MonthName", "CalendarYearName"],
     }
-    return StarSchema(db, fact, (product, dates), (REVENUE,), searchable)
+    return StarSchema(db, fact, (product, dates), (REVENUE,), searchable,
+                      synonyms=SCALE_SYNONYMS)
+
+
+#: Business-term seed for the metadata matcher ("revenue by month top 3"
+#: resolves without any cell-value hit).  Dump/extend via
+#: ``repro warehouse generate --synonyms out.json``.
+SCALE_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "product": ("DimProduct.ProductName",),
+    "item": ("DimProduct.ProductName",),
+    "category": ("DimProduct.CategoryName",),
+    "color": ("DimProduct.Color",),
+    "price": ("DimProduct.ListPrice",),
+    "month": ("DimDate.MonthName",),
+    "year": ("DimDate.CalendarYearName",),
+    "revenue": ("measure:revenue",),
+    "sales": ("measure:revenue",),
+    "turnover": ("measure:revenue",),
+}

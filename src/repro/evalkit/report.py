@@ -35,6 +35,10 @@ def render_star_nets(ranked: Sequence[ScoredStarNet],
     rows = []
     for scored in ranked[:limit]:
         groups = "  &  ".join(str(g) for g in scored.star_net.hit_groups)
+        interp = getattr(scored, "interpretation", None)
+        if not groups and interp is not None:
+            # metadata/pattern-only interpretation: no hit groups to show
+            groups = interp.describe()
         rows.append((groups, f"{scored.score:.6f}"))
     return render_table(("star net (hit groups)", "score"), rows)
 
@@ -70,11 +74,13 @@ def render_series(x_values: Sequence[object],
     return render_table(headers, rows)
 
 
-def render_counters(engine) -> str:
+def render_counters(engine, metrics=None) -> str:
     """Render a query engine's per-operator counters and cache stats.
 
     ``engine`` is a :class:`~repro.plan.engine.QueryEngine` (anything with
     ``backend_name``, ``counters`` and ``cache_stats`` duck-types).
+    ``metrics`` is an optional session metrics registry whose
+    ``kdap.match.*`` counters become a per-matcher ``match:`` line.
     """
     stats = engine.cache_stats
     lines = [
@@ -82,6 +88,15 @@ def render_counters(engine) -> str:
         f"plan cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions",
     ]
+    if metrics is not None:
+        counters = metrics.snapshot().get("counters", {})
+        prefix = "kdap.match."
+        matched = {name[len(prefix):]: count
+                   for name, count in sorted(counters.items())
+                   if name.startswith(prefix)}
+        if matched:
+            lines.append("match: " + ", ".join(
+                f"{name}={count}" for name, count in matched.items()))
     tier = getattr(engine, "tier", None)
     if tier is not None:
         snap = tier.snapshot()

@@ -242,6 +242,10 @@ class ExplainResult:
     """The whole-subspace total aggregate plan (None when skipped)."""
     tracer: Tracer
     """The full trace of the explained execution (phases + operators)."""
+    match: dict | None = None
+    """Matcher-chain breakdown from the interpretation front end: enabled
+    matchers, per-matcher candidate/accepted counters, and keywords no
+    matcher accepted."""
 
     def render(self) -> str:
         lines = [
@@ -249,6 +253,20 @@ class ExplainResult:
             f"interpretation: {self.interpretation}",
             f"backend: {self.backend}, total {self.elapsed_s * 1000:.1f} "
             "ms",
+        ]
+        if self.match:
+            lines += ["", "matcher breakdown:"]
+            matchers = self.match.get("matchers", ())
+            if matchers:
+                lines.append(f"  matchers: {', '.join(matchers)}")
+            counters = self.match.get("counters", {})
+            for name in sorted(counters):
+                lines.append(f"  kdap.match.{name}: {counters[name]}")
+            for keyword in self.match.get("unmatched", ()):
+                lines.append(f"  unmatched keyword: {keyword!r}")
+            for keyword in self.match.get("skipped", ()):
+                lines.append(f"  skipped stopword: {keyword!r}")
+        lines += [
             "",
             "subspace plan (actual):",
             render_plan(self.plan),
@@ -270,4 +288,5 @@ class ExplainResult:
             "total_plan": (self.total_plan.as_dict()
                            if self.total_plan is not None else None),
             "spans": self.tracer.to_tree(),
+            "match": self.match,
         }

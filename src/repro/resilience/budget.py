@@ -81,6 +81,7 @@ class Budget:
         self.groups_seen = 0
         self.interpretations = 0
         self.events: list[TruncationEvent] = []
+        self.notes: list[str] = []
 
     # ------------------------------------------------------------------
     # time
@@ -161,6 +162,14 @@ class Budget:
         registry.counter(f"kdap.truncations.{reason}").inc()
         registry.counter("kdap.truncations.total").inc()
 
+    def add_note(self, note: str) -> None:
+        """Attach an informational diagnostics note (non-fatal, does not
+        mark the result partial): e.g. a keyword no matcher accepted.
+        Duplicate notes collapse."""
+        with self._lock:
+            if note not in self.notes:
+                self.notes.append(note)
+
     @property
     def truncated(self) -> bool:
         """True once any layer recorded a truncation."""
@@ -205,11 +214,15 @@ class Budget:
             rows, groups, interps = (child.rows_scanned, child.groups_seen,
                                      child.interpretations)
             events = list(child.events)
+            notes = list(child.notes)
         with self._lock:
             self.rows_scanned += rows
             self.groups_seen += groups
             self.interpretations += interps
             self.events.extend(events)
+            for note in notes:
+                if note not in self.notes:
+                    self.notes.append(note)
 
     def limits(self) -> dict[str, float]:
         """The configured (non-None) limits by name."""

@@ -45,6 +45,9 @@ class Diagnostics:
     elapsed_ms: float
     limits: tuple[tuple[str, float], ...]
     """The budget's configured limits as sorted ``(name, value)`` pairs."""
+    notes: tuple[str, ...] = ()
+    """Informational per-query notes that do not mark the result partial
+    (e.g. a keyword no interpretation matcher accepted)."""
 
     @staticmethod
     def from_budget(budget) -> "Diagnostics":
@@ -57,6 +60,7 @@ class Diagnostics:
             interpretations=budget.interpretations,
             elapsed_ms=budget.elapsed_ms(),
             limits=tuple(sorted(budget.limits().items())),
+            notes=tuple(getattr(budget, "notes", ())),
         )
 
     def as_dict(self) -> dict:
@@ -72,11 +76,13 @@ class Diagnostics:
             "interpretations": self.interpretations,
             "elapsed_ms": round(self.elapsed_ms, 3),
             "limits": dict(self.limits),
+            **({"notes": list(self.notes)} if self.notes else {}),
         }
 
     def describe(self) -> list[str]:
         """One line per truncation plus a consumption summary (CLI)."""
         lines = [str(event) for event in self.truncations]
+        lines.extend(f"note: {note}" for note in self.notes)
         lines.append(
             f"scanned {self.rows_scanned} rows, {self.groups_seen} groups, "
             f"{self.interpretations} interpretations in "

@@ -79,10 +79,10 @@ _MEASURES = ("surprise", "bellwether")
 #: Accepted fields per endpoint (anything else is a 400: silently
 #: ignoring unknown fields hides client typos like "buget").
 _FIELDS = {
-    "explore": ("query", "pick", "measure", "budget"),
+    "explore": ("query", "pick", "measure", "budget", "matchers"),
     "differentiate": ("query", "limit", "method", "preview_sizes",
-                      "budget"),
-    "explain": ("query", "pick", "measure", "budget"),
+                      "budget", "matchers"),
+    "explain": ("query", "pick", "measure", "budget", "matchers"),
 }
 
 _BUDGET_FIELDS = ("deadline_ms", "max_rows", "max_groups",
@@ -101,6 +101,7 @@ class RequestSpec:
     measure: str = "surprise"
     preview_sizes: bool = False
     budget_hints: dict = field(default_factory=dict)
+    matchers: tuple | None = None
 
 
 def _require_int(value, field_name: str, low: int, high: int) -> int:
@@ -197,7 +198,31 @@ def parse_request(kind: str, body: bytes) -> RequestSpec:
         spec["preview_sizes"] = data["preview_sizes"]
     if "budget" in data:
         spec["budget_hints"] = _parse_budget_hints(data["budget"])
+    if "matchers" in data:
+        spec["matchers"] = _parse_matchers(data["matchers"])
     return RequestSpec(**spec)
+
+
+_MATCHERS = ("value", "metadata", "pattern")
+
+
+def _parse_matchers(raw) -> tuple:
+    """An ordered, duplicate-free subset of the known matcher names."""
+    if not isinstance(raw, list) or not raw:
+        raise RequestError(
+            "matchers must be a non-empty array of matcher names",
+            field="matchers")
+    names = []
+    for name in raw:
+        if not isinstance(name, str) or name not in _MATCHERS:
+            raise RequestError(
+                f"matchers entries must be one of {list(_MATCHERS)}",
+                field="matchers")
+        if name in names:
+            raise RequestError(f"duplicate matcher {name!r}",
+                               field="matchers")
+        names.append(name)
+    return tuple(names)
 
 
 # ----------------------------------------------------------------------
@@ -245,8 +270,10 @@ def _json_value(value):
 def star_net_payload(scored) -> dict:
     """One ranked interpretation."""
     net = scored.star_net
+    interp = getattr(scored, "interpretation", None)
     payload = {
-        "interpretation": str(net),
+        "interpretation": (interp.describe() if interp is not None
+                           else str(net)),
         "score": round(scored.score, 6),
         "rays": [
             {
@@ -259,6 +286,15 @@ def star_net_payload(scored) -> dict:
             for ray in net.rays
         ],
     }
+    if interp is not None:
+        if interp.attributes:
+            payload["attributes"] = [str(gb.ref)
+                                     for gb in interp.attributes]
+        if interp.measures:
+            payload["measures"] = list(interp.measures)
+        if interp.modifier.active:
+            payload["modifier"] = str(interp.modifier)
+        payload["confidence"] = round(interp.confidence, 6)
     if scored.subspace_size is not None:
         payload["subspace_size"] = scored.subspace_size
     return payload
@@ -301,8 +337,10 @@ def diagnostics_payload(diagnostics) -> dict | None:
 
 def explore_payload(result) -> dict:
     """The `/v1/explore` success envelope body (without request id)."""
+    interp = getattr(result, "interpretation", None)
     payload = {
-        "interpretation": str(result.star_net),
+        "interpretation": (interp.describe() if interp is not None
+                           else str(result.star_net)),
         "rows": len(result.subspace),
         "total_aggregate": result.total_aggregate,
         "facets": facets_payload(result.interface),
@@ -320,7 +358,8 @@ def differentiate_payload(ranked, budget) -> dict:
         "interpretations": [star_net_payload(s) for s in ranked],
         "partial": budget is not None and budget.truncated,
     }
-    if budget is not None and budget.truncated:
+    if budget is not None and (budget.truncated
+                               or getattr(budget, "notes", None)):
         from ..resilience.diagnostics import Diagnostics
 
         payload["diagnostics"] = Diagnostics.from_budget(budget).as_dict()

@@ -327,32 +327,42 @@ class KdapService:
             ranked = session.differentiate(
                 spec.query, method=RankingMethod(spec.method),
                 limit=spec.limit, preview_sizes=spec.preview_sizes,
-                budget=budget)
+                budget=budget, matchers=spec.matchers)
             if not ranked:
-                return 404, error_payload(
-                    "no_result", "no interpretation found")
+                return 404, self._no_result(
+                    session, "no interpretation found")
             return 200, differentiate_payload(ranked, budget)
         if spec.kind == "explore":
             ranked = session.differentiate(
-                spec.query, limit=max(spec.pick, 5), budget=budget)
+                spec.query, limit=max(spec.pick, 5), budget=budget,
+                matchers=spec.matchers)
             if len(ranked) < spec.pick:
-                return 404, error_payload(
-                    "no_result",
+                return 404, self._no_result(
+                    session,
                     f"only {len(ranked)} interpretation(s) found")
-            result = session.explore(ranked[spec.pick - 1].star_net,
+            result = session.explore(ranked[spec.pick - 1],
                                      interestingness=measure,
                                      budget=budget)
             return 200, explore_payload(result)
         # explain: reuses the ambient per-request tracer when one is
         # installed, so the explained spans land in the request trace
         result = session.explain(spec.query, pick=spec.pick,
-                                 interestingness=measure, budget=budget)
+                                 interestingness=measure, budget=budget,
+                                 matchers=spec.matchers)
         if result is None:
-            return 404, error_payload(
-                "no_result",
+            return 404, self._no_result(
+                session,
                 f"fewer than {spec.pick} interpretations found")
         return 200, {"explain": result.as_dict(),
                      "partial": budget.truncated}
+
+    @staticmethod
+    def _no_result(session: KdapSession, message: str) -> dict:
+        """A 404 body that explains *why* keywords produced nothing:
+        per-keyword matcher notes ride along when the chain dropped any."""
+        report = session.last_match_report
+        notes = list(report.notes()) if report is not None else []
+        return error_payload("no_result", message, notes=notes)
 
     def _observe(self, kind: str, status: int, elapsed_s: float,
                  queue_wait_s: float, plan_calls: int) -> None:

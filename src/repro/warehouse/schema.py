@@ -146,15 +146,25 @@ class StarSchema:
         measures: Sequence[Measure],
         searchable: Mapping[str, Sequence[str]],
         fact_complex: Sequence[str] = (),
+        synonyms: Mapping[str, Sequence[str]] | None = None,
     ):
         """``fact_complex`` names additional header tables that belong to
         the fact side of the schema (e.g. the EBiz ``TRANS`` header above
         the ``TRANSITEM`` fact): join paths may traverse them without
-        assigning them to any dimension."""
+        assigning them to any dimension.
+
+        ``synonyms`` seeds the schema's business-term registry (term →
+        ``"Table.Column"`` / ``"measure:name"`` targets) used by the
+        metadata keyword matcher; see
+        :class:`repro.core.synonyms.SynonymRegistry`."""
         if not database.has_table(fact_table):
             raise SchemaError(f"fact table {fact_table!r} not in database")
         self.database = database
         self.fact_table = fact_table
+        self.synonyms: dict[str, tuple[str, ...]] = {
+            term: tuple(targets)
+            for term, targets in (synonyms or {}).items()
+        }
         self.fact_complex: frozenset[str] = frozenset(fact_complex) | {
             fact_table
         }

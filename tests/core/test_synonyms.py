@@ -1,0 +1,74 @@
+"""The per-schema synonym registry (business term -> schema target)."""
+
+import pytest
+
+from repro.core import SynonymRegistry, SynonymTarget
+
+
+class TestSynonymTarget:
+    def test_parses_attribute_form(self):
+        target = SynonymTarget.parse("DimDate.MonthName")
+        assert target.kind == "attribute"
+        assert target.table == "DimDate"
+        assert target.column == "MonthName"
+        assert str(target) == "DimDate.MonthName"
+
+    def test_parses_measure_form(self):
+        target = SynonymTarget.parse("measure:revenue")
+        assert target.kind == "measure"
+        assert target.measure == "revenue"
+        assert str(target) == "measure:revenue"
+
+    @pytest.mark.parametrize("raw", ["month", "measure:", ".Column",
+                                     "Table."])
+    def test_rejects_malformed_targets(self, raw):
+        with pytest.raises(ValueError):
+            SynonymTarget.parse(raw)
+
+
+class TestSynonymRegistry:
+    def test_lookup_is_stem_normalised(self):
+        registry = SynonymRegistry({"sales": ["measure:revenue"]})
+        # "sale", "Sales", "sales" all collapse to the same stem
+        assert registry.lookup("sale")
+        assert registry.lookup("Sales")
+        assert registry.lookup("SALES")[0].measure == "revenue"
+        assert registry.lookup("unrelated") == ()
+
+    def test_add_extends_target_list(self):
+        registry = SynonymRegistry()
+        registry.add("month", ["DimDate.MonthName"])
+        registry.add("month", ["DimDate.CalendarYearName"])
+        assert len(registry.lookup("month")) == 2
+
+    def test_rejects_empty_term(self):
+        with pytest.raises(ValueError):
+            SynonymRegistry().add("  ", ["DimDate.MonthName"])
+
+    def test_len_bool_iter(self):
+        registry = SynonymRegistry({"b": ["T.B"], "a": ["T.A"]})
+        assert len(registry) == 2
+        assert registry
+        assert not SynonymRegistry()
+        assert list(registry) == ["a", "b"]
+
+    def test_json_round_trip(self, tmp_path):
+        registry = SynonymRegistry({
+            "month": ["DimDate.MonthName"],
+            "sales": ["measure:revenue", "DimSales.Amount"],
+        })
+        path = tmp_path / "synonyms.json"
+        registry.save(str(path))
+        loaded = SynonymRegistry.load(str(path))
+        assert loaded.as_dict() == registry.as_dict()
+        assert loaded.lookup("sales") == registry.lookup("sales")
+
+    def test_from_json_accepts_bare_string_target(self):
+        registry = SynonymRegistry.from_json(
+            '{"month": "DimDate.MonthName"}')
+        assert registry.lookup("month")[0].column == "MonthName"
+
+    @pytest.mark.parametrize("text", ["[]", '{"t": 1}', '{"t": [1]}'])
+    def test_from_json_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            SynonymRegistry.from_json(text)

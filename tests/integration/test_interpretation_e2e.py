@@ -1,0 +1,97 @@
+"""Acceptance: "revenue by month top 3" end to end.
+
+No keyword of that query hits a cell value on the scale warehouse —
+the whole interpretation comes from the metadata matcher ("revenue" →
+measure, via synonym) and the pattern matcher ("by month" → group-by
+hint, "top 3" → order+limit).  The explore phase must promote the
+hinted attribute, aggregate the hinted measure, and reshape its facet
+entries — identically on both backends and through the HTTP service.
+"""
+
+import pytest
+
+from repro.core import KdapSession
+from repro.datasets.scale import build_scale
+from repro.service import KdapService, ServiceConfig
+from tests.service.conftest import ServiceClient
+
+QUERY = "revenue by month top 3"
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return build_scale(num_facts=4000, seed=7)
+
+
+def month_facet(result):
+    for facet in result.interface.facets:
+        for attr in facet.attributes:
+            if str(attr.attribute.ref) == "DimDate.MonthName":
+                return attr
+    raise AssertionError("DimDate.MonthName facet missing")
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_hint_query_explores_on_both_backends(scale, backend):
+    with KdapSession(scale, backend=backend) as session:
+        ranked = session.differentiate(QUERY)
+        assert ranked, "hint-only query must produce an interpretation"
+        top = ranked[0].interpretation
+        assert top.measure_hint == "revenue"
+        assert top.modifier.order == "desc"
+        assert top.modifier.limit == 3
+
+        result = session.explore(ranked[0])
+        # empty-ray star net = the whole dataspace
+        assert len(result.subspace) == scale.num_fact_rows
+        attr = month_facet(result)
+        assert attr.promoted
+        aggregates = [entry.aggregate for entry in attr.entries]
+        assert len(aggregates) == 3
+        assert aggregates == sorted(aggregates, reverse=True)
+
+        # counters flowed into the session metrics
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["kdap.match.metadata.accepted"] >= 1
+        assert snapshot["counters"]["kdap.match.pattern.accepted"] >= 2
+
+
+def test_backends_agree_on_hinted_aggregates(scale):
+    def run(backend):
+        with KdapSession(scale, backend=backend) as session:
+            result = session.search(QUERY)
+            attr = month_facet(result)
+            return [(e.label, round(e.aggregate, 6))
+                    for e in attr.entries]
+
+    assert run("memory") == run("sqlite")
+
+
+def test_explore_endpoint_serves_hint_query(scale):
+    service = KdapService(scale, ServiceConfig(workers=2))
+    with service:
+        client = ServiceClient(service.port)
+        status, body, _ = client.post("/v1/explore", {"query": QUERY})
+        assert status == 200
+        assert "measures[revenue]" in body["interpretation"]
+        month = next(
+            attr
+            for facet in body["facets"]
+            for attr in facet["attributes"]
+            if attr["column"] == "MonthName")
+        assert month["promoted"]
+        assert len(month["entries"]) == 3
+
+        # matchers selection over the wire: value-only finds nothing
+        # and explains why per keyword
+        status, body, _ = client.post(
+            "/v1/explore", {"query": QUERY, "matchers": ["value"]})
+        assert status == 404
+        assert any("revenue" in note
+                   for note in body["error"]["notes"])
+
+        # invalid matcher name is a 400, not a 500
+        status, body, _ = client.post(
+            "/v1/explore", {"query": QUERY, "matchers": ["bogus"]})
+        assert status == 400
+        assert body["error"]["field"] == "matchers"

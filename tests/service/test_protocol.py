@@ -204,3 +204,23 @@ def test_fuzz_accepted_hints_always_clamp_under_ceilings(hints):
     assert budget.max_rows <= 500
     assert budget.max_groups <= 50
     assert budget.max_interpretations <= 5
+
+
+class TestMatchersField:
+    @pytest.mark.parametrize("kind", ["explore", "differentiate",
+                                      "explain"])
+    def test_accepted_on_every_endpoint(self, kind):
+        spec = _parse(kind, {"query": "q",
+                             "matchers": ["value", "pattern"]})
+        assert spec.matchers == ("value", "pattern")
+
+    def test_defaults_to_none(self):
+        assert _parse("explore", {"query": "q"}).matchers is None
+
+    @pytest.mark.parametrize("matchers", [
+        [], "value", ["value", "value"], ["bogus"], [1], None,
+    ])
+    def test_rejections(self, matchers):
+        with pytest.raises(RequestError) as exc:
+            _parse("explore", {"query": "q", "matchers": matchers})
+        assert exc.value.field == "matchers"

@@ -287,3 +287,70 @@ class TestExperimentFigures:
         out = capsys.readouterr().out
         assert code == 0
         assert "AnnualSales" in out
+
+
+SCALE = ["--facts", "3000", "--warehouse", "scale"]
+
+
+class TestMatchers:
+    def test_hint_query_explores_via_metadata_and_pattern(self, capsys):
+        code = main([*SCALE, "explore", "revenue by month top 3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measures[revenue]" in out
+        assert "DimDate.MonthName (promoted)" in out
+
+    def test_stats_prints_per_matcher_counters(self, capsys):
+        code = main([*SCALE, "explore", "revenue by month top 3",
+                     "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "match: " in out
+        assert "metadata.accepted=1" in out
+        assert "pattern.accepted=2" in out
+
+    def test_value_only_chain_restores_legacy_front_end(self, capsys):
+        code = main([*SCALE, "--matchers", "value", "query",
+                     "revenue by month top 3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no interpretation found" in out
+        # satellite: dropped keywords are explained, not silent
+        assert "note: keyword 'revenue' matched no enabled matcher" in out
+
+    def test_unknown_matcher_is_usage_error(self, capsys):
+        code = main([*SCALE, "--matchers", "value,bogus", "query",
+                     "October"])
+        assert code == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_explain_reports_matcher_breakdown(self, capsys):
+        code = main([*SCALE, "explain", "revenue by month top 3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matcher breakdown:" in out
+        assert "kdap.match.metadata.accepted: 1" in out
+
+    def test_sql_uses_hinted_measure(self, capsys):
+        code = main([*SCALE, "sql", "December sales"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SELECT SUM" in out
+
+
+class TestWarehouseGenerate:
+    def test_synonyms_sidecar_round_trips(self, tmp_path, capsys):
+        from repro.core import SynonymRegistry
+        from repro.datasets.scale import SCALE_SYNONYMS
+
+        out_db = tmp_path / "scale.sqlite"
+        out_json = tmp_path / "synonyms.json"
+        code = main(["warehouse", "generate", "--scale", "2000",
+                     "--days", "60", "--out", str(out_db),
+                     "--synonyms", str(out_json)])
+        assert code == 0
+        message = capsys.readouterr().out
+        assert "synonym terms" in message
+        loaded = SynonymRegistry.load(str(out_json))
+        assert loaded.as_dict() == \
+            SynonymRegistry(SCALE_SYNONYMS).as_dict()

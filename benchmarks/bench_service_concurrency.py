@@ -150,6 +150,7 @@ def compare(schema, queries=DEFAULT_QUERIES, trace_dir: str | None = None
         benchmarks["service_steady"] = _scenario_entry(results, wall_s,
                                                        errors)
         steady_statz = service.statz()
+        steady_metricz = service.metricz()
 
     # -- overload: starved server, thundering herd ----------------------
     config = ServiceConfig(workers=1, queue_depth=2,
@@ -193,6 +194,7 @@ def compare(schema, queries=DEFAULT_QUERIES, trace_dir: str | None = None
             "errors_5xx": chaos["errors_5xx"],
         },
         "statz": {"steady": steady_statz, "chaos": chaos_statz},
+        "metricz": steady_metricz,
         "max_steady_shed_rate": MAX_STEADY_SHED_RATE,
         "max_steady_p95_s": MAX_STEADY_P95_S,
     }
@@ -219,6 +221,9 @@ def main(argv=None) -> int:
     parser.add_argument("--statz-out", default=None,
                         help="write the steady + chaos /v1/statz "
                              "snapshots as JSON (CI artifact)")
+    parser.add_argument("--metricz-out", default=None,
+                        help="write the steady scenario's /v1/metricz "
+                             "Prometheus exposition (CI artifact)")
     parser.add_argument("--trace-dir", default=None,
                         help="per-request Chrome traces for the steady "
                              "scenario (CI artifact)")
@@ -239,6 +244,10 @@ def main(argv=None) -> int:
             json.dump(check["statz"], fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.statz_out}")
+    if args.metricz_out:
+        with open(args.metricz_out, "w", encoding="utf-8") as fh:
+            fh.write(check["metricz"])
+        print(f"wrote {args.metricz_out}")
     ok = passes(check)
     print("service concurrency gate:", "PASS" if ok else "FAIL")
     return 0 if ok else 1

@@ -37,7 +37,13 @@ slowdown:
 * **service concurrency** — a live HTTP server under steady load,
   overload, and chaos (:mod:`bench_service_concurrency`): steady-state
   shed rate and p95 bounded, overload answered with 429s (never 5xx or
-  hangs), injected faults absorbed by retry/failover.
+  hangs), injected faults absorbed by retry/failover;
+* **telemetry overhead** — the always-on telemetry stack (event log,
+  tail sampler, SLO tracker, runtime poller) against an identical
+  ``telemetry=False`` deployment (:mod:`bench_telemetry_overhead`):
+  paired floor-latency p95 within 5%, every errored request's trace
+  persisted, healthy traffic held to the head-sampling cadence, and
+  every persisted trace file complete JSON.
 
 Every timed entry also reports ``p50_s`` / ``p95_s`` computed through
 the observability histogram (:func:`repro.obs.metrics.runs_summary`),
@@ -91,6 +97,11 @@ from bench_scan_aggregate import MIN_SPEEDUP, compare as compare_scan
 from bench_service_concurrency import (
     compare as compare_service,
     passes as service_passes,
+)
+from bench_telemetry_overhead import (
+    MAX_OVERHEAD as TELEMETRY_MAX_OVERHEAD,
+    compare as compare_telemetry,
+    passes as telemetry_passes,
 )
 from bench_tracing_overhead import MAX_OVERHEAD, compare as compare_tracing
 
@@ -318,9 +329,24 @@ class Suite:
                   f"{entry['throughput_rps']:.1f} req/s, "
                   f"p95 {entry['p95_s']:.3f} s, shed {entry['shed']}, "
                   f"5xx {entry['errors_5xx']}")
-        # the full statz snapshots are CI artifacts (the standalone
-        # runner's --statz-out), not baseline material
+        # the full statz/metricz snapshots are CI artifacts (the
+        # standalone runner's --statz-out / --metricz-out), not
+        # baseline material
         check.pop("statz", None)
+        check.pop("metricz", None)
+        return check
+
+    def bench_telemetry(self) -> dict:
+        """Always-on telemetry vs an identical bare deployment, paired
+        floor-latency protocol plus the tail-sampling audit (see
+        :mod:`bench_telemetry_overhead` for the gate)."""
+        benchmarks, check = compare_telemetry(self.online)
+        self.benchmarks.update(benchmarks)
+        for name in sorted(benchmarks):
+            entry = benchmarks[name]
+            print(f"  {name}: {entry['requests']} requests, floor p95 "
+                  f"{entry['p95_s'] * 1000:.2f} ms, workload sum "
+                  f"{entry['sum_s'] * 1000:.2f} ms")
         return check
 
     def bench_tracing_overhead(self) -> dict:
@@ -389,6 +415,7 @@ def main(argv=None) -> int:
         morsel_check = suite.bench_morsel_scan()
         materialize_check = suite.bench_materialize()
         service_check = suite.bench_service_concurrency()
+        telemetry_check = suite.bench_telemetry()
         suite.bench_figures()
         suite.bench_primitives()
     finally:
@@ -406,6 +433,7 @@ def main(argv=None) -> int:
                  and morsel_check["zone_skip"]["chunks_skipped"] > 0)
     materialize_ok = materialize_passes(materialize_check)
     service_ok = service_passes(service_check)
+    telemetry_ok = telemetry_passes(telemetry_check)
     report = {
         "suite": "kdap",
         "smoke": args.smoke,
@@ -420,6 +448,7 @@ def main(argv=None) -> int:
         "morsel_check": {**morsel_check, "pass": morsel_ok},
         "materialize_check": {**materialize_check, "pass": materialize_ok},
         "service_check": {**service_check, "pass": service_ok},
+        "telemetry_check": {**telemetry_check, "pass": telemetry_ok},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -464,6 +493,14 @@ def main(argv=None) -> int:
           f"{service_check['overload']['errors_5xx']} 5xx, chaos "
           f"absorbed {service_check['chaos']['resilience']['transient_errors']} "
           "faults")
+    sampling = telemetry_check["sampling"]
+    print(f"telemetry overhead: {telemetry_check['overhead'] * 100:+.2f}% "
+          f"floor p95 (ceiling {TELEMETRY_MAX_OVERHEAD * 100:.0f}%), "
+          f"sampling persisted "
+          f"{sampling['sampling']['persisted_total']} of "
+          f"{sampling['sampling']['considered']} traces "
+          f"({sampling['sampling']['persisted']['error']} errored, all "
+          "captured)")
     if not fusion_ok:
         print("FUSION CHECK FAILED: fused facet workload slower than "
               "per-attribute path", file=sys.stderr)
@@ -500,6 +537,13 @@ def main(argv=None) -> int:
               "steady load, answered 5xx/hung under overload, or chaos "
               "faults escaped the retry/failover ladder",
               file=sys.stderr)
+        return 1
+    if not telemetry_ok:
+        print("TELEMETRY CHECK FAILED: the always-on telemetry stack "
+              f"costs more than {TELEMETRY_MAX_OVERHEAD * 100:.0f}% at "
+              "the workload p95, tail sampling missed an errored trace "
+              "or over-sampled healthy traffic, or a persisted trace "
+              "was not complete JSON", file=sys.stderr)
         return 1
     return 0
 

@@ -234,6 +234,75 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="inject this much latency per backend call")
     serve.add_argument("--chaos-seed", type=int, default=0,
                        help="base seed for per-worker fault schedules")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the always-on telemetry pipeline "
+                            "(event log, tail-based trace sampling, "
+                            "runtime-stats poller, SLO tracking); with "
+                            "--trace-dir this also reverts to writing "
+                            "every request's trace unconditionally")
+    serve.add_argument("--event-log", metavar="PATH", default=None,
+                       help="mirror every structured event to PATH as "
+                            "append-only JSONL (the in-memory ring "
+                            "behind /v1/eventz is always on)")
+    serve.add_argument("--event-capacity", type=int, default=512,
+                       help="in-memory event ring size (oldest events "
+                            "drop first)")
+    serve.add_argument("--trace-slow-ms", type=float, default=1000.0,
+                       help="tail sampling: always persist traces of "
+                            "requests slower than this")
+    serve.add_argument("--trace-head-n", type=int, default=10,
+                       help="tail sampling: keep 1-in-N traces of "
+                            "healthy fast requests (0 disables the "
+                            "head sample; errored and budget-truncated "
+                            "requests are always persisted)")
+    serve.add_argument("--slo-target-p95-ms", type=float, default=1000.0,
+                       help="SLO: a request slower than this (or any "
+                            "5xx) is 'bad' and burns error budget")
+    serve.add_argument("--slo-error-budget", type=float, default=0.01,
+                       help="SLO: tolerated bad-request fraction "
+                            "(0.01 = 99%% of requests must be good)")
+    serve.add_argument("--slo-burn-alert", type=float, default=2.0,
+                       help="SLO: burn-rate threshold that must be "
+                            "exceeded in both the short and long "
+                            "window to raise a slo.burn event")
+    serve.add_argument("--poll-interval-s", type=float, default=0.5,
+                       help="runtime-stats poller period (queue depth / "
+                            "in-flight / utilization / shed-rate "
+                            "gauges on /v1/metricz)")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running service: polls "
+             "/v1/statz and /v1/metricz and renders load, SLO burn, "
+             "trace sampling, and recent events (no warehouse is "
+             "built; this is a pure HTTP client)")
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="base URL of the service")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="render this many frames then exit "
+                          "(default: run until interrupted)")
+
+    events = sub.add_parser(
+        "events",
+        help="query a running service's structured event log")
+    esub = events.add_subparsers(dest="events_command", required=True)
+    tail = esub.add_parser(
+        "tail",
+        help="print the newest events from GET /v1/eventz (one line "
+             "per event; --follow keeps polling for new ones)")
+    tail.add_argument("--url", default="http://127.0.0.1:8080",
+                      help="base URL of the service")
+    tail.add_argument("-n", type=int, default=20,
+                      help="how many recent events to fetch")
+    tail.add_argument("--json", action="store_true",
+                      help="emit raw event JSON, one object per line")
+    tail.add_argument("--follow", action="store_true",
+                      help="poll for new events (by sequence number) "
+                           "until interrupted")
+    tail.add_argument("--interval", type=float, default=1.0,
+                      help="poll period with --follow")
     return parser
 
 
@@ -492,6 +561,8 @@ def _serve_config(args):
     overrides = {}
     if args.deadline_ms is not None:
         overrides["max_deadline_ms"] = args.deadline_ms
+    if args.slow_query_ms is not None:
+        overrides["slow_query_ms"] = args.slow_query_ms
     return ServiceConfig(
         workers=args.pool_workers,
         queue_depth=args.queue_depth,
@@ -507,6 +578,15 @@ def _serve_config(args):
         chaos_seed=args.chaos_seed,
         materialize=not args.no_materialize,
         trace_dir=args.trace_dir,
+        telemetry=not args.no_telemetry,
+        event_capacity=args.event_capacity,
+        event_path=args.event_log,
+        trace_slow_ms=args.trace_slow_ms,
+        trace_head_n=args.trace_head_n,
+        slo_target_p95_ms=args.slo_target_p95_ms,
+        slo_error_budget=args.slo_error_budget,
+        slo_burn_alert=args.slo_burn_alert,
+        poll_interval_s=args.poll_interval_s,
         **overrides,
     )
 
@@ -519,6 +599,66 @@ def _cmd_serve(args) -> int:
     return serve_until_signalled(service, args.host, args.port)
 
 
+def _cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    return run_top(args.url, interval_s=args.interval,
+                   iterations=args.iterations)
+
+
+def _cmd_events(args) -> int:
+    """``repro events tail``: print the service's newest events.
+
+    A pure HTTP client like ``repro top`` — dogfooding ``/v1/eventz``
+    the way an external collector would.  ``--follow`` polls using the
+    per-event sequence number as a cursor, so nothing prints twice and
+    ring overwrites between polls surface as a gap warning.
+    """
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from .obs.events import Event
+
+    base = args.url.rstrip("/")
+
+    def fetch():
+        with urllib.request.urlopen(f"{base}/v1/eventz?n={args.n}",
+                                    timeout=5.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def render(event: dict) -> str:
+        if args.json:
+            return json.dumps(event, sort_keys=True)
+        fields = {key: value for key, value in event.items()
+                  if key not in ("seq", "ts", "kind")}
+        return Event(event["seq"], event.get("ts", 0.0),
+                     event["kind"], fields).describe()
+
+    last_seq = 0
+    try:
+        while True:
+            try:
+                payload = fetch()
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"could not reach {base}: {exc}", file=sys.stderr)
+                return EXIT_BACKEND
+            fresh = [event for event in payload.get("events", [])
+                     if event["seq"] > last_seq]
+            if last_seq and fresh and fresh[0]["seq"] > last_seq + 1:
+                print(f"... {fresh[0]['seq'] - last_seq - 1} event(s) "
+                      "dropped by the ring between polls ...",
+                      file=sys.stderr)
+            for event in fresh:
+                print(render(event))
+                last_seq = event["seq"]
+            if not args.follow:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "explore": _cmd_explore,
@@ -527,6 +667,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "warehouse": _cmd_warehouse,
     "serve": _cmd_serve,
+    "top": _cmd_top,
+    "events": _cmd_events,
 }
 
 # Exit codes per error-taxonomy branch (argparse itself exits with 2 on

@@ -24,6 +24,7 @@ from ..obs.metrics import MetricsRegistry, metrics_scope
 from ..obs.slowlog import SlowQueryLog
 from ..obs.tracer import (
     Tracer,
+    current_request_id,
     current_tracer,
     plan_digest,
     tracing_scope,
@@ -455,7 +456,8 @@ class KdapSession:
                 self._last_query, label,
                 plan_digest(net.to_plan(self.schema)),
                 elapsed_s * 1000.0,
-                span_tree=(span.to_dict() if tracer.enabled else None))
+                span_tree=(span.to_dict() if tracer.enabled else None),
+                request_id=current_request_id())
             if recorded:
                 logger.warning(
                     "slow query (%.1f ms > %.1f ms): %s",

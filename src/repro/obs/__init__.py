@@ -14,7 +14,16 @@ session) emits into it:
   annotated per-node with actual calls/rows/batches/seconds pulled from
   span data (``KdapSession.explain`` / ``repro explain``);
 * :class:`SlowQueryLog` — threshold-triggered ring of slow queries with
-  interpretation, plan fingerprint, and span tree.
+  interpretation, plan fingerprint, request id, and span tree;
+* :class:`EventLog` — bounded ring of structured request-lifecycle
+  events (JSONL sink optional), the machine-readable operator timeline;
+* :class:`TailSampler` — persist-or-drop decisions for full traces
+  after a request ends (errored/truncated/slow/1-in-N head sample);
+* :func:`render_prometheus` / :func:`parse_prometheus` /
+  :class:`RuntimeStatsPoller` — Prometheus text exposition of merged
+  per-worker registries plus background runtime gauges;
+* :class:`SloTracker` — rolling-window latency/error objective with
+  multi-window burn-rate alerting.
 
 Public surface::
 
@@ -26,6 +35,12 @@ Public surface::
         ExplainNode, ExplainResult, OpProfile, profile_plan,
         render_plan, render_span_tree,
         SlowQueryLog, SlowQueryRecord,
+        Event, EventLog,
+        SamplingPolicy, SamplingDecision, TailSampler,
+        render_prometheus, parse_prometheus, metric_name,
+        merge_histogram_states, rollup_registries, RuntimeStatsPoller,
+        PROMETHEUS_CONTENT_TYPE,
+        SloPolicy, SloTracker,
     )
 """
 
@@ -63,10 +78,24 @@ from .explain import (
     render_span_tree,
 )
 from .slowlog import SlowQueryLog, SlowQueryRecord
+from .events import Event, EventLog
+from .sampling import SamplingDecision, SamplingPolicy, TailSampler
+from .promexport import (
+    PROMETHEUS_CONTENT_TYPE,
+    RuntimeStatsPoller,
+    merge_histogram_states,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    rollup_registries,
+)
+from .slo import SloPolicy, SloTracker
 
 __all__ = [
     "Counter",
     "DEFAULT_REGISTRY",
+    "Event",
+    "EventLog",
     "ExplainNode",
     "ExplainResult",
     "Gauge",
@@ -76,20 +105,32 @@ __all__ = [
     "NOOP",
     "NOOP_SPAN",
     "OpProfile",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RuntimeStatsPoller",
+    "SamplingDecision",
+    "SamplingPolicy",
+    "SloPolicy",
+    "SloTracker",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
+    "TailSampler",
     "Tracer",
     "collect_profiles",
     "current_registry",
     "current_request_id",
     "current_span",
     "current_tracer",
+    "merge_histogram_states",
+    "metric_name",
     "metrics_scope",
     "op_span",
+    "parse_prometheus",
     "plan_digest",
     "profile_plan",
     "render_plan",
+    "render_prometheus",
+    "rollup_registries",
     "render_span_tree",
     "request_scope",
     "runs_summary",

@@ -165,6 +165,24 @@ class Histogram:
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
+    def state(self) -> dict:
+        """Raw per-bucket counts plus extremes, taken under the lock.
+
+        The Prometheus exporter consumes this — cumulative ``_bucket``
+        series need the raw counts, and rolling worker registries up
+        into one fleet view means merging these states elementwise
+        (:func:`repro.obs.promexport.merge_histogram_states`).
+        """
+        with self._lock:
+            return {
+                "boundaries": self.boundaries,
+                "counts": tuple(self._counts),
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+            }
+
     def summary(self) -> dict:
         """Count/sum/extremes plus p50/p95/p99 (JSON-serialisable)."""
         if not self.count:
@@ -228,6 +246,15 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} is a "
                             f"{type(instrument).__name__}, not a Histogram")
         return instrument
+
+    def instruments(self) -> dict:
+        """Name → live instrument, as a point-in-time copy of the map.
+
+        The instruments themselves stay live (they keep counting); the
+        Prometheus exporter walks this to build its exposition.
+        """
+        with self._lock:
+            return dict(self._instruments)
 
     def snapshot(self) -> dict:
         """Every instrument's current value, sorted by name."""

@@ -1,0 +1,329 @@
+"""Prometheus text-format exposition over :mod:`repro.obs.metrics`.
+
+Three things live here, all stdlib-only:
+
+* :func:`render_prometheus` — the ``GET /v1/metricz`` body: every
+  counter, gauge, and histogram from one *or several* registries in the
+  Prometheus text exposition format (version 0.0.4).  Per-worker
+  registries are **rolled up first** — counters sum, gauges sum, and
+  histograms merge per-bucket (:func:`merge_histogram_states`) — so one
+  scrape sees fleet totals, with cumulative ``_bucket{le="..."}`` series
+  derived from the fixed-boundary histogram counts.
+* :func:`parse_prometheus` — a strict parser for the same format.  It
+  exists for the round-trip test (what we expose must be exactly
+  re-readable) and for ``repro top``, which scrapes its own server the
+  way Prometheus would.
+* :class:`RuntimeStatsPoller` — a background thread that periodically
+  publishes the service runtime's operational gauges (queue depth,
+  in-flight requests, worker utilization, interval shed rate) into the
+  server registry, so ``/v1/metricz`` carries load state even between
+  requests.
+
+Metric names translate mechanically: dotted instrument names become
+underscore-separated (``kdap.explore.seconds`` →
+``kdap_explore_seconds``); no labels are synthesised because the rollup
+already collapsed the per-worker dimension.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>'
+                    r'(?:[^"\\]|\\.)*)"$')
+
+
+def metric_name(dotted: str) -> str:
+    """A dotted instrument name as a legal Prometheus metric name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", dotted)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Floats in the shortest exact form the parser reads back."""
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# rollup
+# ----------------------------------------------------------------------
+def merge_histogram_states(states) -> dict | None:
+    """Elementwise merge of :meth:`Histogram.state` dicts.
+
+    States must share bucket boundaries (they do in practice — every
+    worker builds the same instruments from the same code path); a
+    boundary mismatch raises rather than silently mis-merging counts.
+    """
+    merged: dict | None = None
+    for state in states:
+        if merged is None:
+            merged = {"boundaries": state["boundaries"],
+                      "counts": list(state["counts"]),
+                      "count": state["count"], "sum": state["sum"],
+                      "min": state["min"], "max": state["max"]}
+            continue
+        if state["boundaries"] != merged["boundaries"]:
+            raise ValueError("histogram boundary mismatch in rollup")
+        merged["counts"] = [a + b for a, b in zip(merged["counts"],
+                                                  state["counts"])]
+        merged["count"] += state["count"]
+        merged["sum"] += state["sum"]
+        for key, pick in (("min", min), ("max", max)):
+            if state[key] is not None:
+                merged[key] = (state[key] if merged[key] is None
+                               else pick(merged[key], state[key]))
+    return merged
+
+
+def rollup_registries(registries) -> dict:
+    """Counters summed, gauges summed, histogram states merged.
+
+    Returns ``{"counters": {name: int}, "gauges": {name: float},
+    "histograms": {name: state}}`` across every registry, the shared
+    shape consumed by both the text exposition and ``/v1/statz``.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histogram_states: dict[str, list] = {}
+    for registry in registries:
+        for name, instrument in registry.instruments().items():
+            if isinstance(instrument, Counter):
+                counters[name] = counters.get(name, 0) + instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = gauges.get(name, 0.0) + instrument.value
+            elif isinstance(instrument, Histogram):
+                histogram_states.setdefault(name, []).append(
+                    instrument.state())
+    histograms = {name: merge_histogram_states(states)
+                  for name, states in histogram_states.items()}
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+# exposition
+# ----------------------------------------------------------------------
+def render_prometheus(registries: "MetricsRegistry | list") -> str:
+    """The Prometheus text-format exposition of one or more registries."""
+    if isinstance(registries, MetricsRegistry):
+        registries = [registries]
+    rolled = rollup_registries(registries)
+    lines: list[str] = []
+    for name in sorted(rolled["counters"]):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {_format_value(rolled['counters'][name])}")
+    for name in sorted(rolled["gauges"]):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(rolled['gauges'][name])}")
+    for name in sorted(rolled["histograms"]):
+        state = rolled["histograms"][name]
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} histogram")
+        cumulative = 0
+        for boundary, count in zip(state["boundaries"], state["counts"]):
+            cumulative += count
+            lines.append(f'{exposed}_bucket{{le="{_format_value(boundary)}"'
+                         f"}} {cumulative}")
+        lines.append(f'{exposed}_bucket{{le="+Inf"}} {state["count"]}')
+        lines.append(f"{exposed}_sum {_format_value(state['sum'])}")
+        lines.append(f"{exposed}_count {state['count']}")
+    return "\n".join(lines) + "\n"
+
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ----------------------------------------------------------------------
+# strict parsing
+# ----------------------------------------------------------------------
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"line {line_no}: invalid sample value {text!r}") from None
+
+
+def _parse_labels(raw: str, line_no: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    for part in filter(None, (p.strip() for p in raw.split(","))):
+        match = _LABEL.match(part)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed label {part!r}")
+        value = match.group("value")
+        value = (value.replace(r"\\", "\\").replace(r"\"", '"')
+                 .replace(r"\n", "\n"))
+        labels[match.group("key")] = value
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Strictly parse Prometheus text format into metric families.
+
+    Returns ``{family_name: {"type": str, "samples": [(sample_name,
+    labels_dict, value), ...]}}``.  Histogram series (``_bucket`` /
+    ``_sum`` / ``_count``) group under their family name.  Any line that
+    is not a comment, a blank, or a well-formed sample raises
+    ``ValueError`` — this parser is a contract check, not a scraper that
+    shrugs.
+    """
+    families: dict[str, dict] = {}
+    suffixes = ("_bucket", "_sum", "_count")
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(
+                    f"line {line_no}: unknown comment {parts[1]!r}")
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    raise ValueError(
+                        f"line {line_no}: malformed TYPE line")
+                name = parts[2]
+                if name in families:
+                    raise ValueError(
+                        f"line {line_no}: duplicate TYPE for {name}")
+                families[name] = {"type": parts[3], "samples": []}
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample "
+                             f"{line!r}")
+        sample_name = match.group("name")
+        family = sample_name
+        if family not in families:
+            for suffix in suffixes:
+                if sample_name.endswith(suffix) \
+                        and sample_name[: -len(suffix)] in families:
+                    family = sample_name[: -len(suffix)]
+                    break
+        if family not in families:
+            raise ValueError(f"line {line_no}: sample {sample_name!r} "
+                             "precedes its TYPE declaration")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        value = _parse_value(match.group("value"), line_no)
+        families[family]["samples"].append((sample_name, labels, value))
+    return families
+
+
+# ----------------------------------------------------------------------
+# runtime stats poller
+# ----------------------------------------------------------------------
+class RuntimeStatsPoller:
+    """Publishes service runtime gauges on a background interval.
+
+    Request-path instruments only move when requests move; an idle or
+    saturated server is invisible between them.  The poller closes that
+    gap: every ``interval_s`` it reads the service's queue and pool and
+    sets four gauges in the server registry —
+
+    * ``kdap.runtime.queue_depth`` — admission queue occupancy;
+    * ``kdap.runtime.in_flight`` — requests executing right now;
+    * ``kdap.runtime.worker_utilization`` — in-flight / worker count;
+    * ``kdap.runtime.shed_rate`` — shed fraction of arrivals since the
+      previous poll (0.0 when nothing arrived).
+
+    ``poll_once`` is public so tests (and the service's statz handler)
+    can force a fresh sample without waiting out the interval.  The
+    thread is daemonised and joins on ``stop`` — a wedged poller must
+    never block a drain.
+    """
+
+    SHED_COUNTERS = ("kdap.service.shed.queue_full",
+                     "kdap.service.shed.queue_timeout")
+    ARRIVAL_COUNTERS = SHED_COUNTERS + ("kdap.service.admitted",
+                                        "kdap.service.rejected.draining")
+
+    def __init__(self, service, interval_s: float = 0.5):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.service = service
+        self.interval_s = interval_s
+        self.polls = 0
+        self._last_arrivals = 0
+        self._last_shed = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    def _counter_total(self, names) -> int:
+        registry = self.service.registry
+        return sum(registry.counter(name).value for name in names)
+
+    def poll_once(self) -> dict:
+        """Take one sample and publish the gauges; returns the sample."""
+        service = self.service
+        registry = service.registry
+        with self._lock:
+            self.polls += 1
+            queue_depth = len(service.queue)
+            in_flight = service.pool.in_flight
+            workers = max(service.config.workers, 1)
+            arrivals = self._counter_total(self.ARRIVAL_COUNTERS)
+            shed = self._counter_total(self.SHED_COUNTERS)
+            delta_arrivals = arrivals - self._last_arrivals
+            delta_shed = shed - self._last_shed
+            self._last_arrivals, self._last_shed = arrivals, shed
+        sample = {
+            "queue_depth": float(queue_depth),
+            "in_flight": float(in_flight),
+            "worker_utilization": round(in_flight / workers, 4),
+            "shed_rate": (round(delta_shed / delta_arrivals, 4)
+                          if delta_arrivals > 0 else 0.0),
+        }
+        for name, value in sample.items():
+            registry.gauge(f"kdap.runtime.{name}").set(value)
+        registry.counter("kdap.runtime.polls").inc()
+        return sample
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll_once()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.poll_once()  # gauges exist from the first scrape onward
+        self._thread = threading.Thread(target=self._run,
+                                        name="kdap-runtime-poller",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

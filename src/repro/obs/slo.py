@@ -1,0 +1,233 @@
+"""Rolling-window SLO tracking: target p95, error budget, burn rate.
+
+A latency histogram says how the service has behaved *since boot*; an
+operator needs to know how it behaves *right now* against an objective.
+:class:`SloTracker` keeps a rolling window of per-second slots, each
+counting requests, **bad** requests, and a per-slot copy of the
+fixed-boundary latency bucket counts.  A request is *bad* when it errored
+(5xx) or exceeded the latency target — the standard "latency SLO as an
+availability SLO" trick, so one error budget covers both failure modes.
+
+Burn rate is the classic multi-window formulation: over a window,
+
+    burn = (bad / total) / error_budget
+
+so ``burn == 1.0`` consumes the budget exactly as fast as it is granted,
+and Google-SRE-style thresholds (e.g. ``burn > 2`` sustained across a
+short *and* a long window) page before the budget is gone but not on a
+single blip.  :meth:`observe` is O(1) per request; :meth:`status` is
+O(window) per scrape, which is the right side of that trade for a
+tracker sitting on the request path.
+
+Burn-alert transitions (``burning`` flips) are emitted into the service
+:class:`~repro.obs.events.EventLog` as ``slo.burn`` / ``slo.recovered``
+events, so the operator timeline interleaves objective burns with the
+shed/error events that caused them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .metrics import LATENCY_BOUNDARIES_S
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The objective: target p95 latency, error budget, and windows.
+
+    ``error_budget`` is the tolerated bad-request fraction (0.01 = 99%
+    of requests must be good).  ``short_window_s`` / ``long_window_s``
+    are the two burn-rate windows; ``burn_alert`` is the burn-rate
+    threshold that must be exceeded in **both** windows to alert (the
+    long window keeps blips from paging, the short window ends the alert
+    promptly once the incident stops).
+    """
+
+    target_p95_ms: float = 1_000.0
+    error_budget: float = 0.01
+    short_window_s: float = 60.0
+    long_window_s: float = 600.0
+    burn_alert: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.target_p95_ms <= 0:
+            raise ValueError("target_p95_ms must be positive")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError("error_budget must be in (0, 1]")
+        if self.short_window_s <= 0 \
+                or self.long_window_s < self.short_window_s:
+            raise ValueError("windows must be positive with "
+                             "long_window_s >= short_window_s")
+        if self.burn_alert <= 0:
+            raise ValueError("burn_alert must be positive")
+
+
+class _Slot:
+    """One second of observations: totals plus latency bucket counts."""
+
+    __slots__ = ("second", "total", "bad", "errors", "counts",
+                 "max_ms")
+
+    def __init__(self, second: int, n_buckets: int):
+        self.second = second
+        self.total = 0
+        self.bad = 0
+        self.errors = 0
+        self.counts = [0] * n_buckets
+        self.max_ms = 0.0
+
+
+class SloTracker:
+    """Rolling-window SLO accounting over per-second slots.
+
+    ``clock`` is injectable so tests can march time deterministically.
+    ``event_log`` (optional) receives ``slo.burn`` / ``slo.recovered``
+    events when the alert state flips; the flip is evaluated on each
+    :meth:`observe` so an alert begins with the request that caused it.
+    """
+
+    def __init__(self, policy: SloPolicy | None = None,
+                 clock=time.monotonic, event_log=None,
+                 boundaries: tuple[float, ...] = LATENCY_BOUNDARIES_S):
+        self.policy = policy or SloPolicy()
+        self._clock = clock
+        self._event_log = event_log
+        self.boundaries = tuple(boundaries)
+        self._n_buckets = len(self.boundaries) + 1
+        self._slots: dict[int, _Slot] = {}
+        self._lock = threading.Lock()
+        self.burning = False
+        self.alerts = 0
+        self.observed = 0
+
+    # -- ingest --------------------------------------------------------
+    def _bucket_index(self, value_s: float) -> int:
+        lo, hi = 0, len(self.boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.boundaries[mid] < value_s:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def observe(self, *, elapsed_ms: float, error: bool = False) -> None:
+        """Record one finished request and re-evaluate the alert state."""
+        policy = self.policy
+        now = self._clock()
+        second = int(now)
+        bad = error or elapsed_ms > policy.target_p95_ms
+        flipped = None
+        with self._lock:
+            slot = self._slots.get(second)
+            if slot is None:
+                slot = self._slots[second] = _Slot(second, self._n_buckets)
+                self._evict(now)
+            slot.total += 1
+            slot.counts[self._bucket_index(elapsed_ms / 1000.0)] += 1
+            slot.max_ms = max(slot.max_ms, elapsed_ms)
+            if bad:
+                slot.bad += 1
+            if error:
+                slot.errors += 1
+            self.observed += 1
+            short = self._burn(now, policy.short_window_s)
+            long_ = self._burn(now, policy.long_window_s)
+            burning = (short is not None and long_ is not None
+                       and short > policy.burn_alert
+                       and long_ > policy.burn_alert)
+            if burning != self.burning:
+                self.burning = burning
+                if burning:
+                    self.alerts += 1
+                flipped = ("slo.burn" if burning else "slo.recovered",
+                           short, long_)
+        if flipped is not None and self._event_log is not None:
+            kind, short, long_ = flipped
+            self._event_log.emit(
+                kind,
+                burn_short=round(short, 4), burn_long=round(long_, 4),
+                threshold=policy.burn_alert,
+                target_p95_ms=policy.target_p95_ms,
+                error_budget=policy.error_budget)
+
+    def _evict(self, now: float) -> None:
+        horizon = int(now - self.policy.long_window_s) - 1
+        for second in [s for s in self._slots if s < horizon]:
+            del self._slots[second]
+
+    # -- analysis (callers hold the lock or use status()) --------------
+    def _window_slots(self, now: float, window_s: float) -> list[_Slot]:
+        start = int(now - window_s)
+        return [slot for slot in self._slots.values()
+                if slot.second > start]
+
+    def _burn(self, now: float, window_s: float) -> float | None:
+        slots = self._window_slots(now, window_s)
+        total = sum(slot.total for slot in slots)
+        if not total:
+            return None
+        bad = sum(slot.bad for slot in slots)
+        return (bad / total) / self.policy.error_budget
+
+    def _window_p95_ms(self, slots) -> float | None:
+        total = sum(slot.total for slot in slots)
+        if not total:
+            return None
+        counts = [0] * self._n_buckets
+        for slot in slots:
+            for index, count in enumerate(slot.counts):
+                counts[index] += count
+        target = 0.95 * total
+        cumulative = 0
+        max_ms = max(slot.max_ms for slot in slots)
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= target:
+                upper_s = (self.boundaries[index]
+                           if index < len(self.boundaries)
+                           else max_ms / 1000.0)
+                return min(round(upper_s * 1000.0, 3), max_ms)
+        return max_ms
+
+    # -- exposition ----------------------------------------------------
+    def status(self) -> dict:
+        """JSON-serialisable SLO state for ``/v1/statz``."""
+        policy = self.policy
+        now = self._clock()
+        with self._lock:
+            windows = {}
+            for label, span in (("short", policy.short_window_s),
+                                ("long", policy.long_window_s)):
+                slots = self._window_slots(now, span)
+                total = sum(slot.total for slot in slots)
+                bad = sum(slot.bad for slot in slots)
+                errors = sum(slot.errors for slot in slots)
+                burn = ((bad / total) / policy.error_budget
+                        if total else None)
+                windows[label] = {
+                    "window_s": span,
+                    "total": total,
+                    "bad": bad,
+                    "errors": errors,
+                    "bad_rate": round(bad / total, 6) if total else None,
+                    "burn_rate": (round(burn, 4)
+                                  if burn is not None else None),
+                    "p95_ms": self._window_p95_ms(slots),
+                }
+            return {
+                "policy": {
+                    "target_p95_ms": policy.target_p95_ms,
+                    "error_budget": policy.error_budget,
+                    "short_window_s": policy.short_window_s,
+                    "long_window_s": policy.long_window_s,
+                    "burn_alert": policy.burn_alert,
+                },
+                "observed": self.observed,
+                "burning": self.burning,
+                "alerts": self.alerts,
+                "windows": windows,
+            }

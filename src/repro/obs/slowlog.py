@@ -30,6 +30,10 @@ class SlowQueryRecord:
     threshold_ms: float
     span_tree: dict | None = None
     """The query's span tree (None when tracing was disabled)."""
+    request_id: str | None = None
+    """The serving request id — also the trace id a persisted trace file
+    is named after, so ``/v1/slowlogz`` entries join against
+    ``/v1/eventz`` and ``--trace-dir`` (None outside the service)."""
     wall_time: float = field(default_factory=time.time)
 
     def as_dict(self) -> dict:
@@ -40,6 +44,7 @@ class SlowQueryRecord:
             "elapsed_ms": round(self.elapsed_ms, 3),
             "threshold_ms": self.threshold_ms,
             "span_tree": self.span_tree,
+            "request_id": self.request_id,
             "wall_time": round(self.wall_time, 3),
         }
 
@@ -65,7 +70,8 @@ class SlowQueryLog:
         self.recorded = 0
 
     def observe(self, query: str, interpretation: str, plan_fp: str,
-                elapsed_ms: float, span_tree: dict | None = None) -> bool:
+                elapsed_ms: float, span_tree: dict | None = None,
+                request_id: str | None = None) -> bool:
         """Record the query if it overran the threshold; True when kept."""
         with self._lock:
             self.observed += 1
@@ -75,7 +81,8 @@ class SlowQueryLog:
             self._records.append(SlowQueryRecord(
                 query=query, interpretation=interpretation,
                 plan_fp=plan_fp, elapsed_ms=elapsed_ms,
-                threshold_ms=self.threshold_ms, span_tree=span_tree))
+                threshold_ms=self.threshold_ms, span_tree=span_tree,
+                request_id=request_id))
             return True
 
     @property

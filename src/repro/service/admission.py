@@ -188,12 +188,14 @@ class WorkerPool:
 
     def __init__(self, queue: AdmissionQueue, workers: int,
                  session_factory, execute, registry: MetricsRegistry,
-                 poll_s: float = 0.1):
+                 poll_s: float = 0.1,
+                 on_shed: Callable[[Job], None] | None = None):
         self.queue = queue
         self.registry = registry
         self._execute = execute
         self._session_factory = session_factory
         self._poll_s = poll_s
+        self._on_shed = on_shed
         self._stopping = False
         self.sessions: list = []
         self._threads: list[threading.Thread] = []
@@ -238,6 +240,8 @@ class WorkerPool:
             "shed", "request waited in the admission queue past its "
                     "enqueue deadline",
             request_id=job.request_id))
+        if self._on_shed is not None:
+            self._on_shed(job)  # telemetry hook (event emission)
 
     def stop(self, join_timeout_s: float = 5.0) -> None:
         """Stop consuming and join workers (sessions close on exit)."""

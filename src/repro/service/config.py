@@ -80,10 +80,37 @@ class ServiceConfig:
         ``kdap.materialize.*`` counters surface in ``/v1/statz``.
         False runs workers without the tier.
     trace_dir:
-        When set, each request runs under its own tracer and its Chrome
-        trace is written to ``<trace_dir>/trace-<request_id>.json``.
+        When set, each request runs under its own tracer; whether the
+        Chrome trace reaches ``<trace_dir>/trace-<request_id>.json`` is
+        the tail sampler's call (see ``trace_slow_ms``/``trace_head_n``;
+        with telemetry off every trace is written unconditionally).
     retry_after_s:
         The ``Retry-After`` hint (seconds) sent with 429/503 responses.
+    telemetry:
+        Master switch for the always-on pipeline: the structured event
+        log, tail-based trace sampling, the runtime-stats poller behind
+        ``/v1/metricz``, and SLO burn tracking.  False reverts to the
+        bare PR-7 service (no events, unconditional trace writes).
+    event_capacity / event_path:
+        Ring size of the in-memory event log and an optional JSONL file
+        sink mirroring every event for external collectors.
+    trace_slow_ms / trace_head_n:
+        Tail-sampling policy: always persist traces slower than
+        ``trace_slow_ms``; keep 1-in-``trace_head_n`` of healthy fast
+        ones (0 disables head sampling).  Errored and budget-truncated
+        requests are always persisted regardless.
+    slow_query_ms:
+        Per-worker slow-query log threshold (None disables the log and
+        empties ``/v1/slowlogz``).
+    slo_target_p95_ms / slo_error_budget / slo_burn_alert /
+    slo_short_window_s / slo_long_window_s:
+        The service objective: a request is *bad* when it errors or
+        exceeds ``slo_target_p95_ms``; burn rate is the bad-fraction
+        over the window divided by ``slo_error_budget``, alerting when
+        it exceeds ``slo_burn_alert`` in both windows.
+    poll_interval_s:
+        Runtime-stats poller period (queue depth / in-flight /
+        utilization / shed-rate gauges).
     """
 
     workers: int = 4
@@ -103,6 +130,18 @@ class ServiceConfig:
     materialize: bool = True
     trace_dir: str | None = None
     retry_after_s: float = 1.0
+    telemetry: bool = True
+    event_capacity: int = 512
+    event_path: str | None = None
+    trace_slow_ms: float = 1_000.0
+    trace_head_n: int = 10
+    slow_query_ms: float | None = 1_000.0
+    slo_target_p95_ms: float = 1_000.0
+    slo_error_budget: float = 0.01
+    slo_burn_alert: float = 2.0
+    slo_short_window_s: float = 60.0
+    slo_long_window_s: float = 600.0
+    poll_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -115,6 +154,12 @@ class ServiceConfig:
             raise ValueError("max_deadline_ms must be positive")
         if not 0.0 <= self.chaos_error_rate <= 1.0:
             raise ValueError("chaos_error_rate must be within [0, 1]")
+        if self.event_capacity < 1:
+            raise ValueError("event_capacity must be at least 1")
+        if self.trace_head_n < 0:
+            raise ValueError("trace_head_n must be non-negative")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
 
     @property
     def chaotic(self) -> bool:

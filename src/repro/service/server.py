@@ -7,7 +7,10 @@ JSON service::
     POST /v1/differentiate  {"query": "...", "limit": 10, ...}
     POST /v1/explain        {"query": "...", "pick": 1, ...}
     GET  /v1/healthz        liveness + overload state
-    GET  /v1/statz          admission counters, latency, per-worker stats
+    GET  /v1/statz          admission counters, latency, SLO, per-worker
+    GET  /v1/metricz        Prometheus text exposition (fleet rollup)
+    GET  /v1/eventz?n=K     newest K structured lifecycle events
+    GET  /v1/slowlogz       merged per-worker slow-query log
 
 The request path is admission → clamp → execute → envelope:
 
@@ -33,21 +36,42 @@ own admission/latency instruments.
 Shutdown is a drain, not a drop: :meth:`KdapService.shutdown` stops
 admitting (503 + ``Retry-After``), lets queued and in-flight work finish
 within ``drain_deadline_s``, aborts the remainder with 503, then closes
-sessions and the listener.
+sessions and the listener.  Trace files are written atomically (tmp +
+``os.replace``) so a drain-deadline exit never leaves truncated JSON
+under ``--trace-dir``.
+
+With ``telemetry`` on (the default) the service also runs the always-on
+pipeline: every lifecycle transition lands in a bounded
+:class:`~repro.obs.events.EventLog`, full traces are kept only when the
+:class:`~repro.obs.sampling.TailSampler` says they matter, a
+:class:`~repro.obs.promexport.RuntimeStatsPoller` keeps load gauges
+fresh for ``/v1/metricz``, and a :class:`~repro.obs.slo.SloTracker`
+watches the latency/error objective and emits burn events.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import logging
 import os
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core import BELLWETHER, SURPRISE, KdapSession, RankingMethod
+from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
+from ..obs.promexport import (
+    PROMETHEUS_CONTENT_TYPE,
+    RuntimeStatsPoller,
+    render_prometheus,
+    rollup_registries,
+)
+from ..obs.sampling import SamplingPolicy, TailSampler
+from ..obs.slo import SloPolicy, SloTracker
 from ..obs.tracer import Tracer, current_tracer, request_scope, \
     tracing_scope
 from ..plan.backends import InMemoryBackend, create_backend
@@ -113,10 +137,39 @@ class KdapService:
             self.tier = MaterializationTier(schema)
         else:
             self.tier = None
+        # the always-on telemetry pipeline (config.telemetry=False
+        # reverts to the bare service: no events, no sampling, no
+        # poller, no SLO — and unconditional trace writes)
+        if self.config.telemetry:
+            self.events: EventLog | None = EventLog(
+                capacity=self.config.event_capacity,
+                sink_path=self.config.event_path)
+            self.sampler: TailSampler | None = (
+                TailSampler(SamplingPolicy(
+                    slow_ms=self.config.trace_slow_ms,
+                    head_n=self.config.trace_head_n),
+                    registry=self.registry)
+                if self.config.trace_dir is not None else None)
+            self.slo: SloTracker | None = SloTracker(
+                SloPolicy(
+                    target_p95_ms=self.config.slo_target_p95_ms,
+                    error_budget=self.config.slo_error_budget,
+                    short_window_s=self.config.slo_short_window_s,
+                    long_window_s=self.config.slo_long_window_s,
+                    burn_alert=self.config.slo_burn_alert),
+                event_log=self.events)
+            self.poller: RuntimeStatsPoller | None = RuntimeStatsPoller(
+                self, interval_s=self.config.poll_interval_s)
+        else:
+            self.events = None
+            self.sampler = None
+            self.slo = None
+            self.poller = None
         self.queue = AdmissionQueue(self.config.queue_depth, self.registry)
         self.pool = WorkerPool(self.queue, self.config.workers,
                                self._build_session, self._execute,
-                               self.registry)
+                               self.registry,
+                               on_shed=self._on_queue_timeout)
         self.state = "created"
         self._started_at = time.monotonic()
         self._request_seq = itertools.count(1)
@@ -143,6 +196,8 @@ class KdapService:
             target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
             name="kdap-http", daemon=True)
         self._serve_thread.start()
+        if self.poller is not None:
+            self.poller.start()
         self.state = "serving"
         self._started_at = time.monotonic()
         bound = self._httpd.server_address
@@ -184,6 +239,14 @@ class KdapService:
     def _abort_job(self, job: Job) -> None:
         job.finish(HTTP_DRAINING, error_payload(
             "draining", "server shut down before this request ran"))
+        if self.events is not None:
+            self.events.emit("aborted", request_id=job.request_id,
+                             op=job.spec.kind, reason="drain_deadline")
+
+    def _on_queue_timeout(self, job: Job) -> None:
+        if self.events is not None:
+            self.events.emit("shed", request_id=job.request_id,
+                             op=job.spec.kind, reason="queue_timeout")
 
     def shutdown(self) -> None:
         """Graceful stop: drain, then stop workers and the listener."""
@@ -192,10 +255,14 @@ class KdapService:
                 return
             if self.state != "created":
                 self.drain()
+            if self.poller is not None:
+                self.poller.stop()
             self.pool.stop()
             if self._httpd is not None:
                 self._httpd.shutdown()
                 self._httpd.server_close()
+            if self.events is not None:
+                self.events.close()  # flush the JSONL sink; ring stays
             self.state = "stopped"
 
     # ------------------------------------------------------------------
@@ -225,6 +292,7 @@ class KdapService:
                                      workers=config.session_workers)
         return KdapSession(self.schema, index=self.index, backend=backend,
                            workers=config.session_workers,
+                           slow_query_ms=config.slow_query_ms,
                            materialize=(self.tier if self.tier is not None
                                         else False))
 
@@ -248,13 +316,22 @@ class KdapService:
             self.queue.submit(job)
         except Draining:
             headers["Retry-After"] = retry_after
+            if self.events is not None:
+                self.events.emit("rejected", request_id=request_id,
+                                 op=kind, reason="draining")
             return HTTP_DRAINING, self._finalize(request_id, error_payload(
                 "draining", "server is draining; retry elsewhere"
             )), headers
         except QueueFull as exc:
             headers["Retry-After"] = retry_after
+            if self.events is not None:
+                self.events.emit("shed", request_id=request_id,
+                                 op=kind, reason="queue_full")
             return HTTP_SHED, self._finalize(request_id, error_payload(
                 "overloaded", str(exc))), headers
+        if self.events is not None:
+            self.events.emit("admitted", request_id=request_id,
+                             op=kind, query=spec.query)
         if not job.wait(self._wait_timeout_s(spec)):
             # belt and braces: the per-request deadline should always fire
             # first, but a handler must never hang on a lost job
@@ -284,6 +361,11 @@ class KdapService:
         budget = make_budget(spec, self.config)
         tracer = (Tracer() if self.config.trace_dir is not None else None)
         calls_before = session.engine.counters.total_calls
+        worker = threading.current_thread().name
+        if self.events is not None:
+            self.events.emit("started", request_id=job.request_id,
+                             op=spec.kind, worker=worker,
+                             queue_wait_ms=round(queue_wait_s * 1000.0, 3))
         started = time.perf_counter()
         try:
             with request_scope(job.request_id), tracing_scope(tracer):
@@ -314,11 +396,74 @@ class KdapService:
             status, body = 500, error_payload(
                 "internal", f"unexpected {type(exc).__name__}")
         elapsed_s = time.perf_counter() - started
+        elapsed_ms = elapsed_s * 1000.0
         self._observe(spec.kind, status, elapsed_s, queue_wait_s,
                       session.engine.counters.total_calls - calls_before)
+        if self.slo is not None:
+            self.slo.observe(elapsed_ms=elapsed_ms, error=status >= 500)
+        trace_reason = None
         if tracer is not None:
-            self._write_trace(tracer, job.request_id)
+            if self.sampler is not None:
+                decision = self.sampler.decide(
+                    status=status, elapsed_ms=elapsed_ms,
+                    truncated=budget.truncated)
+                trace_reason = decision.reason
+                if decision.persist:
+                    self._write_trace(tracer, job.request_id)
+            else:
+                self._write_trace(tracer, job.request_id)
+        if self.events is not None:
+            self._emit_outcome(job, spec, status, body, elapsed_ms,
+                               queue_wait_s, worker, budget, trace_reason)
         job.finish(status, body)
+
+    def _emit_outcome(self, job: Job, spec, status: int, body,
+                      elapsed_ms: float, queue_wait_s: float,
+                      worker: str, budget, trace_reason: str | None
+                      ) -> None:
+        """One ``finished``/``errored`` event carrying the attribution
+        package: fingerprint, budget outcome, truncation reasons,
+        matcher notes, and the trace-persist decision (the request id in
+        every event doubles as the trace id)."""
+        fields = {
+            "request_id": job.request_id,
+            "op": spec.kind,
+            "status": status,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "queue_wait_ms": round(queue_wait_s * 1000.0, 3),
+            "worker": worker,
+        }
+        if isinstance(body, dict):
+            if body.get("partial"):
+                fields["partial"] = True
+            fingerprint = self._fingerprint(body)
+            if fingerprint is not None:
+                fields["interpretation_fp"] = fingerprint
+            error = body.get("error")
+            if isinstance(error, dict) and error.get("notes"):
+                fields["notes"] = list(error["notes"])[:5]
+        if budget.truncated:
+            fields["truncation"] = sorted(
+                {event.reason for event in budget.events})
+        if budget.notes and "notes" not in fields:
+            fields["notes"] = list(budget.notes)[:5]
+        if trace_reason is not None:
+            fields["trace"] = trace_reason
+        self.events.emit("errored" if status >= 500 else "finished",
+                         **fields)
+
+    @staticmethod
+    def _fingerprint(body: dict) -> str | None:
+        """A short stable digest of the chosen interpretation(s), so an
+        operator can group events by what the keywords resolved to
+        without shipping the whole interpretation over the event log."""
+        subject = body.get("interpretation") or body.get("interpretations")
+        if subject is None and isinstance(body.get("explain"), dict):
+            subject = body["explain"].get("interpretation")
+        if subject is None:
+            return None
+        blob = json.dumps(subject, sort_keys=True, default=str)
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:10]
 
     def _dispatch(self, session: KdapSession, spec, budget
                   ) -> tuple[int, dict]:
@@ -378,13 +523,28 @@ class KdapService:
             self.registry.counter("kdap.service.failed").inc()
 
     def _write_trace(self, tracer: Tracer, request_id: str) -> None:
+        """Atomically persist one request's Chrome trace.
+
+        Write-to-tmp + ``os.replace`` so the final path either holds
+        complete JSON or does not exist — a drain-deadline abort (or
+        any exit) mid-write can no longer leave a truncated trace file
+        that chokes ``chrome://tracing`` and the CI artifact checks.
+        """
         path = os.path.join(self.config.trace_dir,
                             f"trace-{request_id}.json")
+        tmp = f"{path}.tmp"
         try:
-            with open(path, "w", encoding="utf-8") as fh:
+            with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(tracer.to_chrome_trace(), fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
         except OSError as exc:  # tracing must never fail a request
             logger.warning("could not write %s: %s", path, exc)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # introspection endpoints
@@ -402,12 +562,16 @@ class KdapService:
 
     def statz(self) -> dict:
         """Server admission/latency instruments plus per-worker session
-        stats and a cross-session rollup."""
+        stats, a cross-session rollup, and the telemetry sections (SLO
+        state, event-log accounting, trace-sampling accounting, merged
+        slow-log counts) when telemetry is on."""
         workers = []
         rollup: dict[str, int] = {}
+        registries = []
         resilience_rollup = {"retries": 0, "failovers": 0,
                              "transient_errors": 0}
         for position, session in enumerate(list(self.pool.sessions)):
+            registries.append(session.metrics)
             snapshot = session.metrics.snapshot()
             cache = session.engine.cache_stats
             entry = {
@@ -428,7 +592,16 @@ class KdapService:
             for name, value in snapshot["counters"].items():
                 rollup[name] = rollup.get(name, 0) + value
             workers.append(entry)
-        return {
+        # merged per-worker histograms: buckets sum elementwise, so the
+        # rollup's count/sum/extremes are fleet-true, not per-worker
+        # (quantile summaries for the merged view ride /v1/metricz)
+        merged = rollup_registries(registries)
+        histogram_rollup = {
+            name: {"count": state["count"],
+                   "sum": round(state["sum"], 6),
+                   "min": state["min"], "max": state["max"]}
+            for name, state in sorted(merged["histograms"].items())}
+        out = {
             "state": self.state,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "config": {
@@ -438,14 +611,79 @@ class KdapService:
                 "max_deadline_ms": self.config.max_deadline_ms,
                 "backend": self.config.backend,
                 "chaotic": self.config.chaotic,
+                "telemetry": self.config.telemetry,
             },
             "service": self.registry.snapshot(),
             "workers": workers,
             "rollup": {"counters": dict(sorted(rollup.items())),
+                       "histograms": histogram_rollup,
                        "resilience": resilience_rollup,
                        **({"materialize": self.tier.snapshot()}
                           if self.tier is not None else {})},
         }
+        if self.slo is not None:
+            out["slo"] = self.slo.status()
+        if self.events is not None:
+            out["events"] = self.events.snapshot()
+        if self.sampler is not None:
+            out["sampling"] = self.sampler.snapshot()
+        if self.config.slow_query_ms is not None:
+            out["slowlog"] = self._slowlog_counts()
+        return out
+
+    def _slowlog_counts(self) -> dict:
+        """Slow-log accounting merged across workers (records ride
+        ``/v1/slowlogz``)."""
+        observed = recorded = retained = 0
+        for session in list(self.pool.sessions):
+            log = session.slow_log
+            if log is None:
+                continue
+            observed += log.observed
+            recorded += log.recorded
+            retained += len(log)
+        return {"threshold_ms": self.config.slow_query_ms,
+                "observed": observed, "recorded": recorded,
+                "retained": retained}
+
+    def metricz(self) -> str:
+        """The Prometheus exposition: server registry + every worker
+        registry rolled up into one fleet view."""
+        registries = [self.registry] + [session.metrics for session
+                                        in list(self.pool.sessions)]
+        return render_prometheus(registries)
+
+    def eventz(self, n: int = 50) -> tuple[int, dict]:
+        """The newest ``n`` structured events plus log accounting."""
+        if self.events is None:
+            return 404, error_payload(
+                "telemetry_disabled",
+                "the event log is off (telemetry=False)")
+        return 200, {"log": self.events.snapshot(),
+                     "events": self.events.tail(n)}
+
+    def slowlogz(self) -> dict:
+        """Per-worker slow-query records merged on one timeline.
+
+        Span trees stay out of the payload (they can dwarf everything
+        else); each record's ``request_id`` keys the persisted trace
+        file when the tail sampler kept one.
+        """
+        records = []
+        for session in list(self.pool.sessions):
+            log = session.slow_log
+            if log is None:
+                continue
+            for record in log.records:
+                entry = record.as_dict()
+                entry["has_span_tree"] = entry.pop("span_tree") is not None
+                records.append(entry)
+        records.sort(key=lambda entry: entry["wall_time"])
+        counts = self._slowlog_counts() if \
+            self.config.slow_query_ms is not None else {
+                "threshold_ms": None, "observed": 0, "recorded": 0,
+                "retained": 0}
+        return {**counts, "records": records[-64:]}
 
 
 def _make_handler(service: KdapService):
@@ -476,20 +714,49 @@ def _make_handler(service: KdapService):
             self._send(status, payload, headers)
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib API
-            if self.path == "/v1/healthz":
+            parsed = urllib.parse.urlsplit(self.path)
+            path = parsed.path
+            if path == "/v1/healthz":
                 status, payload = service.healthz()
                 self._send(status, payload)
-            elif self.path == "/v1/statz":
+            elif path == "/v1/statz":
                 self._send(200, service.statz())
+            elif path == "/v1/metricz":
+                self._send_text(200, service.metricz(),
+                                PROMETHEUS_CONTENT_TYPE)
+            elif path == "/v1/eventz":
+                query = urllib.parse.parse_qs(parsed.query)
+                try:
+                    n = int(query.get("n", ["50"])[0])
+                    if n < 0:
+                        raise ValueError
+                except ValueError:
+                    self._send(400, error_payload(
+                        "bad_request",
+                        "n must be a non-negative integer"))
+                    return
+                status, payload = service.eventz(n)
+                self._send(status, payload)
+            elif path == "/v1/slowlogz":
+                self._send(200, service.slowlogz())
             else:
                 self._send(404, error_payload(
                     "not_found", f"no such endpoint: {self.path}"))
 
         def _send(self, status: int, payload: dict,
                   headers: dict | None = None) -> None:
-            data = json.dumps(payload).encode("utf-8")
+            self._send_bytes(status, json.dumps(payload).encode("utf-8"),
+                             "application/json", headers)
+
+        def _send_text(self, status: int, text: str,
+                       content_type: str) -> None:
+            self._send_bytes(status, text.encode("utf-8"), content_type)
+
+        def _send_bytes(self, status: int, data: bytes,
+                        content_type: str,
+                        headers: dict | None = None) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)

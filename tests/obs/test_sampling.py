@@ -1,0 +1,110 @@
+"""TailSampler: decision priority, head cadence, accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import SamplingPolicy, TailSampler
+
+
+class TestSamplingPolicy:
+    def test_defaults(self):
+        policy = SamplingPolicy()
+        assert policy.slow_ms == 1_000.0
+        assert policy.head_n == 10
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slow_ms": -1.0}, {"head_n": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplingPolicy(**kwargs)
+
+
+class TestTailSampler:
+    def test_first_request_is_always_head_sampled(self):
+        sampler = TailSampler(SamplingPolicy(head_n=10))
+        decision = sampler.decide(status=200, elapsed_ms=1.0)
+        assert decision.persist and decision.reason == "head"
+
+    def test_head_cadence_is_one_in_n(self):
+        sampler = TailSampler(SamplingPolicy(head_n=5))
+        kept = [sampler.decide(status=200, elapsed_ms=1.0).persist
+                for _ in range(20)]
+        assert kept == [True, False, False, False, False] * 4
+
+    def test_head_zero_disables_head_sampling(self):
+        sampler = TailSampler(SamplingPolicy(head_n=0))
+        assert not sampler.decide(status=200, elapsed_ms=1.0).persist
+
+    def test_errors_always_persist(self):
+        sampler = TailSampler(SamplingPolicy(head_n=0))
+        for status in (500, 502, 504):
+            decision = sampler.decide(status=status, elapsed_ms=1.0)
+            assert decision.persist and decision.reason == "error"
+
+    def test_truncated_persists(self):
+        sampler = TailSampler(SamplingPolicy(head_n=0))
+        decision = sampler.decide(status=200, elapsed_ms=1.0,
+                                  truncated=True)
+        assert decision.persist and decision.reason == "truncated"
+
+    def test_slow_persists(self):
+        sampler = TailSampler(SamplingPolicy(slow_ms=100.0, head_n=0))
+        decision = sampler.decide(status=200, elapsed_ms=150.0)
+        assert decision.persist and decision.reason == "slow"
+        assert not sampler.decide(status=200, elapsed_ms=99.0).persist
+
+    def test_priority_error_over_truncated_over_slow_over_head(self):
+        sampler = TailSampler(SamplingPolicy(slow_ms=10.0, head_n=1))
+        assert sampler.decide(status=504, elapsed_ms=500.0,
+                              truncated=True).reason == "error"
+        assert sampler.decide(status=200, elapsed_ms=500.0,
+                              truncated=True).reason == "truncated"
+        assert sampler.decide(status=200,
+                              elapsed_ms=500.0).reason == "slow"
+        assert sampler.decide(status=200, elapsed_ms=1.0).reason == "head"
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        sampler = TailSampler(SamplingPolicy(head_n=0),
+                              registry=registry)
+        sampler.decide(status=500, elapsed_ms=1.0)
+        sampler.decide(status=200, elapsed_ms=1.0)
+        counters = registry.snapshot()["counters"]
+        assert counters["kdap.trace.sampled.error"] == 1
+        assert counters["kdap.trace.dropped"] == 1
+
+    def test_snapshot_accounting(self):
+        sampler = TailSampler(SamplingPolicy(slow_ms=100.0, head_n=3))
+        for _ in range(6):
+            sampler.decide(status=200, elapsed_ms=1.0)
+        sampler.decide(status=502, elapsed_ms=1.0)
+        snapshot = sampler.snapshot()
+        assert snapshot["considered"] == 7
+        assert snapshot["persisted"]["head"] == 2
+        assert snapshot["persisted"]["error"] == 1
+        assert snapshot["persisted_total"] == 3
+        assert snapshot["dropped"] == 4
+        assert snapshot["policy"] == {"slow_ms": 100.0, "head_n": 3}
+
+    def test_concurrent_decisions_count_exactly_once(self):
+        sampler = TailSampler(SamplingPolicy(head_n=10))
+
+        def hammer():
+            for _ in range(100):
+                sampler.decide(status=200, elapsed_ms=1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = sampler.snapshot()
+        assert snapshot["considered"] == 800
+        # exactly 1-in-10 head sampled regardless of interleaving
+        assert snapshot["persisted"]["head"] == 80
+        assert snapshot["dropped"] == 720

@@ -1,0 +1,170 @@
+"""SloTracker: burn-rate math, multi-window alerting, event emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.slo import SloPolicy, SloTracker
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(clock, *, target_p95_ms=100.0, error_budget=0.1,
+                 short_window_s=10.0, long_window_s=60.0,
+                 burn_alert=2.0, event_log=None):
+    policy = SloPolicy(target_p95_ms=target_p95_ms,
+                       error_budget=error_budget,
+                       short_window_s=short_window_s,
+                       long_window_s=long_window_s,
+                       burn_alert=burn_alert)
+    return SloTracker(policy, clock=clock, event_log=event_log)
+
+
+class TestSloPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"target_p95_ms": 0.0},
+        {"error_budget": 0.0},
+        {"error_budget": 1.5},
+        {"short_window_s": 0.0},
+        {"short_window_s": 100.0, "long_window_s": 10.0},
+        {"burn_alert": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SloPolicy(**kwargs)
+
+
+class TestBurnRate:
+    def test_no_traffic_burn_is_none(self):
+        tracker = make_tracker(FakeClock())
+        status = tracker.status()
+        assert status["windows"]["short"]["burn_rate"] is None
+        assert status["observed"] == 0
+
+    def test_all_good_burn_is_zero(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.observe(elapsed_ms=10.0)
+        short = tracker.status()["windows"]["short"]
+        assert short == {**short, "total": 10, "bad": 0,
+                         "burn_rate": 0.0}
+
+    def test_burn_is_bad_rate_over_budget(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, error_budget=0.1)
+        # 2 bad of 10 → bad_rate 0.2 → burn 2.0
+        for index in range(10):
+            tracker.observe(elapsed_ms=10.0, error=index < 2)
+        short = tracker.status()["windows"]["short"]
+        assert short["bad"] == 2
+        assert short["burn_rate"] == pytest.approx(2.0)
+
+    def test_slow_requests_burn_like_errors(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target_p95_ms=100.0)
+        tracker.observe(elapsed_ms=500.0)  # over target: bad
+        assert tracker.status()["windows"]["short"]["bad"] == 1
+        assert tracker.status()["windows"]["short"]["errors"] == 0
+
+    def test_old_slots_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, short_window_s=10.0,
+                               long_window_s=60.0)
+        tracker.observe(elapsed_ms=10.0, error=True)
+        clock.advance(30.0)
+        tracker.observe(elapsed_ms=10.0)
+        windows = tracker.status()["windows"]
+        assert windows["short"]["total"] == 1  # the error aged out
+        assert windows["short"]["bad"] == 0
+        assert windows["long"]["total"] == 2  # still inside long
+        assert windows["long"]["bad"] == 1
+
+    def test_window_p95(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target_p95_ms=10_000.0)
+        for _ in range(99):
+            tracker.observe(elapsed_ms=10.0)
+        tracker.observe(elapsed_ms=5_000.0)
+        p95 = tracker.status()["windows"]["short"]["p95_ms"]
+        assert p95 is not None and p95 <= 5_000.0
+        assert p95 >= 10.0
+
+
+class TestBurnAlerting:
+    def test_alert_requires_both_windows(self):
+        clock = FakeClock()
+        log = EventLog(capacity=16, clock=clock)
+        tracker = make_tracker(clock, error_budget=0.1, burn_alert=2.0,
+                               event_log=log)
+        # 100% errors: burn = 10 > 2 in both windows → alert
+        for _ in range(5):
+            tracker.observe(elapsed_ms=10.0, error=True)
+        assert tracker.burning
+        assert tracker.alerts == 1
+        kinds = [event["kind"] for event in log.tail(10)]
+        assert kinds.count("slo.burn") == 1
+
+    def test_alert_recovers_and_emits(self):
+        clock = FakeClock()
+        log = EventLog(capacity=64, clock=clock)
+        tracker = make_tracker(clock, error_budget=0.1, burn_alert=2.0,
+                               short_window_s=10.0, long_window_s=60.0,
+                               event_log=log)
+        for _ in range(5):
+            tracker.observe(elapsed_ms=10.0, error=True)
+        assert tracker.burning
+        # healthy traffic after the short window ages the errors out
+        clock.advance(15.0)
+        for _ in range(200):
+            tracker.observe(elapsed_ms=10.0)
+        assert not tracker.burning
+        kinds = [event["kind"] for event in log.tail(64)]
+        assert "slo.burn" in kinds and "slo.recovered" in kinds
+        burn = next(event for event in log.tail(64)
+                    if event["kind"] == "slo.burn")
+        assert burn["burn_short"] > 2.0
+        assert burn["threshold"] == 2.0
+
+    def test_no_realert_while_still_burning(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, error_budget=0.1, burn_alert=2.0)
+        for _ in range(50):
+            tracker.observe(elapsed_ms=10.0, error=True)
+        assert tracker.alerts == 1
+
+    def test_short_blip_inside_long_window_does_not_alert(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, error_budget=0.1, burn_alert=2.0,
+                               short_window_s=10.0, long_window_s=60.0)
+        # a long stretch of good traffic dilutes the long window
+        for _ in range(200):
+            tracker.observe(elapsed_ms=10.0)
+        clock.advance(20.0)
+        for _ in range(3):
+            tracker.observe(elapsed_ms=10.0, error=True)
+        # short window burns hot but the long window holds under 2x
+        assert not tracker.burning
+
+
+class TestStatus:
+    def test_status_shape(self):
+        tracker = make_tracker(FakeClock())
+        tracker.observe(elapsed_ms=1.0)
+        status = tracker.status()
+        assert status["policy"]["target_p95_ms"] == 100.0
+        assert status["observed"] == 1
+        assert set(status["windows"]) == {"short", "long"}
+        for window in status["windows"].values():
+            assert set(window) == {"window_s", "total", "bad", "errors",
+                                   "bad_rate", "burn_rate", "p95_ms"}

@@ -1,0 +1,133 @@
+"""`repro top`: pure renderer over canned snapshots, loop wiring."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.top import render_dashboard, run_top
+
+STATZ = {
+    "state": "serving",
+    "uptime_s": 12.5,
+    "workers": [{"worker": 0}, {"worker": 1}],
+    "config": {"workers": 4},
+    "service": {
+        "counters": {
+            "kdap.service.admitted": 42,
+            "kdap.service.status.200": 39,
+            "kdap.service.status.404": 1,
+            "kdap.service.status.504": 2,
+            "kdap.service.shed.queue_full": 3,
+            "kdap.service.shed.queue_timeout": 1,
+        },
+    },
+    "slo": {
+        "policy": {"target_p95_ms": 1000.0, "error_budget": 0.01},
+        "burning": False,
+        "alerts": 0,
+        "windows": {
+            "short": {"window_s": 60.0, "total": 10, "bad": 0,
+                      "burn_rate": 0.0, "p95_ms": 42.0},
+            "long": {"window_s": 600.0, "total": 100, "bad": 1,
+                     "burn_rate": 1.25, "p95_ms": 55.0},
+        },
+    },
+    "sampling": {
+        "considered": 40, "persisted_total": 7, "dropped": 33,
+        "persisted": {"error": 2, "truncated": 1, "slow": 0, "head": 4},
+    },
+    "events": {"emitted": 120, "retained": 120, "dropped": 0},
+    "slowlog": {"observed": 40, "retained": 2, "threshold_ms": 1000.0},
+}
+
+METRICS = {
+    "kdap_runtime_queue_depth": {
+        "type": "gauge",
+        "samples": [("kdap_runtime_queue_depth", {}, 3.0)]},
+    "kdap_runtime_in_flight": {
+        "type": "gauge",
+        "samples": [("kdap_runtime_in_flight", {}, 2.0)]},
+    "kdap_runtime_worker_utilization": {
+        "type": "gauge",
+        "samples": [("kdap_runtime_worker_utilization", {}, 0.5)]},
+    "kdap_runtime_shed_rate": {
+        "type": "gauge",
+        "samples": [("kdap_runtime_shed_rate", {}, 0.125)]},
+}
+
+
+class TestRenderDashboard:
+    def test_header_and_load_line(self):
+        frame = render_dashboard(STATZ, METRICS)
+        assert "state=serving" in frame
+        assert "workers=4" in frame  # config echo, not the detail list
+        assert "queue=3" in frame
+        assert "in_flight=2" in frame
+        assert "shed_rate=0.125" in frame
+
+    def test_requests_line_folds_service_counters(self):
+        frame = render_dashboard(STATZ, METRICS)
+        assert "admitted=42" in frame
+        assert "ok=39" in frame
+        assert "4xx=1" in frame
+        assert "5xx=2" in frame
+        assert "shed=4" in frame  # queue_full + queue_timeout
+
+    def test_worker_count_falls_back_to_detail_list(self):
+        statz = {key: value for key, value in STATZ.items()
+                 if key != "config"}
+        assert "workers=2" in render_dashboard(statz, METRICS)
+
+    def test_slo_section(self):
+        frame = render_dashboard(STATZ, METRICS)
+        assert "state=ok" in frame
+        assert "burn=1.25" in frame  # long window
+        burning = {**STATZ, "slo": {**STATZ["slo"], "burning": True}}
+        assert "BURNING" in render_dashboard(burning, METRICS)
+
+    def test_sampling_and_slowlog_sections(self):
+        frame = render_dashboard(STATZ, METRICS)
+        assert "considered=40" in frame
+        assert "err=2" in frame
+        assert "threshold=1000.0ms" in frame
+
+    def test_missing_sections_are_skipped(self):
+        bare = {"state": "serving", "uptime_s": 1.0}
+        frame = render_dashboard(bare, {})
+        assert "slo" not in frame
+        assert "reqs" not in frame
+        assert "queue=-" in frame  # missing gauges render as '-'
+
+    def test_recent_events_render(self):
+        events = [{"seq": 9, "ts": 1.0, "kind": "finished",
+                   "request_id": "r000009", "status": 200}]
+        frame = render_dashboard(STATZ, METRICS, events)
+        assert "#9 finished" in frame
+        assert "request_id=r000009" in frame
+
+
+class TestRunTop:
+    def test_renders_requested_frames(self):
+        out = io.StringIO()
+        fetches = []
+
+        def fetch(url):
+            fetches.append(url)
+            return {"statz": STATZ, "metrics": METRICS}
+
+        code = run_top("http://x", interval_s=0.0, iterations=3,
+                       out=out, clock=lambda _s: None, fetch=fetch)
+        assert code == 0
+        assert len(fetches) == 3
+        assert out.getvalue().count("kdap top") == 3
+
+    def test_scrape_failure_renders_error_frame(self):
+        out = io.StringIO()
+
+        def fetch(url):
+            raise OSError("connection refused")
+
+        code = run_top("http://x", interval_s=0.0, iterations=1,
+                       out=out, clock=lambda _s: None, fetch=fetch)
+        assert code == 0
+        assert "scrape failed" in out.getvalue()

@@ -39,6 +39,14 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read())
 
+    def get_text(self, path: str, timeout: float = 10.0):
+        """(status, body_text, content_type) for non-JSON endpoints
+        (``/v1/metricz`` serves Prometheus text format)."""
+        with urllib.request.urlopen(self.base + path,
+                                    timeout=timeout) as resp:
+            return (resp.status, resp.read().decode("utf-8"),
+                    resp.headers.get("Content-Type"))
+
 
 @pytest.fixture(scope="session")
 def ebiz_index(ebiz):
